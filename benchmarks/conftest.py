@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (a table, a figure, or a
+quantitative claim), writes the rendered result to ``benchmarks/out/``,
+asserts the *shape* the paper reports, and times the generating code via
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(out_dir: pathlib.Path, name: str, text: str) -> None:
+    (out_dir / name).write_text(text)
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy simulation exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: build an image, push it to a registry, and run it with an
+HPC container engine on a simulated compute node.
+
+    python examples/quickstart.py
+"""
+
+from repro.cluster import GPUDevice, HostNode
+from repro.engines import SarusEngine
+from repro.kernel import KernelConfig
+from repro.oci import Builder
+from repro.oci.catalog import BaseImageCatalog
+from repro.registry import OCIDistributionRegistry
+
+DOCKERFILE = """
+FROM ubuntu:22.04
+ENV REPRO_CUDA_DRIVER=535.0
+RUN install-pkg fftw 30 800000
+RUN write /opt/app/solver 12000000
+ENTRYPOINT /opt/app/solver
+"""
+
+
+def main() -> None:
+    # 1. Build: the Dockerfile runs in the simulated build shell.
+    builder = Builder(BaseImageCatalog())
+    image = builder.build_dockerfile(DOCKERFILE)
+    print(f"built image {image.digest[:22]} with {len(image.layers)} layers, "
+          f"{image.compressed_size / 1e6:.1f} MB compressed")
+
+    # 2. Push to the site registry.
+    registry = OCIDistributionRegistry(name="site-registry")
+    push_cost = registry.push_image("hpc/solver", "v1", image)
+    print(f"pushed hpc/solver:v1 in {push_cost:.3f}s (simulated)")
+
+    # 3. A compute node: modern kernel, one GPU, Sarus deployed.
+    node = HostNode(
+        name="nid0001",
+        kernel_config=KernelConfig.modern_hpc(),
+        gpus=[GPUDevice(vendor="nvidia", model="a100", index=0)],
+    )
+    sarus = SarusEngine(node)
+    sarus.enable_gpu()
+
+    # 4. The job user (as the WLM would create it, with a GPU grant).
+    user = node.kernel.spawn(uid=1000)
+    node.kernel.grant_device(user, "nvidia0")
+
+    # 5. Pull (transparent OCI -> squash conversion) and run.
+    pulled = sarus.pull("hpc/solver", "v1", registry)
+    result = sarus.run(pulled, user)
+    container = result.container
+
+    print(f"\ncontainer {container.id}: {container.state.value}")
+    print(f"startup breakdown ({result.startup_seconds:.3f}s total):")
+    for phase, seconds in sorted(result.timings.items()):
+        print(f"  {phase:>8}: {seconds:8.3f}s")
+    print("\ncontainer events:")
+    for event in container.events:
+        print(f"  - {event}")
+    print(f"\nGPU visible in container: {'nvidia0' in container.proc.exposed_devices}")
+    print(f"runs as invoking user (host uid): {container.proc.host_uid()}")
+    print(f"root inside its user namespace:   {container.proc.container_uid() == 0}")
+
+    # 6. Second run: the conversion cache kicks in.
+    result2 = sarus.run(pulled, user)
+    print(f"\nsecond run startup: {result2.startup_seconds:.3f}s "
+          f"(no 'convert' phase: {'convert' not in result2.timings})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Adaptive containerization end-to-end: generate the decision document
+for three site profiles, then let the optimizer pick the best image
+variant and runtime parameters for a target node (§7 outlook).
+
+    python examples/site_decision.py
+"""
+
+from repro.cluster import CPUSpec, GPUDevice, HostNode
+from repro.core import (
+    ContainerOptimizer,
+    DecisionReport,
+    ImageVariant,
+    SiteRequirements,
+)
+from repro.engines import SarusEngine
+from repro.oci import Builder
+from repro.oci.catalog import BaseImageCatalog
+
+
+def main() -> None:
+    profiles = [
+        SiteRequirements.conservative_center(),
+        SiteRequirements.security_hardened_center(),
+        SiteRequirements.cloud_converged_center(),
+    ]
+    for site in profiles:
+        report = DecisionReport(site)
+        stack = report.stack
+        engine = stack["engine"]
+        registry = stack["registry"]
+        scenario = stack["scenario"]
+        print(f"== {site.name} ==")
+        print(f"  engine:   {engine.info.name if engine else 'NONE compliant'}")
+        print(f"  registry: {registry.traits.name if registry else 'NONE compliant'}")
+        print(f"  k8s path: {scenario.name if scenario else 'not required'}")
+        print()
+
+    # Full document for one site:
+    print(DecisionReport(profiles[1]).render())
+
+    # The optimizer: one application, four published variants, one target.
+    print("\n== container optimization for a target node (§7) ==")
+    builder = Builder(BaseImageCatalog())
+    base = builder.build_dockerfile("FROM ubuntu:22.04\nRUN write /opt/s 1000000")
+    variants = [
+        ImageVariant(ref="solver:v2-generic", image=base, microarch="x86-64-v2"),
+        ImageVariant(ref="solver:v3-mpich", image=base, microarch="x86-64-v3",
+                     mpi_flavor="mpich"),
+        ImageVariant(ref="solver:v4-cuda", image=base, microarch="x86-64-v4",
+                     cuda_driver="535.0", mpi_flavor="mpich"),
+    ]
+    node = HostNode(
+        name="gpu-node",
+        cpu=CPUSpec(microarch="x86-64-v4"),
+        gpus=[GPUDevice(vendor="nvidia", model="h100", index=0, driver_version="535.104")],
+    )
+    optimizer = ContainerOptimizer(SiteRequirements())
+    plan = optimizer.plan(variants, node, SarusEngine(node))
+    print(f"  selected variant:  {plan.variant.ref}")
+    print(f"  rootfs strategy:   {plan.rootfs_strategy}")
+    print(f"  bind mounts:       {plan.bind_mounts}")
+    print(f"  devices:           {plan.devices}")
+    print(f"  env:               {plan.env}")
+    print(f"  expected speedup:  {plan.expected_speedup:.2f}x vs generic build")
+    for warning in plan.warnings:
+        print(f"  warning: {warning}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (offline environment: no wheel pkg)."""
+
+from setuptools import setup
+
+setup()

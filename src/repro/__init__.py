@@ -1,0 +1,24 @@
+"""repro — executable reproduction of *Survey of adaptive containerization
+architectures for HPC* (Müller, Mujkanovic, Durillo, Hammer; SC23).
+
+The surveyed stack, as working code over a deterministic simulation:
+
+- :mod:`repro.sim` — discrete-event simulation core
+- :mod:`repro.kernel` — namespaces, capabilities, cgroups, mounts, syscalls
+- :mod:`repro.fs` — filesystems, IO cost models, mount drivers
+- :mod:`repro.oci` — images, layers, runtimes, builders, SIF, eStargz
+- :mod:`repro.signing` — GPG, Notary, cosign/transparency log, SBOM
+- :mod:`repro.registry` — OCI distribution + Library API and 7 products
+- :mod:`repro.engines` — the 9 container engines of Tables 1–3
+- :mod:`repro.cluster` — hardware, interconnect, nodes, the Site facade
+- :mod:`repro.wlm` — Slurm-like WLM with SPANK, backfill, preemption
+- :mod:`repro.k8s` — API server, scheduler, kubelets, K3s, KNoC, bridge
+- :mod:`repro.scenarios` — the five §6 integration scenarios
+- :mod:`repro.core` — adaptive containerization: requirements, tables,
+  selection, decision documents, optimizer, workflows, CI, repackaging
+- :mod:`repro.workload` — synthetic applications and generators
+
+Start with ``examples/quickstart.py`` or ``python -m repro tables``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+::
+
+    python -m repro tables 1           # render a paper table
+    python -m repro decide hardened    # decision document for a site profile
+    python -m repro scenarios          # run the §6.6 comparison
+    python -m repro startup            # cross-engine startup comparison
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing as _t
+
+from repro.core.requirements import SiteRequirements
+
+_PROFILES = {
+    "conservative": SiteRequirements.conservative_center,
+    "hardened": SiteRequirements.security_hardened_center,
+    "cloud": SiteRequirements.cloud_converged_center,
+}
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.core import tables as t
+
+    renderers = {
+        1: ("Table 1 — engines: overview, rootless, OCI", t.table1_engines),
+        2: ("Table 2 — engines: formats, caching, signing", t.table2_formats),
+        3: ("Table 3 — engines: HPC integrations, community", t.table3_integrations),
+        4: ("Table 4 — registries: overview, proxy, auth", t.table4_registries),
+        5: ("Table 5 — registries: tenancy, quota, deployment", t.table5_registry_features),
+    }
+    numbers = [args.number] if args.number else sorted(renderers)
+    for number in numbers:
+        title, fn = renderers[number]
+        print(t.render_table(fn(), title))
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    from repro.core.decision import DecisionReport
+
+    site = _PROFILES[args.profile]()
+    print(DecisionReport(site).render(include_tables=args.tables))
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.core.tables import render_table
+    from repro.scenarios import evaluate_all
+    from repro.scenarios.evaluate import summary_rows
+
+    metrics = evaluate_all(n_nodes=args.nodes, n_pods=args.pods)
+    print(render_table(summary_rows(metrics),
+                       f"§6.6 comparison ({args.pods} pods on {args.nodes} nodes)"))
+    for m in metrics:
+        for note in m.notes:
+            print(f"  [{m.scenario}] {note}")
+    return 0
+
+
+def _cmd_startup(args: argparse.Namespace) -> int:
+    from repro.cluster import HostNode
+    from repro.engines import ALL_ENGINES, DockerEngine, EnrootEngine
+    from repro.oci import Builder
+    from repro.oci.catalog import BaseImageCatalog
+    from repro.registry import OCIDistributionRegistry
+
+    registry = OCIDistributionRegistry(name="cli")
+    image = Builder(BaseImageCatalog()).build_dockerfile(
+        "FROM ubuntu:22.04\nRUN write /opt/app 50000000\nENTRYPOINT /opt/app"
+    )
+    registry.push_image("cli/app", "v1", image)
+    print(f"{'engine':>15} {'cold':>9} {'warm':>9}  rootfs")
+    for engine_cls in ALL_ENGINES:
+        node = HostNode(name="cli-node")
+        engine = engine_cls(node)
+        if isinstance(engine, DockerEngine):
+            engine.start_daemon()
+        user = node.kernel.spawn(uid=1000)
+        pulled = engine.pull("cli/app", "v1", registry)
+        if isinstance(engine, EnrootEngine):
+            engine.import_image("cli/app:v1", pulled.image)
+        cold = engine.run(pulled, user)
+        warm = engine.run(engine.pull("cli/app", "v1", registry), user)
+        print(f"{engine.info.name:>15} {cold.startup_seconds:8.3f}s "
+              f"{warm.startup_seconds:8.3f}s  {cold.container.rootfs.driver.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Executable reproduction of the SC23 HPC-containerization survey.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tables = sub.add_parser("tables", help="render paper tables from the implementation")
+    p_tables.add_argument("number", nargs="?", type=int, choices=range(1, 6))
+    p_tables.set_defaults(fn=_cmd_tables)
+
+    p_decide = sub.add_parser("decide", help="decision document for a site profile")
+    p_decide.add_argument("profile", choices=sorted(_PROFILES))
+    p_decide.add_argument("--tables", action="store_true")
+    p_decide.set_defaults(fn=_cmd_decide)
+
+    p_scen = sub.add_parser("scenarios", help="run the §6.6 scenario comparison")
+    p_scen.add_argument("--nodes", type=int, default=4)
+    p_scen.add_argument("--pods", type=int, default=8)
+    p_scen.set_defaults(fn=_cmd_scenarios)
+
+    p_start = sub.add_parser("startup", help="cross-engine startup comparison")
+    p_start.set_defaults(fn=_cmd_startup)
+    return parser
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

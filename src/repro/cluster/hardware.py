@@ -1,0 +1,58 @@
+"""Hardware descriptions: CPUs (microarchitecture levels), GPUs, NICs.
+
+Microarchitecture levels matter for the paper's closing challenge
+("selecting the most fitting optimized container ... for the respective
+target hardware"): an image compiled for x86-64-v4 (AVX-512) faults on a
+v2 host, while a v2 image leaves performance on the table on a v4 host.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: psABI microarchitecture levels, in ascending feature order
+MICROARCH_LEVELS = ("x86-64", "x86-64-v2", "x86-64-v3", "x86-64-v4")
+
+
+def microarch_index(level: str) -> int:
+    try:
+        return MICROARCH_LEVELS.index(level)
+    except ValueError:
+        raise ValueError(f"unknown microarch level: {level!r} (known: {MICROARCH_LEVELS})")
+
+
+def microarch_compatible(image_level: str, host_level: str) -> bool:
+    """An image runs if the host implements at least the image's level."""
+    return microarch_index(image_level) <= microarch_index(host_level)
+
+
+@dataclasses.dataclass(frozen=True)
+class CPUSpec:
+    model: str = "generic-epyc"
+    cores: int = 64
+    microarch: str = "x86-64-v3"
+    #: relative throughput multiplier when code matches the host level
+    flops_per_core: float = 5e10
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUDevice:
+    vendor: str  # "nvidia", "amd", "intel"
+    model: str
+    index: int
+    memory_bytes: int = 80 * 2**30
+    #: driver library version the host exposes (ABI-checked by hooks)
+    driver_version: str = "535.104"
+
+    @property
+    def device_node(self) -> str:
+        return f"{self.vendor}{self.index}"
+
+
+@dataclasses.dataclass(frozen=True)
+class NICSpec:
+    kind: str = "slingshot"  # or "infiniband", "ethernet"
+    bandwidth: float = 25e9  # bytes/second (200 Gb/s)
+    latency: float = 2e-6
+    #: device library needed inside containers for native transport
+    provider_lib: str = "libcxi.so"

@@ -1,0 +1,37 @@
+"""Interconnect model: point-to-point transfer costs between nodes.
+
+Used by the Kubernetes-in-WLM proof of concept (Figure 1: "building a
+Kubernetes cluster across the high-speed network of a compute cluster
+using Slingshot") and by multi-node image distribution estimates.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.hardware import NICSpec
+
+
+class Interconnect:
+    """A flat (single-switch-tier) high-speed network."""
+
+    def __init__(self, nic: NICSpec | None = None, per_hop_latency: float = 0.4e-6, hops: int = 2):
+        self.nic = nic or NICSpec()
+        self.per_hop_latency = per_hop_latency
+        self.hops = hops
+        self.stats = {"messages": 0, "bytes": 0}
+
+    def transfer_cost(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` point-to-point."""
+        self.stats["messages"] += 1
+        self.stats["bytes"] += nbytes
+        return self.nic.latency + self.hops * self.per_hop_latency + nbytes / self.nic.bandwidth
+
+    def rpc_cost(self, request_bytes: int = 512, response_bytes: int = 4096) -> float:
+        """A request/response round trip (e.g. kubelet → API server)."""
+        return self.transfer_cost(request_bytes) + self.transfer_cost(response_bytes)
+
+    def broadcast_cost(self, nbytes: int, n_nodes: int) -> float:
+        """Binomial-tree broadcast of ``nbytes`` to ``n_nodes``."""
+        if n_nodes <= 1:
+            return 0.0
+        rounds = (n_nodes - 1).bit_length()
+        return rounds * self.transfer_cost(nbytes)

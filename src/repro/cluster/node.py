@@ -1,0 +1,72 @@
+"""A compute (or login) node: kernel + storage + devices + host OS tree."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.hardware import CPUSpec, GPUDevice, NICSpec
+from repro.fs.backends import LocalDisk, SharedFS, TmpFS
+from repro.kernel.config import KernelConfig
+from repro.kernel.syscalls import Kernel
+from repro.sim import Environment
+
+
+class HostNode:
+    """One machine: its kernel, local storage, devices, and host libraries."""
+
+    def __init__(
+        self,
+        name: str = "nid00001",
+        kernel_config: KernelConfig | None = None,
+        cpu: CPUSpec | None = None,
+        gpus: _t.Sequence[GPUDevice] = (),
+        nic: NICSpec | None = None,
+        sharedfs: SharedFS | None = None,
+        env: Environment | None = None,
+    ):
+        self.name = name
+        self.env = env
+        self.kernel = Kernel(kernel_config or KernelConfig.modern_hpc(), hostname=name)
+        self.cpu = cpu or CPUSpec()
+        self.gpus = list(gpus)
+        self.nic = nic or NICSpec()
+        self.local_disk = LocalDisk(env=env, name=f"{name}-nvme")
+        self.tmpfs = TmpFS(env=env, name=f"{name}-tmpfs")
+        self.sharedfs = sharedfs
+        self._populate_host_os()
+        for gpu in self.gpus:
+            self.kernel.host_devices.add(gpu.device_node)
+        self.kernel.host_devices.add(self.nic.kind)
+
+    def _populate_host_os(self) -> None:
+        """Host OS tree on the local disk: the libraries engines bind-mount
+        into containers (device drivers, MPI, glibc)."""
+        t = self.local_disk.tree
+        t.create_file("/etc/passwd", data=b"root:x:0:0:root:/root:/bin/sh\n")
+        t.create_file("/etc/nsswitch.conf", data=b"passwd: files\n")
+        t.create_file("/usr/lib/libc.so.6", size=2_000_000, mode=0o755)
+        # Host MPI stack tuned for the interconnect (§4.1.6 library hookup)
+        t.create_file("/opt/cray/libmpi.so.40", size=9_000_000, mode=0o755)
+        t.create_file(f"/opt/cray/{self.nic.provider_lib}", size=2_500_000, mode=0o755)
+        for gpu in self.gpus:
+            t.create_file(
+                f"/usr/lib64/lib{gpu.vendor}-ml.so.{gpu.driver_version}",
+                size=40_000_000,
+                mode=0o755,
+            )
+            t.create_file(f"/usr/lib64/libcuda.so.{gpu.driver_version}", size=25_000_000, mode=0o755)
+
+    @property
+    def has_gpus(self) -> bool:
+        return bool(self.gpus)
+
+    def gpu_driver_version(self) -> str | None:
+        return self.gpus[0].driver_version if self.gpus else None
+
+    def attach_env(self, env: Environment) -> None:
+        self.env = env
+        self.local_disk.env = env
+        self.tmpfs.env = env
+
+    def __repr__(self) -> str:
+        return f"<HostNode {self.name} cores={self.cpu.cores} gpus={len(self.gpus)}>"

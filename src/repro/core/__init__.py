@@ -1,0 +1,69 @@
+"""Adaptive containerization: the paper's synthesis.
+
+Turns the survey into executable decision support: §3.2's HPC
+requirements as a typed model, feature matrices introspected from the
+live engine/registry implementations, renderers that regenerate the
+paper's Tables 1–5, selection logic producing a per-site decision
+document, the container optimizer sketched in the outlook (§7), and a
+workflow layer exercising the whole stack.
+"""
+
+from repro.core.requirements import HPCRequirement, SiteRequirements
+from repro.core.features import (
+    ComplianceReport,
+    engine_compliance,
+    engine_feature_row,
+    registry_feature_row,
+)
+from repro.core.tables import (
+    render_table,
+    table1_engines,
+    table2_formats,
+    table3_integrations,
+    table4_registries,
+    table5_registry_features,
+)
+from repro.core.selection import (
+    rank_engines,
+    rank_registries,
+    rank_scenarios,
+    select_stack,
+)
+from repro.core.decision import DecisionReport
+from repro.core.optimizer import ContainerOptimizer, ImageVariant, RuntimePlan
+from repro.core.workflows import Workflow, WorkflowError, WorkflowStep
+from repro.core.modules import generate_module_file, ModuleError
+from repro.core.repackage import RepackageReport, repackage_for_hpc
+from repro.core.ci import ContainerCI, RegressionCheck
+
+__all__ = [
+    "ComplianceReport",
+    "ContainerCI",
+    "ContainerOptimizer",
+    "RegressionCheck",
+    "RepackageReport",
+    "repackage_for_hpc",
+    "DecisionReport",
+    "HPCRequirement",
+    "ImageVariant",
+    "ModuleError",
+    "RuntimePlan",
+    "SiteRequirements",
+    "Workflow",
+    "WorkflowError",
+    "WorkflowStep",
+    "engine_compliance",
+    "engine_feature_row",
+    "generate_module_file",
+    "rank_engines",
+    "rank_registries",
+    "rank_scenarios",
+    "registry_feature_row",
+    "render_table",
+    "select_stack",
+    "table1_engines",
+    "table2_formats",
+    "table3_integrations",
+    "table4_registries",
+    "table5_registry_features",
+]

@@ -1,0 +1,127 @@
+"""CI/CD automation for container maintenance (§2).
+
+"The drawback includes the containers not profiting from security,
+bugfix, or performance updates performed on the host operating system.
+This mandates the use of Continuous Integration/Continuous Delivery
+(CI/CD) systems for container update automation ... An efficient
+formulation of regression tests can for example be done with a software
+package like ReFrame."
+
+:class:`ContainerCI` tracks image recipes, rebuilds when the recipe or
+its base image changes, runs ReFrame-style regression checks against the
+freshly built image, and only then pushes (and optionally signs) it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.fs.tree import FileTree
+from repro.oci.builder import Builder
+from repro.oci.catalog import BaseImageCatalog
+from repro.oci.digest import digest_str
+from repro.oci.image import OCIImage
+from repro.registry.distribution import OCIDistributionRegistry
+from repro.signing.cosign import CosignClient
+from repro.signing.keys import KeyPair
+
+
+class CIError(RuntimeError):
+    pass
+
+
+@dataclasses.dataclass
+class RegressionCheck:
+    """A ReFrame-style check: a predicate over the built image's rootfs."""
+
+    name: str
+    fn: _t.Callable[[FileTree, OCIImage], bool]
+
+    def run(self, image: OCIImage) -> bool:
+        return bool(self.fn(image.flatten(), image))
+
+
+@dataclasses.dataclass
+class TrackedImage:
+    repository: str
+    tag: str
+    dockerfile: str
+    base_name: str
+    checks: list[RegressionCheck]
+    last_built_digest: str | None = None
+    last_input_fingerprint: str | None = None
+    history: list[dict] = dataclasses.field(default_factory=list)
+
+
+class ContainerCI:
+    """Rebuild-on-change pipeline with regression gating."""
+
+    def __init__(
+        self,
+        registry: OCIDistributionRegistry,
+        catalog: BaseImageCatalog | None = None,
+        signing_key: KeyPair | None = None,
+        cosign: CosignClient | None = None,
+    ):
+        self.catalog = catalog or BaseImageCatalog()
+        self.builder = Builder(self.catalog)
+        self.registry = registry
+        self.signing_key = signing_key
+        self.cosign = cosign
+        self._tracked: dict[tuple[str, str], TrackedImage] = {}
+
+    def track(self, repository: str, tag: str, dockerfile: str,
+              checks: _t.Sequence[RegressionCheck] = ()) -> TrackedImage:
+        base_name = dockerfile.strip().splitlines()[0].split(None, 1)[1].strip()
+        tracked = TrackedImage(
+            repository=repository, tag=tag, dockerfile=dockerfile,
+            base_name=base_name, checks=list(checks),
+        )
+        self._tracked[(repository, tag)] = tracked
+        return tracked
+
+    def _fingerprint(self, tracked: TrackedImage) -> str:
+        """Input state: the recipe text plus the *current* base image
+        digest — a rebuilt/patched base changes the fingerprint."""
+        base = self.catalog.get(tracked.base_name)
+        return digest_str(f"{tracked.dockerfile}|{base.digest}")
+
+    def run_pipeline(self, now: float = 0.0) -> list[dict]:
+        """One CI pass over every tracked image; returns build reports."""
+        reports = []
+        for tracked in self._tracked.values():
+            reports.append(self._process(tracked, now))
+        return reports
+
+    def _process(self, tracked: TrackedImage, now: float) -> dict:
+        fingerprint = self._fingerprint(tracked)
+        if fingerprint == tracked.last_input_fingerprint:
+            report = {"image": f"{tracked.repository}:{tracked.tag}",
+                      "action": "up-to-date", "time": now}
+            tracked.history.append(report)
+            return report
+        image = self.builder.build_dockerfile(tracked.dockerfile)
+        failed = [check.name for check in tracked.checks if not check.run(image)]
+        if failed:
+            report = {"image": f"{tracked.repository}:{tracked.tag}",
+                      "action": "blocked", "failed_checks": failed, "time": now}
+            tracked.history.append(report)
+            return report
+        self.registry.push_image(tracked.repository, tracked.tag, image)
+        if self.signing_key is not None and self.cosign is not None:
+            self.cosign.sign(self.signing_key, image.digest)
+        tracked.last_built_digest = image.digest
+        tracked.last_input_fingerprint = fingerprint
+        report = {"image": f"{tracked.repository}:{tracked.tag}",
+                  "action": "rebuilt", "digest": image.digest,
+                  "checks_passed": len(tracked.checks), "time": now}
+        tracked.history.append(report)
+        return report
+
+    def update_recipe(self, repository: str, tag: str, dockerfile: str) -> None:
+        tracked = self._tracked.get((repository, tag))
+        if tracked is None:
+            raise CIError(f"not tracked: {repository}:{tag}")
+        tracked.dockerfile = dockerfile
+        tracked.base_name = dockerfile.strip().splitlines()[0].split(None, 1)[1].strip()

@@ -1,0 +1,88 @@
+"""Decision documents: the survey's purpose, rendered per site.
+
+"We categorized the most prominent cloud and, especially, HPC container
+solutions ..., providing a decision document for supercomputer operation
+centers." (§7)
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.requirements import SiteRequirements
+from repro.core.selection import select_stack
+from repro.core.tables import render_table, table1_engines, table4_registries
+
+
+class DecisionReport:
+    """Markdown decision document for one site."""
+
+    def __init__(self, site: SiteRequirements):
+        self.site = site
+        self.stack = select_stack(site)
+
+    def engine_section(self) -> str:
+        lines = [f"## Container engine selection for {self.site.name}", ""]
+        for cls, report in self.stack["engine_ranking"]:
+            status = "PASS" if report.compliant else "FAIL"
+            lines.append(f"- **{cls.info.name}** [{status}] score={report.score():.1f}")
+            for req, why in sorted(report.violated.items(), key=lambda kv: kv[0].name):
+                lines.append(f"    - violates *{req.value}*: {why}")
+        chosen = self.stack["engine"]
+        lines.append("")
+        lines.append(
+            f"**Recommendation:** {chosen.info.name}" if chosen else
+            "**Recommendation:** no engine satisfies all hard requirements; "
+            "relax requirements or deploy multiple engines"
+        )
+        return "\n".join(lines)
+
+    def registry_section(self) -> str:
+        lines = [f"## Registry selection for {self.site.name}", ""]
+        for cls, score, violations in self.stack["registry_ranking"]:
+            status = "PASS" if not violations else "FAIL"
+            lines.append(f"- **{cls.traits.name}** [{status}] score={score:.1f}")
+            for violation in violations:
+                lines.append(f"    - {violation}")
+        chosen = self.stack["registry"]
+        lines.append("")
+        lines.append(
+            f"**Recommendation:** {chosen.traits.name}" if chosen else
+            "**Recommendation:** none fully suitable"
+        )
+        return "\n".join(lines)
+
+    def scenario_section(self) -> str:
+        ranking = self.stack["scenario_ranking"]
+        if not ranking:
+            return "## Kubernetes integration\n\nNot required by this site."
+        lines = ["## Kubernetes integration scenario", ""]
+        for cls, score, violations in ranking:
+            lines.append(f"- **{cls.name}** ({cls.section}) score={score:.1f}")
+            for violation in violations:
+                lines.append(f"    - {violation}")
+        lines.append("")
+        lines.append(f"**Recommendation:** {ranking[0][0].name} ({ranking[0][0].section})")
+        return "\n".join(lines)
+
+    def render(self, include_tables: bool = False) -> str:
+        parts = [
+            f"# Adaptive containerization decision document — {self.site.name}",
+            "",
+            f"Kernel: {self.site.kernel.version}, unprivileged userns: "
+            f"{self.site.kernel.unprivileged_userns}, setuid allowed: "
+            f"{self.site.kernel.allow_setuid_binaries}, cgroup v{self.site.kernel.cgroup_version}",
+            "",
+            "Hard requirements:",
+            *[f"- {req.value}" for req in sorted(self.site.required, key=lambda r: r.name)],
+            "",
+            self.engine_section(),
+            "",
+            self.registry_section(),
+            "",
+            self.scenario_section(),
+        ]
+        if include_tables:
+            parts += ["", render_table(table1_engines(), "### Table 1 (engines)"),
+                      render_table(table4_registries(), "### Table 4 (registries)")]
+        return "\n".join(parts)

@@ -1,0 +1,205 @@
+"""Feature introspection and requirement compliance.
+
+Feature rows are read from the live engine/registry objects (the same
+capability records their implementations are built on and their tests
+exercise), so the rendered tables cannot drift from the behaviour.
+Compliance additionally *probes*: it instantiates the engine against the
+site's kernel configuration and observes whether it refuses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cluster.node import HostNode
+from repro.core.requirements import HPCRequirement, SiteRequirements
+from repro.engines.base import ContainerEngine, EngineError
+from repro.registry.registries import RegistryProduct
+
+
+# --------------------------------------------------------------- feature rows
+def engine_feature_row(engine_cls: type[ContainerEngine]) -> dict[str, object]:
+    info = engine_cls.info
+    caps = engine_cls.capabilities
+    return {
+        "engine": info.name,
+        "version": info.version,
+        "champion": info.champion,
+        "affiliation": info.affiliation,
+        "runtime": info.default_runtime,
+        "language": info.implementation_language,
+        "rootless": "/".join(caps.rootless),
+        "rootless_fs": ", ".join(caps.rootless_fs),
+        "monitor": caps.monitor or "no",
+        "oci_hooks": caps.oci_hooks,
+        "oci_container": caps.oci_container,
+        "transparent_conversion": caps.transparent_conversion,
+        "native_caching": caps.native_caching,
+        "native_sharing": caps.native_sharing,
+        "namespacing": caps.namespacing,
+        "signature_verification": ", ".join(caps.signature_verification) or "-",
+        "encryption": caps.encryption,
+        "gpu": caps.gpu,
+        "accelerators": caps.accelerators,
+        "library_hookup": caps.library_hookup,
+        "wlm_integration": caps.wlm_integration,
+        "build_tool": caps.build_tool,
+        "module_integration": info.module_integration,
+        "docs_user": info.docs_user,
+        "docs_admin": info.docs_admin,
+        "docs_source": info.docs_source,
+        "contributors": info.contributors,
+    }
+
+
+def registry_feature_row(product_cls: type[RegistryProduct]) -> dict[str, object]:
+    t = product_cls.traits
+    return {
+        "registry": t.name,
+        "version": t.version,
+        "champion": t.champion,
+        "affiliation": t.affiliation,
+        "focus": t.focus,
+        "protocols": ", ".join(t.protocols),
+        "artifacts": sorted(product_cls.artifact_media_types),
+        "user_defined_artifacts": product_cls.user_defined_artifacts,
+        "proxying": t.proxying,
+        "mirroring": ", ".join(t.mirroring) or "no",
+        "storage": ", ".join(t.storage_backends),
+        "auth": ", ".join(t.auth_provider_names),
+        "squashing": t.image_squashing,
+        "formats": ", ".join(t.image_formats),
+        "multi_tenancy": t.multi_tenancy,
+        "quota": t.quota,
+        "signing": t.signing,
+        "deployment": ", ".join(t.deployment),
+        "build_integration": t.build_integration,
+    }
+
+
+# --------------------------------------------------------------- compliance
+@dataclasses.dataclass
+class ComplianceReport:
+    subject: str
+    satisfied: set[HPCRequirement]
+    violated: dict[HPCRequirement, str]
+    preferred_hits: set[HPCRequirement]
+
+    @property
+    def compliant(self) -> bool:
+        return not self.violated
+
+    def score(self) -> float:
+        return len(self.satisfied) + 0.5 * len(self.preferred_hits) - 10 * len(self.violated)
+
+
+def _engine_requirement_checks(
+    engine_cls: type[ContainerEngine], site: SiteRequirements
+) -> dict[HPCRequirement, str | None]:
+    """Requirement -> None (ok) or a violation message."""
+    caps = engine_cls.capabilities
+    checks: dict[HPCRequirement, str | None] = {}
+
+    def set_check(req: HPCRequirement, ok: bool, why: str) -> None:
+        checks[req] = None if ok else why
+
+    set_check(
+        HPCRequirement.ROOTLESS_EXECUTION,
+        bool(caps.rootless) and not (caps.requires_setuid and site.forbids_setuid()),
+        "no rootless path available under this site's setuid policy",
+    )
+    set_check(
+        HPCRequirement.NO_ROOT_DAEMON,
+        caps.daemonless,
+        f"{engine_cls.info.name} needs a per-machine root daemon",
+    )
+    set_check(
+        HPCRequirement.NO_SETUID,
+        not caps.requires_setuid,
+        "engine depends on a setuid helper",
+    )
+    set_check(
+        HPCRequirement.SHARED_FS_FRIENDLY,
+        caps.transparent_conversion or "Dir" in caps.rootless_fs,
+        "no flattened-image path: many-small-file load hits the shared FS",
+    )
+    set_check(
+        HPCRequirement.SINGLE_UID_MAPPING,
+        caps.namespacing != "full",
+        "full namespacing maps uids the cluster FS does not know",
+    )
+    set_check(
+        HPCRequirement.KERNEL_IMAGE_PROTECTION,
+        not caps.requires_setuid or engine_cls.info.name in ("shifter", "sarus"),
+        "setuid kernel mounts of user-manipulable images",
+    )
+    set_check(
+        HPCRequirement.WEAK_ISOLATION,
+        caps.namespacing != "full",
+        "always creates network/IPC namespaces",
+    )
+    gpu_ok = caps.gpu in ("yes", "hooks", "nvidia-only")
+    if site.gpu_vendor and site.gpu_vendor != "nvidia" and caps.gpu == "nvidia-only":
+        gpu_ok = False
+    set_check(HPCRequirement.GPU_ENABLEMENT, gpu_ok, f"gpu support is {caps.gpu!r}")
+    set_check(
+        HPCRequirement.ACCELERATOR_HOOKS,
+        caps.accelerators in ("hooks", "custom-hooks", "hooks-or-patch"),
+        f"accelerator support is {caps.accelerators!r}",
+    )
+    set_check(
+        HPCRequirement.MPI_HOOKUP,
+        caps.library_hookup in ("yes", "hooks", "mpich"),
+        f"library hookup is {caps.library_hookup!r}",
+    )
+    set_check(
+        HPCRequirement.WLM_INTEGRATION,
+        caps.wlm_integration in ("spank", "partial-hooks"),
+        "no WLM integration",
+    )
+    set_check(
+        HPCRequirement.SIGNATURE_VERIFICATION,
+        bool(caps.signature_verification),
+        "no signature verification",
+    )
+    set_check(HPCRequirement.ENCRYPTED_CONTAINERS, caps.encryption, "no encryption support")
+    set_check(HPCRequirement.BUILD_ON_SITE, caps.build_tool, "no build tool")
+    set_check(
+        HPCRequirement.MODULE_INTEGRATION,
+        "shpc" in engine_cls.info.module_integration,
+        "no module-system integration",
+    )
+    set_check(
+        HPCRequirement.OCI_COMPATIBILITY,
+        caps.oci_container == "yes",
+        "partial OCI compatibility: vanilla containers may need repackaging",
+    )
+    return checks
+
+
+def engine_compliance(
+    engine_cls: type[ContainerEngine], site: SiteRequirements
+) -> ComplianceReport:
+    """Static capability checks + a live instantiation probe on a node
+    configured with the site's kernel."""
+    checks = _engine_requirement_checks(engine_cls, site)
+    satisfied = {req for req, violation in checks.items() if violation is None}
+    violated = {
+        req: msg
+        for req, msg in checks.items()
+        if msg is not None and req in site.required
+    }
+    # Live probe: does the engine even deploy on this kernel?
+    try:
+        engine_cls(HostNode(name="probe", kernel_config=site.kernel))
+    except EngineError as exc:
+        violated[HPCRequirement.ROOTLESS_EXECUTION] = f"deploy probe failed: {exc}"
+        satisfied.discard(HPCRequirement.ROOTLESS_EXECUTION)
+    preferred_hits = satisfied & site.preferred
+    return ComplianceReport(
+        subject=engine_cls.info.name,
+        satisfied=satisfied & (site.required | site.preferred),
+        violated=violated,
+        preferred_hits=preferred_hits,
+    )

@@ -1,0 +1,106 @@
+"""Repackaging vanilla cloud containers for HPC engines (§4.1.3).
+
+"HPC container solutions ... break some of the features a container
+expects to be present.  The most obvious of these are the lack of an
+isolated network namespace which permits the binding of services to
+arbitrary ports, or the availability of different user IDs ... Thus
+vanilla containers may have to be repackaged or modified to run on an
+HPC container system."
+
+:func:`repackage_for_hpc` analyses an image against a target engine,
+applies the mechanical fixes (drop service ports, rewrite multi-uid
+ownership to the invoking uid, inject passwd/nsswitch stubs), and
+reports what could and could not be fixed automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engines.base import ContainerEngine
+from repro.oci.image import ImageConfig, OCIImage
+from repro.oci.layer import Layer, diff_trees
+
+
+@dataclasses.dataclass
+class RepackageReport:
+    original_digest: str
+    repackaged: OCIImage
+    fixes: list[str]
+    unfixable: list[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.unfixable
+
+
+def repackage_for_hpc(
+    image: OCIImage,
+    engine_cls: type[ContainerEngine],
+    invoking_uid: int = 1000,
+) -> RepackageReport:
+    """Adapt a cloud-native image to an HPC engine's execution model."""
+    caps = engine_cls.capabilities
+    fixes: list[str] = []
+    unfixable: list[str] = []
+
+    config = dataclasses.replace(image.config)
+    config.env = dict(image.config.env)
+    config.labels = dict(image.config.labels)
+    tree = image.flatten()
+    original_tree = image.flatten()
+
+    if caps.namespacing == "full":
+        # nothing to do: the engine provides the cloud-native environment
+        return RepackageReport(image.digest, image, ["no changes needed"], [])
+
+    # 1. service ports: no isolated network namespace exists
+    if config.exposed_ports:
+        fixes.append(
+            f"dropped EXPOSE {list(config.exposed_ports)}: no network namespace; "
+            "services would bind host ports"
+        )
+        config.exposed_ports = ()
+
+    # 2. multi-uid expectations: only the invoking uid is mapped
+    if config.required_uids:
+        for uid in config.required_uids:
+            for path, node in tree.files():
+                if node.uid == uid:
+                    node.chown(invoking_uid, invoking_uid)
+        fixes.append(
+            f"rewrote ownership of uids {list(config.required_uids)} to the "
+            f"invoking uid {invoking_uid} (single-uid mapping, §3.2)"
+        )
+        config.required_uids = ()
+    if config.user not in ("root", "0", str(invoking_uid)):
+        fixes.append(
+            f"USER {config.user} ignored: the process runs as the invoking uid"
+        )
+        config.user = str(invoking_uid)
+
+    # 3. identity files: libc wants passwd/nsswitch even for a single uid
+    if not tree.exists("/etc/passwd"):
+        tree.create_file(
+            "/etc/passwd",
+            data=f"user:x:{invoking_uid}:{invoking_uid}::/:/bin/sh\n".encode(),
+        )
+        fixes.append("injected /etc/passwd stub for the invoking uid")
+    if not tree.exists("/etc/nsswitch.conf"):
+        tree.create_file("/etc/nsswitch.conf", data=b"passwd: files\n")
+        fixes.append("injected /etc/nsswitch.conf (files-only lookups)")
+
+    # 4. things no repackaging can fix
+    if config.labels.get("com.repro.needs-privileged") == "true":
+        unfixable.append("image requires privileged mode: impossible rootless")
+    if config.labels.get("com.repro.needs-ipc-namespace") == "true":
+        unfixable.append(
+            "image requires a private IPC namespace; the engine shares the host's"
+        )
+
+    delta = diff_trees(original_tree, tree, created_by="hpc repackaging")
+    layers = list(image.layers)
+    if delta.num_files or delta.tree.num_files():
+        layers.append(delta)
+    repackaged = OCIImage(config, layers)
+    return RepackageReport(image.digest, repackaged, fixes, unfixable)

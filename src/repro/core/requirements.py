@@ -1,0 +1,117 @@
+"""HPC site requirements (§3.2) as a typed model."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.kernel.config import KernelConfig
+
+
+class HPCRequirement(enum.Enum):
+    """The §3.2 requirement catalogue."""
+
+    ROOTLESS_EXECUTION = "rootless container execution"
+    NO_ROOT_DAEMON = "no root/root-like daemons on compute nodes"
+    NO_SETUID = "no setuid binaries on compute nodes"
+    SHARED_FS_FRIENDLY = "single-file images to spare the shared filesystem"
+    SINGLE_UID_MAPPING = "container files owned by the invoking user"
+    KERNEL_IMAGE_PROTECTION = "users must not feed images to kernel drivers"
+    WEAK_ISOLATION = "no network/IPC namespaces (HPC communication intact)"
+    GPU_ENABLEMENT = "GPU device and driver-library access"
+    ACCELERATOR_HOOKS = "non-GPU accelerator enablement via hooks"
+    MPI_HOOKUP = "host MPI library hookup with ABI checking"
+    WLM_INTEGRATION = "transparent container launch from the WLM"
+    SIGNATURE_VERIFICATION = "image signature verification"
+    ENCRYPTED_CONTAINERS = "encrypted container support"
+    BUILD_ON_SITE = "users can build images on site"
+    MODULE_INTEGRATION = "containers exposed as environment modules"
+    OCI_COMPATIBILITY = "vanilla OCI containers run unmodified"
+    K8S_WORKFLOWS = "Kubernetes-based workflow support"
+    AIRGAPPED_REGISTRY = "on-premise registry with proxy/mirror"
+    MULTI_TENANCY = "per-project registry tenancy and quotas"
+
+
+@dataclasses.dataclass
+class SiteRequirements:
+    """What one supercomputing centre needs and permits."""
+
+    name: str = "site"
+    kernel: KernelConfig = dataclasses.field(default_factory=KernelConfig.modern_hpc)
+    required: frozenset[HPCRequirement] = frozenset()
+    #: nice-to-haves: count toward ranking, do not disqualify
+    preferred: frozenset[HPCRequirement] = frozenset()
+    gpu_vendor: str | None = None
+    mpi_flavor: str = "cray-mpich"
+
+    def forbids_setuid(self) -> bool:
+        return (
+            HPCRequirement.NO_SETUID in self.required
+            or not self.kernel.allow_setuid_binaries
+        )
+
+    # -- canonical site profiles -------------------------------------------------
+    @classmethod
+    def conservative_center(cls) -> "SiteRequirements":
+        """Legacy kernel, setuid accepted, Slurm-centric, no cloud tooling."""
+        return cls(
+            name="conservative-center",
+            kernel=KernelConfig.legacy_hpc(),
+            required=frozenset(
+                {
+                    HPCRequirement.NO_ROOT_DAEMON,
+                    HPCRequirement.SINGLE_UID_MAPPING,
+                    HPCRequirement.SHARED_FS_FRIENDLY,
+                    HPCRequirement.WLM_INTEGRATION,
+                    HPCRequirement.MPI_HOOKUP,
+                }
+            ),
+            preferred=frozenset({HPCRequirement.GPU_ENABLEMENT}),
+        )
+
+    @classmethod
+    def security_hardened_center(cls) -> "SiteRequirements":
+        """No setuid anywhere; kernel protected from user images."""
+        return cls(
+            name="security-hardened-center",
+            kernel=KernelConfig.hardened(),
+            required=frozenset(
+                {
+                    HPCRequirement.ROOTLESS_EXECUTION,
+                    HPCRequirement.NO_ROOT_DAEMON,
+                    HPCRequirement.NO_SETUID,
+                    HPCRequirement.KERNEL_IMAGE_PROTECTION,
+                    HPCRequirement.SINGLE_UID_MAPPING,
+                }
+            ),
+            preferred=frozenset(
+                {HPCRequirement.SIGNATURE_VERIFICATION, HPCRequirement.SHARED_FS_FRIENDLY}
+            ),
+        )
+
+    @classmethod
+    def cloud_converged_center(cls) -> "SiteRequirements":
+        """Modern kernel, Kubernetes workflows, heavy GPU + data science."""
+        return cls(
+            name="cloud-converged-center",
+            kernel=KernelConfig.modern_hpc(),
+            required=frozenset(
+                {
+                    HPCRequirement.ROOTLESS_EXECUTION,
+                    HPCRequirement.NO_ROOT_DAEMON,
+                    HPCRequirement.OCI_COMPATIBILITY,
+                    HPCRequirement.GPU_ENABLEMENT,
+                    HPCRequirement.K8S_WORKFLOWS,
+                    HPCRequirement.AIRGAPPED_REGISTRY,
+                    HPCRequirement.MULTI_TENANCY,
+                }
+            ),
+            preferred=frozenset(
+                {
+                    HPCRequirement.SIGNATURE_VERIFICATION,
+                    HPCRequirement.BUILD_ON_SITE,
+                    HPCRequirement.ENCRYPTED_CONTAINERS,
+                }
+            ),
+            gpu_vendor="nvidia",
+        )

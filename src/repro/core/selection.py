@@ -1,0 +1,122 @@
+"""Engine / registry / scenario selection against site requirements."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.features import ComplianceReport, engine_compliance
+from repro.core.requirements import HPCRequirement, SiteRequirements
+from repro.engines import ALL_ENGINES
+from repro.engines.base import ContainerEngine
+from repro.registry.registries import ALL_REGISTRIES, RegistryProduct
+from repro.scenarios.base import IntegrationScenario
+from repro.scenarios.evaluate import ALL_SCENARIOS
+
+
+def rank_engines(
+    site: SiteRequirements,
+    candidates: _t.Sequence[type[ContainerEngine]] = ALL_ENGINES,
+) -> list[tuple[type[ContainerEngine], ComplianceReport]]:
+    """Compliant engines first, by descending score; then the rest."""
+    reports = [(cls, engine_compliance(cls, site)) for cls in candidates]
+    return sorted(
+        reports,
+        key=lambda pair: (not pair[1].compliant, -pair[1].score(), pair[0].info.name),
+    )
+
+
+def _registry_score(product_cls: type[RegistryProduct], site: SiteRequirements) -> tuple[float, list[str]]:
+    t = product_cls.traits
+    score = 0.0
+    violations: list[str] = []
+    if HPCRequirement.AIRGAPPED_REGISTRY in site.required:
+        if t.proxying == "none":
+            violations.append("no proxying: cannot shield NATed clusters from rate limits")
+        elif t.proxying == "auto":
+            score += 2
+        else:
+            score += 0.5
+        if not t.mirroring:
+            violations.append("no mirroring: cannot preserve upstream content locally")
+        else:
+            score += 1
+    if HPCRequirement.MULTI_TENANCY in site.required:
+        if t.multi_tenancy == "no":
+            violations.append("no multi-tenancy")
+        else:
+            score += 1
+        if t.quota != "per-project":
+            violations.append("no per-project quotas")
+        else:
+            score += 1
+    if HPCRequirement.SIGNATURE_VERIFICATION in (site.required | site.preferred):
+        score += 1 if t.signing else 0
+        if not t.signing and HPCRequirement.SIGNATURE_VERIFICATION in site.required:
+            violations.append("cannot store/verify signatures")
+    # Single-developer Library-API registries carry maintenance risk (§5.1.1).
+    if not t.supports_oci:
+        score -= 1
+    if t.focus != "Registry":
+        score -= 0.5  # CI/CD-integrated registries have limited feature sets
+    return score, violations
+
+
+def rank_registries(
+    site: SiteRequirements,
+    candidates: _t.Sequence[type[RegistryProduct]] = ALL_REGISTRIES,
+) -> list[tuple[type[RegistryProduct], float, list[str]]]:
+    scored = []
+    for cls in candidates:
+        score, violations = _registry_score(cls, site)
+        scored.append((cls, score, violations))
+    return sorted(scored, key=lambda x: (bool(x[2]), -x[1], x[0].traits.name))
+
+
+def rank_scenarios(
+    site: SiteRequirements,
+    candidates: _t.Sequence[type[IntegrationScenario]] = ALL_SCENARIOS,
+) -> list[tuple[type[IntegrationScenario], float, list[str]]]:
+    """Scenario ranking per §6.6's criteria (static properties; the
+    scenario bench provides the measured numbers)."""
+    results = []
+    for cls in candidates:
+        score = 0.0
+        violations: list[str] = []
+        # accounting-in-WLM is the §6 headline requirement
+        accounting = cls.name in (
+            "kubernetes-in-wlm", "bridge-operator", "knoc-virtual-kubelet",
+            "kubelet-in-allocation",
+        )
+        if accounting:
+            score += 2
+        else:
+            violations.append("pod work invisible to WLM accounting")
+        if cls.workflow_transparency:
+            score += 2
+        else:
+            violations.append("requires workflow changes")
+        if cls.standard_pod_environment:
+            score += 1
+        if cls.name == "kubernetes-in-wlm":
+            violations.append("per-workflow cluster bootstrap (long startup)")
+        if cls.name == "on-demand-reallocation":
+            violations.append("slow, disturbing node re-partitioning")
+        results.append((cls, score, violations))
+    return sorted(results, key=lambda x: (-x[1], x[0].name))
+
+
+def select_stack(site: SiteRequirements) -> dict[str, object]:
+    """The full adaptive-containerization pick for one site."""
+    engines = rank_engines(site)
+    registries = rank_registries(site)
+    needs_k8s = HPCRequirement.K8S_WORKFLOWS in (site.required | site.preferred)
+    scenarios = rank_scenarios(site) if needs_k8s else []
+    return {
+        "site": site.name,
+        "engine": engines[0][0] if engines[0][1].compliant else None,
+        "engine_ranking": engines,
+        "registry": registries[0][0] if not registries[0][2] else None,
+        "registry_ranking": registries,
+        "scenario": scenarios[0][0] if scenarios else None,
+        "scenario_ranking": scenarios,
+    }

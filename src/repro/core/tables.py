@@ -1,0 +1,97 @@
+"""Regenerate the paper's Tables 1–5 from the live implementations."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.core.features import engine_feature_row, registry_feature_row
+from repro.engines import ALL_ENGINES
+from repro.registry.registries import ALL_REGISTRIES
+
+
+def _subset(rows: list[dict[str, object]], columns: list[str]) -> list[dict[str, object]]:
+    return [{c: row[c] for c in columns} for row in rows]
+
+
+def _engine_rows() -> list[dict[str, object]]:
+    return [engine_feature_row(cls) for cls in ALL_ENGINES]
+
+
+def _registry_rows() -> list[dict[str, object]]:
+    return [registry_feature_row(cls) for cls in ALL_REGISTRIES]
+
+
+def table1_engines() -> list[dict[str, object]]:
+    """Table 1: engine overview, rootless techniques, OCI compatibility."""
+    return _subset(
+        _engine_rows(),
+        [
+            "engine", "version", "champion", "affiliation", "runtime", "language",
+            "rootless", "rootless_fs", "monitor", "oci_hooks", "oci_container",
+        ],
+    )
+
+
+def table2_formats() -> list[dict[str, object]]:
+    """Table 2: image formats, conversion, caching, sharing, signing."""
+    return _subset(
+        _engine_rows(),
+        [
+            "engine", "transparent_conversion", "native_caching", "native_sharing",
+            "namespacing", "signature_verification", "encryption",
+        ],
+    )
+
+
+def table3_integrations() -> list[dict[str, object]]:
+    """Table 3: GPU/accelerator/library/WLM/module integration + community."""
+    return _subset(
+        _engine_rows(),
+        [
+            "engine", "gpu", "accelerators", "library_hookup", "wlm_integration",
+            "build_tool", "module_integration", "docs_user", "docs_admin",
+            "docs_source", "contributors",
+        ],
+    )
+
+
+def table4_registries() -> list[dict[str, object]]:
+    """Table 4: registry overview, protocols, proxying, storage, auth."""
+    return _subset(
+        _registry_rows(),
+        [
+            "registry", "version", "champion", "affiliation", "focus", "protocols",
+            "artifacts", "user_defined_artifacts", "proxying", "mirroring",
+            "storage", "auth",
+        ],
+    )
+
+
+def table5_registry_features() -> list[dict[str, object]]:
+    """Table 5: squashing, formats, tenancy, quota, signing, deployment."""
+    return _subset(
+        _registry_rows(),
+        [
+            "registry", "squashing", "formats", "multi_tenancy", "quota",
+            "signing", "deployment", "build_integration",
+        ],
+    )
+
+
+def render_table(rows: list[dict[str, object]], title: str = "") -> str:
+    """Plain-text table renderer (for benches and decision documents)."""
+    if not rows:
+        return f"{title}\n(empty)\n"
+    columns = list(rows[0])
+    widths = {
+        c: max(len(str(c)), *(len(str(r[c])) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(str(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,82 @@
+"""Container engines: the nine solutions of the paper's Tables 1–3.
+
+Every engine implements the same :class:`~repro.engines.base.ContainerEngine`
+interface over the simulated kernel, but uses exactly the mechanisms the
+paper attributes to it — setuid helpers vs user namespaces, kernel vs
+FUSE filesystem drivers, per-machine daemons vs per-container monitors,
+transparent format conversion and caching, hooks, signing, encryption,
+GPU enablement, and WLM integration.
+"""
+
+from repro.engines.base import (
+    ContainerEngine,
+    EngineCapabilities,
+    EngineError,
+    EngineInfo,
+    PulledImage,
+    RunResult,
+)
+from repro.engines.monitor import ConmonMonitor, DockerDaemon
+from repro.engines.fakeroot import (
+    FakerootError,
+    LDPreloadFakeroot,
+    PtraceFakeroot,
+    SubuidFakeroot,
+)
+from repro.engines.hookup import (
+    ABIError,
+    check_driver_abi,
+    make_gpu_hook,
+    make_mpi_hook,
+    make_wlm_device_hook,
+)
+from repro.engines.docker import DockerEngine
+from repro.engines.podman import PodmanEngine, PodmanHPCEngine
+from repro.engines.shifter import ShifterEngine
+from repro.engines.sarus import SarusEngine
+from repro.engines.charliecloud import CharliecloudEngine
+from repro.engines.singularity import ApptainerEngine, SingularityCEEngine
+from repro.engines.enroot import EnrootEngine
+
+#: all engines in the paper's table order
+ALL_ENGINES = (
+    DockerEngine,
+    PodmanEngine,
+    PodmanHPCEngine,
+    ShifterEngine,
+    SarusEngine,
+    CharliecloudEngine,
+    ApptainerEngine,
+    SingularityCEEngine,
+    EnrootEngine,
+)
+
+__all__ = [
+    "ABIError",
+    "ALL_ENGINES",
+    "ApptainerEngine",
+    "CharliecloudEngine",
+    "ConmonMonitor",
+    "ContainerEngine",
+    "DockerDaemon",
+    "DockerEngine",
+    "EngineCapabilities",
+    "EngineError",
+    "EngineInfo",
+    "EnrootEngine",
+    "FakerootError",
+    "LDPreloadFakeroot",
+    "PodmanEngine",
+    "PodmanHPCEngine",
+    "PtraceFakeroot",
+    "PulledImage",
+    "RunResult",
+    "SarusEngine",
+    "ShifterEngine",
+    "SingularityCEEngine",
+    "SubuidFakeroot",
+    "check_driver_abi",
+    "make_gpu_hook",
+    "make_mpi_hook",
+    "make_wlm_device_hook",
+]

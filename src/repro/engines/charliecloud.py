@@ -1,0 +1,101 @@
+"""Charliecloud (LANL): fully unprivileged containers.
+
+No setuid anywhere: user namespaces only, rootfs as an extracted
+directory (node-local) or a SquashFUSE mount.  No transparent conversion
+or caching — ``ch-convert`` is explicit.  No hook framework; GPU and
+library enablement are manual bind mounts (Tables 1–3, ref [24])."""
+
+from __future__ import annotations
+
+from repro.cluster.node import HostNode
+from repro.engines.base import (
+    ContainerEngine,
+    EngineCapabilities,
+    EngineError,
+    EngineInfo,
+    PulledImage,
+    RunResult,
+)
+from repro.fs.drivers import MountedView, mount_bind
+from repro.kernel.process import SimProcess
+from repro.oci.bundle import BindMountSpec
+from repro.oci.image import OCIImage
+from repro.oci.squash import extract_cost, oci_to_squash
+
+
+class CharliecloudEngine(ContainerEngine):
+    info = EngineInfo(
+        name="charliecloud",
+        version="v0.33",
+        champion="LANL",
+        affiliation="-",
+        default_runtime="charliecloud",
+        implementation_language="C",
+        contributors=31,
+        docs_user="+++",
+        docs_admin="+",
+        docs_source="++",
+        module_integration="no",
+    )
+    capabilities = EngineCapabilities(
+        rootless=("UserNS",),
+        rootless_fs=("Dir", "SquashFUSE"),
+        monitor=None,
+        oci_hooks="no",
+        oci_container="partial",
+        transparent_conversion=False,
+        native_caching=False,
+        native_sharing=False,
+        namespacing="user+mount",
+        signature_verification=(),
+        encryption=False,
+        gpu="manual",
+        accelerators="manual",
+        library_hookup="manual",
+        wlm_integration="no",
+        build_tool=False,
+        daemonless=True,
+        requires_setuid=False,
+    )
+
+    def __init__(self, node: HostNode, storage: str = "dir"):
+        super().__init__(node)
+        if storage not in ("dir", "squashfuse"):
+            raise EngineError(f"charliecloud storage must be 'dir' or 'squashfuse', got {storage!r}")
+        self.storage = storage
+        self._manual_binds: list[BindMountSpec] = []
+
+    def _prepare_rootfs(self, pulled: PulledImage, user: SimProcess, result: RunResult) -> MountedView:
+        image = pulled.image
+        if not isinstance(image, OCIImage):
+            raise EngineError("charliecloud runs (converted) OCI images only")
+        if self.storage == "dir":
+            # ch-convert to a node-local directory: extraction cost every
+            # time (no transparent cache), but native-speed IO afterwards
+            # and no filesystem drivers at all (§4.1.2 workaround).
+            tree = image.flatten()
+            result.timings["extract"] = extract_cost(image)
+            self.node.tmpfs.tree.attach(f"/ch/{image.digest[:19]}", tree.root)
+            return mount_bind(tree, self.node.tmpfs.cost_model)
+        # squashfuse path: user converts explicitly (ch-convert), so the
+        # image is user-built — fine, the parser stays in userspace.
+        squash, cost = oci_to_squash(image, built_by_uid=user.creds.uid)
+        result.timings["convert"] = cost
+        return self._squash_rootfs(squash, user, result, prefer_kernel_driver=False)
+
+    def manual_bind(self, source_path: str, target_path: str) -> None:
+        """`ch-run -b`: the manual GPU/library enablement route."""
+        if not self.node.local_disk.tree.exists(source_path):
+            raise EngineError(f"no such host path: {source_path}")
+        self._manual_binds.append(
+            BindMountSpec(
+                source_tree=self.node.local_disk.tree,
+                source_path=source_path,
+                target_path=target_path,
+            )
+        )
+
+    def _make_spec(self, pulled, command, user):
+        spec = super()._make_spec(pulled, command, user)
+        spec.bind_mounts.extend(self._manual_binds)
+        return spec

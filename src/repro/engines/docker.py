@@ -1,0 +1,109 @@
+"""Docker: the cloud-industry baseline (Tables 1–3).
+
+Per-machine root daemon (dockerd), full namespace isolation, overlay
+rootfs from the layer store, Notary content trust, no transparent HPC
+format conversion — included "as a baseline comparison and for the sake
+of completeness" (§4).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import HostNode
+from repro.engines.base import (
+    ContainerEngine,
+    EngineCapabilities,
+    EngineError,
+    EngineInfo,
+    PulledImage,
+    RunResult,
+)
+from repro.engines.monitor import DockerDaemon
+from repro.fs.drivers import MountedView, mount_overlay
+from repro.kernel.process import SimProcess
+from repro.oci.builder import Builder
+from repro.oci.image import OCIImage
+from repro.signing.notary import NotaryService
+
+
+class DockerEngine(ContainerEngine):
+    info = EngineInfo(
+        name="docker",
+        version="v24.0.5",
+        champion="Docker",
+        affiliation="Docker",
+        default_runtime="runc",
+        implementation_language="Go",
+        contributors=486,
+        docs_user="+++",
+        docs_admin="+",
+        docs_source="+",
+        module_integration="shpc",
+    )
+    capabilities = EngineCapabilities(
+        rootless=("UserNS",),
+        rootless_fs=("fuse-overlayfs",),
+        monitor="per-machine (dockerd)",
+        oci_hooks="yes",
+        oci_container="yes",
+        transparent_conversion=False,
+        native_caching=False,
+        native_sharing=False,
+        namespacing="full",
+        signature_verification=("notary",),
+        encryption=False,
+        gpu="hooks",
+        accelerators="hooks",
+        library_hookup="hooks",
+        wlm_integration="no",
+        build_tool=True,
+        daemonless=False,
+        requires_setuid=False,
+    )
+
+    def __init__(self, node: HostNode, content_trust: NotaryService | None = None):
+        super().__init__(node)
+        self.daemon = DockerDaemon(self.kernel)
+        self.content_trust = content_trust
+        self.builder = Builder()
+
+    # -- daemon ----------------------------------------------------------------
+    def start_daemon(self) -> None:
+        self.daemon.start()
+
+    def _pre_run_checks(self, pulled: PulledImage, user: SimProcess, result: RunResult) -> None:
+        if not self.daemon.running:
+            raise EngineError("dockerd is not running on this node")
+        result.warn(
+            "per-machine root daemon on a compute node: jitter, memory, and "
+            "attack-surface cost (§3.2)"
+        )
+        if isinstance(pulled.image, OCIImage) and self.content_trust is not None:
+            # DOCKER_CONTENT_TRUST: refuse unsigned tags.
+            repo, _, tag = pulled.source_ref.partition(":")
+            if not self.content_trust.verify_target(repo, tag or "latest", pulled.image.digest):
+                raise EngineError(f"content trust: no valid signature for {pulled.source_ref}")
+
+    def _container_owner(self, user: SimProcess) -> SimProcess:
+        # Containers are children of the root daemon — the accounting
+        # problem WLM integration scenarios have to solve (§6).
+        assert self.daemon.proc is not None
+        return self.daemon.proc
+
+    def _monitor_overhead(self, user: SimProcess) -> float:
+        return self.daemon.rpc_latency
+
+    def _prepare_rootfs(self, pulled: PulledImage, user: SimProcess, result: RunResult) -> MountedView:
+        image = pulled.image
+        if not isinstance(image, OCIImage):
+            raise EngineError(
+                "docker runs plain OCI images only (no SIF support; encrypted "
+                "images need extensions, Table 2)"
+            )
+        # Root daemon on a modern kernel: in-kernel overlay over the local
+        # graph storage.
+        layers = [layer.tree for layer in image.layers]
+        result.timings["mount"] = 0.002
+        return mount_overlay(layers, self.node.local_disk.cost_model, fuse=False, writable=True)
+
+    def build(self, dockerfile: str, context=None) -> OCIImage:
+        return self.builder.build_dockerfile(dockerfile, context=context)

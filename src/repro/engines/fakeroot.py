@@ -1,0 +1,117 @@
+"""Fakeroot mechanisms (§4.1.2).
+
+Three ways to *pretend* to be root for image builds without being root:
+
+- **LD_PRELOAD**: interpose libc calls — free, but "fails with static
+  binaries" (the loader never runs).
+- **ptrace**: intercept syscalls of the child — works on anything, but
+  "introduces a significant performance penalty and the user requires
+  access to the CAP_SYS_PTRACE capability".
+- **subuid ranges** (namespace-based): a real uid range mapped via the
+  newuidmap setuid helper — full multi-uid illusion at native speed,
+  but needs /etc/subuid configuration.
+"""
+
+from __future__ import annotations
+
+from repro.fs.tree import FileTree
+from repro.kernel.credentials import Capability
+from repro.kernel.errors import EPERM
+from repro.kernel.namespaces import IdMapping, NamespaceKind
+from repro.kernel.process import SimProcess
+from repro.kernel.syscalls import Kernel
+from repro.oci.shell import run_commands
+
+
+class FakerootError(RuntimeError):
+    pass
+
+
+class _FakerootBase:
+    name = "fakeroot"
+    #: multiplicative slowdown on syscall-heavy work
+    overhead_factor = 1.0
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+
+    def build(self, user: SimProcess, script: str, baseline_cost: float = 1.0) -> tuple[FileTree, float]:
+        """Run a build script appearing as root; returns (tree, cost)."""
+        raise NotImplementedError
+
+
+class LDPreloadFakeroot(_FakerootBase):
+    """libfakeroot via LD_PRELOAD."""
+
+    name = "ld_preload"
+    overhead_factor = 1.15
+
+    def build(self, user: SimProcess, script: str, baseline_cost: float = 1.0,
+              uses_static_binaries: bool = False) -> tuple[FileTree, float]:
+        if uses_static_binaries:
+            raise FakerootError(
+                "LD_PRELOAD fakeroot cannot interpose static binaries (§4.1.2)"
+            )
+        tree = FileTree()
+        run_commands(tree, script, uid=0)  # files appear root-owned
+        return tree, baseline_cost * self.overhead_factor
+
+
+class PtraceFakeroot(_FakerootBase):
+    """fakeroot-ng style syscall interception."""
+
+    name = "ptrace"
+    overhead_factor = 5.0
+
+    def build(self, user: SimProcess, script: str, baseline_cost: float = 1.0,
+              uses_static_binaries: bool = False) -> tuple[FileTree, float]:
+        # The supervisor ptraces the build process: same-uid attach.
+        supervisor = self.kernel.spawn(parent=user, argv=("fakeroot-ng",))
+        build_proc = self.kernel.spawn(parent=user, argv=("sh", "-c", "build"))
+        self.kernel.ptrace_attach(supervisor, build_proc)
+        tree = FileTree()
+        run_commands(tree, script, uid=0)
+        return tree, baseline_cost * self.overhead_factor
+
+
+class SubuidFakeroot(_FakerootBase):
+    """Namespace fakeroot: subuid ranges written by newuidmap.
+
+    Needs a privileged helper (CAP_SETUID in the parent namespace) and a
+    configured /etc/subuid range for the user.
+    """
+
+    name = "subuid"
+    overhead_factor = 1.0
+
+    def __init__(self, kernel: Kernel, subuid_ranges: dict[int, tuple[int, int]] | None = None):
+        super().__init__(kernel)
+        #: uid -> (range start, count) from /etc/subuid
+        self.subuid_ranges = subuid_ranges or {}
+
+    def enter(self, user: SimProcess) -> SimProcess:
+        """Put ``user``'s build process into a multi-uid userns."""
+        entry = self.subuid_ranges.get(user.creds.uid)
+        if entry is None:
+            raise FakerootError(
+                f"no /etc/subuid range for uid {user.creds.uid}"
+            )
+        start, count = entry
+        build_proc = self.kernel.spawn(parent=user, argv=("build",))
+        self.kernel.unshare(build_proc, [NamespaceKind.USER, NamespaceKind.MNT])
+        helper = self.kernel.spawn(parent=self.kernel.init, argv=("newuidmap",))
+        self.kernel.write_uid_map(
+            build_proc.userns,
+            [IdMapping(inside=0, outside=user.creds.uid),
+             IdMapping(inside=1, outside=start, count=count)],
+            writer=helper,
+        )
+        return build_proc
+
+    def build(self, user: SimProcess, script: str, baseline_cost: float = 1.0,
+              uses_static_binaries: bool = False) -> tuple[FileTree, float]:
+        build_proc = self.enter(user)
+        assert build_proc.userns.maps_multiple_uids()
+        tree = FileTree()
+        run_commands(tree, script, uid=0)
+        return tree, baseline_cost * self.overhead_factor

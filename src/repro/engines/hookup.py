@@ -1,0 +1,130 @@
+"""GPU / accelerator / host-library enablement hooks (§4.1.6).
+
+"Host library access can be enabled by bind-mounting host directories
+into the container namespace, providing extra device nodes, or granting
+extra capabilities ... When a container gains access to host libraries,
+it requires a matching ABI, as a mismatch may introduce subtle errors.
+Some solutions like Sarus therefore contain explicit ABI compatibility
+checks."
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.node import HostNode
+from repro.oci.bundle import BindMountSpec
+from repro.oci.hooks import Hook, HookError, HookPoint
+
+
+class ABIError(HookError):
+    """Host library / container ABI mismatch."""
+
+
+def check_driver_abi(host_driver_version: str, container_expects: str | None) -> None:
+    """Major-version ABI check between host driver and container stack.
+
+    ``container_expects`` comes from the image label
+    ``com.repro.cuda_driver`` (None = no declared requirement: allowed,
+    but this is exactly the silent-mismatch risk the paper warns about).
+    """
+    if container_expects is None:
+        return
+    host_major = host_driver_version.split(".", 1)[0]
+    want_major = container_expects.split(".", 1)[0]
+    if host_major != want_major:
+        raise ABIError(
+            f"container built against driver {container_expects}, host has "
+            f"{host_driver_version}: ABI mismatch"
+        )
+
+
+def check_mpi_abi(host_flavor: str, container_flavor: str | None) -> None:
+    """MPI library hookup needs matching ABIs; MPICH-ABI and OpenMPI are
+    not interchangeable."""
+    if container_flavor is None:
+        return
+    mpich_family = {"mpich", "cray-mpich", "intel-mpi", "mvapich"}
+    host_is_mpich = host_flavor in mpich_family
+    container_is_mpich = container_flavor in mpich_family
+    if host_is_mpich != container_is_mpich:
+        raise ABIError(
+            f"host MPI {host_flavor!r} and container MPI {container_flavor!r} "
+            "have incompatible ABIs"
+        )
+
+
+def make_gpu_hook(node: HostNode, strict_abi: bool = True) -> Hook:
+    """An OCI createContainer hook exposing the node's GPUs.
+
+    Bind-mounts the host driver libraries and exposes the device nodes;
+    with ``strict_abi`` it refuses on driver-major mismatch (the Sarus
+    behaviour)."""
+
+    def gpu_hook(context: dict) -> None:
+        if not node.gpus:
+            raise HookError("gpu hook: node has no GPUs")
+        container = context["container"]
+        kernel = context["kernel"]
+        proc = context["proc"]
+        owner = context["owner"]
+        image_config = container.bundle.spec  # env-based declaration below
+        expects = container.bundle.spec.env.get("REPRO_CUDA_DRIVER")
+        if strict_abi:
+            check_driver_abi(node.gpus[0].driver_version, expects)
+        # driver libraries from the host OS tree
+        from repro.fs.tree import FileTree
+        from repro.oci.runtime import OCIRuntime
+
+        view = OCIRuntime._bind_view(node.local_disk.tree, "/usr/lib64")
+        kernel.mount(proc, view, "/usr/lib64")
+        container.mounts["/usr/lib64"] = view
+        for gpu in node.gpus:
+            kernel.expose_device(proc, gpu.device_node, by=owner)
+        container.log(f"gpu hook: exposed {len(node.gpus)} GPU(s)")
+
+    return Hook(name="gpu-enable", point=HookPoint.CREATE_CONTAINER, fn=gpu_hook, priority=30)
+
+
+def make_mpi_hook(node: HostNode, host_flavor: str = "cray-mpich",
+                  mpich_only: bool = False) -> Hook:
+    """Bind the host MPI stack over the container's (§4.1.6 hookup).
+
+    ``mpich_only`` models Shifter, whose hookup supports only MPICH-ABI
+    containers (Table 3)."""
+
+    def mpi_hook(context: dict) -> None:
+        container = context["container"]
+        kernel = context["kernel"]
+        proc = context["proc"]
+        flavor = container.bundle.spec.env.get("REPRO_MPI_FLAVOR")
+        if mpich_only and flavor is not None and flavor not in (
+            "mpich", "cray-mpich", "intel-mpi", "mvapich"
+        ):
+            raise ABIError(f"this engine's MPI hookup supports MPICH ABI only, image has {flavor!r}")
+        check_mpi_abi(host_flavor, flavor)
+        from repro.oci.runtime import OCIRuntime
+
+        view = OCIRuntime._bind_view(node.local_disk.tree, "/opt/cray")
+        kernel.mount(proc, view, "/opt/mpi-host")
+        container.mounts["/opt/mpi-host"] = view
+        container.log("mpi hook: host MPI bound at /opt/mpi-host")
+
+    return Hook(name="mpi-hookup", point=HookPoint.CREATE_CONTAINER, fn=mpi_hook, priority=35)
+
+
+def make_wlm_device_hook(granted_devices: _t.Iterable[str]) -> Hook:
+    """WLM integration hook: pass the allocation's device grants down to
+    the container owner (the WLM "controls device access rights, which
+    must be passed along to the container engine", §4.1.6)."""
+
+    devices = tuple(granted_devices)
+
+    def wlm_hook(context: dict) -> None:
+        kernel = context["kernel"]
+        owner = context["owner"]
+        for device in devices:
+            kernel.grant_device(owner, device)
+        context["container"].log(f"wlm hook: granted {devices}")
+
+    return Hook(name="wlm-devices", point=HookPoint.CREATE_RUNTIME, fn=wlm_hook, priority=10)

@@ -1,0 +1,106 @@
+"""Shifter (NERSC): the original HPC container runtime.
+
+Image-gateway service converts OCI images to flat filesystem images in a
+root-owned cache; a setuid helper mounts them via the in-kernel driver.
+No OCI hook support (scripted extension instead), MPICH-only library
+hookup, Slurm integration via a SPANK plugin (Tables 1–3).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import HostNode
+from repro.engines.base import (
+    ContainerEngine,
+    EngineCapabilities,
+    EngineError,
+    EngineInfo,
+    PulledImage,
+    RunResult,
+)
+from repro.engines.hookup import check_mpi_abi, ABIError
+from repro.fs.drivers import MountedView
+from repro.kernel.process import SimProcess
+from repro.oci.bundle import BindMountSpec
+from repro.oci.image import OCIImage
+from repro.oci.squash import oci_to_squash
+
+
+class ShifterEngine(ContainerEngine):
+    info = EngineInfo(
+        name="shifter",
+        version="git-0784ae5",
+        champion="NERSC",
+        affiliation="-",
+        default_runtime="shifter",
+        implementation_language="C",
+        contributors=17,
+        docs_user="+",
+        docs_admin="+",
+        docs_source="++",
+        module_integration="shpc-announced",
+    )
+    capabilities = EngineCapabilities(
+        rootless=("UserNS",),
+        rootless_fs=("suid",),
+        monitor=None,
+        oci_hooks="no",
+        oci_container="partial",
+        transparent_conversion=True,
+        native_caching=True,
+        native_sharing=False,
+        namespacing="user+mount",
+        signature_verification=(),
+        encryption=False,
+        gpu="no",
+        accelerators="no",
+        library_hookup="mpich",
+        wlm_integration="spank",
+        build_tool=False,
+        daemonless=True,
+        requires_setuid=True,
+    )
+
+    def __init__(self, node: HostNode):
+        super().__init__(node)
+        if not self.kernel.config.allow_setuid_binaries:
+            raise EngineError(
+                "shifter requires its setuid helper; site policy forbids "
+                "setuid binaries on compute nodes"
+            )
+        self._mpi_enabled = False
+
+    def _prepare_rootfs(self, pulled: PulledImage, user: SimProcess, result: RunResult) -> MountedView:
+        image = pulled.image
+        if not isinstance(image, OCIImage):
+            raise EngineError("shifter runs (converted) OCI images only")
+        squash = self._cache_lookup(image.digest, user.creds.uid)
+        if squash is None:
+            # The image gateway converts as a system service: the cache is
+            # root-owned, which is what makes the kernel driver safe.
+            squash, cost = oci_to_squash(image, built_by_uid=0)
+            self._cache_store(image.digest, squash, 0)
+            self.stats["conversions"] += 1
+            result.timings["convert"] = cost
+        return self._squash_rootfs(squash, user, result, prefer_kernel_driver=True)
+
+    def enable_mpi(self) -> None:
+        """udiRoot MPICH hookup (the only library hookup Shifter has)."""
+        self._mpi_enabled = True
+
+    def _make_spec(self, pulled, command, user):
+        spec = super()._make_spec(pulled, command, user)
+        if self._mpi_enabled:
+            flavor = spec.env.get("REPRO_MPI_FLAVOR")
+            if flavor is not None and flavor not in ("mpich", "cray-mpich", "intel-mpi", "mvapich"):
+                raise ABIError(
+                    f"shifter's library hookup supports MPICH ABI only, image has {flavor!r}"
+                )
+            check_mpi_abi("cray-mpich", flavor)
+            spec.bind_mounts.append(
+                BindMountSpec(
+                    source_tree=self.node.local_disk.tree,
+                    source_path="/opt/cray",
+                    target_path="/opt/udiImage/mpi",
+                )
+            )
+        return spec

@@ -1,0 +1,62 @@
+"""Simulated filesystems and IO cost models.
+
+This package provides the storage substrate for the containerization
+stack:
+
+- :mod:`repro.fs.inode` / :mod:`repro.fs.tree` — in-memory file trees
+  with POSIX-ish ownership and permissions,
+- :mod:`repro.fs.perf` — calibrated IO cost models (latency, bandwidth,
+  IOPS, decompression, FUSE user/kernel crossings),
+- :mod:`repro.fs.backends` — node-local disk, tmpfs, and a shared
+  cluster filesystem with metadata-server contention,
+- :mod:`repro.fs.images` — single-file filesystem images (SquashFS-like),
+- :mod:`repro.fs.drivers` — mount drivers (bind, kernel/FUSE OverlayFS,
+  kernel SquashFS / SquashFUSE) exposing a mounted union view.
+
+Cost constants are centralized in :mod:`repro.fs.perf`; benchmarks assert
+cost *shapes* (ratios, crossovers), never absolute values.
+"""
+
+from repro.fs.inode import DirNode, FileNode, SymlinkNode
+from repro.fs.tree import FileTree, FsError
+from repro.fs.perf import IOCostModel, PROFILES
+from repro.fs.backends import LocalDisk, SharedFS, StorageBackend, TmpFS
+from repro.fs.images import SquashImage, pack_squash
+from repro.fs.drivers import (
+    BindDriver,
+    FuseOverlayDriver,
+    MountDriver,
+    MountedView,
+    OverlayKernelDriver,
+    SquashFuseDriver,
+    SquashKernelDriver,
+    mount_bind,
+    mount_overlay,
+    mount_squash,
+)
+
+__all__ = [
+    "BindDriver",
+    "DirNode",
+    "FileNode",
+    "FileTree",
+    "FsError",
+    "FuseOverlayDriver",
+    "IOCostModel",
+    "LocalDisk",
+    "MountDriver",
+    "MountedView",
+    "OverlayKernelDriver",
+    "PROFILES",
+    "SharedFS",
+    "SquashFuseDriver",
+    "SquashImage",
+    "SquashKernelDriver",
+    "StorageBackend",
+    "SymlinkNode",
+    "TmpFS",
+    "mount_bind",
+    "mount_overlay",
+    "mount_squash",
+    "pack_squash",
+]

@@ -1,0 +1,172 @@
+"""Storage backends: node-local disk, tmpfs, shared cluster filesystem.
+
+A backend owns a :class:`~repro.fs.tree.FileTree` and a cost model.  Two
+access styles are provided:
+
+- ``est_*`` methods return a plain cost in seconds — used for quick,
+  contention-free estimates;
+- ``proc_*`` methods are simulation processes (generators) — used inside
+  a :class:`~repro.sim.Environment` where contention matters.  For the
+  shared filesystem every metadata operation acquires a slot on the
+  metadata server (MDS), so a small-file open storm from many compute
+  nodes queues exactly as §3.2 of the paper describes.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.fs.inode import DirNode, FileNode
+from repro.fs.perf import IOCostModel, PROFILES
+from repro.fs.tree import FileTree, FsError
+from repro.sim import Environment, Resource
+
+
+class StorageBackend:
+    """A file tree with an IO cost model."""
+
+    def __init__(self, name: str, cost_model: IOCostModel, env: Environment | None = None):
+        self.name = name
+        self.cost_model = cost_model
+        self.env = env
+        self.tree = FileTree()
+        #: running totals used by benchmarks
+        self.stats = {"opens": 0, "bytes_read": 0, "bytes_written": 0}
+
+    # -- estimate-style API ---------------------------------------------------
+    def est_open(self, path: str) -> float:
+        self.tree.get(path)
+        self.stats["opens"] += 1
+        # Path resolution pays one metadata op per component.
+        depth = max(1, len([p for p in path.split("/") if p]))
+        return self.cost_model.metadata_cost(depth)
+
+    def est_read_file(self, path: str, random: bool = False) -> float:
+        node = self.tree.get(path)
+        if not isinstance(node, FileNode):
+            raise FsError(f"not a file: {path}")
+        self.stats["bytes_read"] += node.size
+        if random:
+            n_ops = max(1, node.size // 4096)
+            return self.cost_model.random_read_cost(n_ops)
+        return self.cost_model.sequential_read_cost(node.size)
+
+    def est_write_file(self, path: str, size: int) -> float:
+        self.tree.create_file(path, size=size)
+        self.stats["bytes_written"] += size
+        return self.cost_model.write_cost(size)
+
+    def est_load_tree(self, top: str = "/") -> float:
+        """Cost of opening+reading every file under ``top`` (e.g. an
+        interpreter importing its standard library at startup)."""
+        total = 0.0
+        for path, node in self.tree.files(top):
+            total += self.est_open(path)
+            total += self.cost_model.sequential_read_cost(node.size)
+            self.stats["bytes_read"] += node.size
+        return total
+
+    # -- process-style API ------------------------------------------------------
+    def _require_env(self) -> Environment:
+        if self.env is None:
+            raise RuntimeError(f"backend {self.name!r} not attached to an Environment")
+        return self.env
+
+    def proc_open(self, path: str) -> _t.Generator:
+        env = self._require_env()
+        yield env.timeout(self.est_open(path))
+        return path
+
+    def proc_read_file(self, path: str, random: bool = False) -> _t.Generator:
+        env = self._require_env()
+        cost = self.est_read_file(path, random=random)
+        yield env.timeout(cost)
+        node = self.tree.get(path)
+        assert isinstance(node, FileNode)
+        return node.size
+
+    def proc_load_tree(self, top: str = "/") -> _t.Generator:
+        env = self._require_env()
+        for path, node in self.tree.files(top):
+            yield env.process(self.proc_open(path))
+            yield env.timeout(self.cost_model.sequential_read_cost(node.size))
+            self.stats["bytes_read"] += node.size
+        return self.tree.total_size(top)
+
+
+class LocalDisk(StorageBackend):
+    """Node-local NVMe."""
+
+    def __init__(self, env: Environment | None = None, name: str = "local-nvme"):
+        super().__init__(name, PROFILES["nvme"], env=env)
+
+
+class TmpFS(StorageBackend):
+    """RAM-backed scratch (e.g. /dev/shm extraction target)."""
+
+    def __init__(self, env: Environment | None = None, name: str = "tmpfs"):
+        super().__init__(name, PROFILES["tmpfs"], env=env)
+
+
+class SharedFS(StorageBackend):
+    """Shared cluster filesystem (Lustre/GPFS-like).
+
+    Metadata operations funnel through a fixed-capacity metadata server;
+    with many clients doing small-file IO the MDS queue dominates — the
+    behaviour that motivates flattening container images (§3.2, §4.1.4).
+    """
+
+    def __init__(
+        self,
+        env: Environment | None = None,
+        name: str = "sharedfs",
+        mds_capacity: int = 32,
+        aggregate_bandwidth: float = 40e9,
+    ):
+        super().__init__(name, PROFILES["sharedfs_client"], env=env)
+        self.mds_capacity = mds_capacity
+        self.aggregate_bandwidth = aggregate_bandwidth
+        self.mds: Resource | None = Resource(env, capacity=mds_capacity) if env else None
+        self._bw: Resource | None = None
+
+    def attach_env(self, env: Environment) -> None:
+        self.env = env
+        self.mds = Resource(env, capacity=self.mds_capacity)
+
+    def proc_open(self, path: str) -> _t.Generator:
+        """Open with MDS contention: each path component is one MDS RPC."""
+        env = self._require_env()
+        assert self.mds is not None
+        depth = max(1, len([p for p in path.split("/") if p]))
+        self.tree.get(path)
+        self.stats["opens"] += 1
+        for _ in range(depth):
+            req = self.mds.request()
+            yield req
+            yield env.timeout(self.cost_model.open_cost())
+            self.mds.release(req)
+        return path
+
+    def proc_read_file(self, path: str, random: bool = False) -> _t.Generator:
+        env = self._require_env()
+        node = self.tree.get(path)
+        if not isinstance(node, FileNode):
+            raise FsError(f"not a file: {path}")
+        self.stats["bytes_read"] += node.size
+        if random:
+            n_ops = max(1, node.size // 4096)
+            cost = self.cost_model.random_read_cost(n_ops)
+        else:
+            cost = self.cost_model.sequential_read_cost(node.size)
+        yield env.timeout(cost)
+        return node.size
+
+    def proc_load_tree(self, top: str = "/") -> _t.Generator:
+        env = self._require_env()
+        total = 0
+        for path, node in self.tree.files(top):
+            yield env.process(self.proc_open(path))
+            yield env.timeout(self.cost_model.sequential_read_cost(node.size))
+            self.stats["bytes_read"] += node.size
+            total += node.size
+        return total

@@ -1,0 +1,93 @@
+"""Single-file filesystem images (SquashFS-like).
+
+Flattening a container's many-small-file tree into one compressed image
+file is the central HPC trick the paper describes (§3.2, §4.1.2): it
+trades CPU (decompression) and memory for shared-filesystem metadata
+load.  A :class:`SquashImage` records the inner tree, the compressed
+on-disk size, and provenance metadata that the kernel model uses for its
+security checks (a user-writable or user-supplied image must never reach
+the in-kernel driver).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+from repro.fs.tree import FileTree
+
+_image_counter = itertools.count(1)
+
+#: default compression ratio for typical container content (mixed
+#: binaries/text); mksquashfs with zstd commonly lands around here.
+DEFAULT_COMPRESSION_RATIO = 0.45
+
+#: mksquashfs throughput (compression side), bytes/second per builder.
+PACK_BANDWIDTH = 350e6
+
+
+class SquashImage:
+    """An immutable single-file image wrapping a file tree."""
+
+    def __init__(
+        self,
+        tree: FileTree,
+        compression_ratio: float = DEFAULT_COMPRESSION_RATIO,
+        built_by_uid: int = 0,
+        writable_by: frozenset[int] = frozenset(),
+    ):
+        if not 0 < compression_ratio <= 1:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        self.image_id = next(_image_counter)
+        self.tree = tree
+        self.uncompressed_size = tree.total_size()
+        self.compressed_size = int(self.uncompressed_size * compression_ratio)
+        self.num_inner_files = tree.num_files()
+        #: uid that produced the image — a setuid mount helper must verify
+        #: this is a trusted (root/system) uid before using the kernel driver.
+        self.built_by_uid = built_by_uid
+        #: uids that can write the image file itself (beyond root).
+        self.writable_by = frozenset(writable_by)
+
+    @property
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        h.update(f"squash:{self.image_id}:{self.uncompressed_size}:{self.num_inner_files}".encode())
+        return "sha256:" + h.hexdigest()
+
+    def is_user_manipulable(self, uid: int) -> bool:
+        """Could ``uid`` have injected or altered this image's bytes?
+
+        True when the user built the image themselves or holds write
+        permission on the image file.  The kernel block-device drivers are
+        not hardened against malicious images, so the mount layer refuses
+        in-kernel mounts of manipulable images for unprivileged users.
+        """
+        if uid == 0:
+            return False
+        return self.built_by_uid == uid or uid in self.writable_by
+
+    def pack_cost(self) -> float:
+        """CPU seconds spent creating this image (mksquashfs-like)."""
+        return self.uncompressed_size / PACK_BANDWIDTH
+
+    def __repr__(self) -> str:
+        return (
+            f"<SquashImage id={self.image_id} files={self.num_inner_files} "
+            f"compressed={self.compressed_size}B by_uid={self.built_by_uid}>"
+        )
+
+
+def pack_squash(
+    tree: FileTree,
+    compression_ratio: float = DEFAULT_COMPRESSION_RATIO,
+    built_by_uid: int = 0,
+    writable_by: frozenset[int] = frozenset(),
+) -> SquashImage:
+    """Pack a file tree into a single-file image (mksquashfs analogue)."""
+    return SquashImage(
+        tree.clone(),
+        compression_ratio=compression_ratio,
+        built_by_uid=built_by_uid,
+        writable_by=writable_by,
+    )

@@ -1,0 +1,137 @@
+"""Inode types for the in-memory filesystem.
+
+Files may carry literal ``data`` (small config files the simulation
+inspects) or only a ``size`` (bulk content such as libraries, where only
+the byte count matters for IO costs).  Every node carries POSIX ownership
+and a mode so the kernel model can enforce permission rules.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import typing as _t
+
+_inode_counter = itertools.count(1)
+
+
+class Node:
+    """Common base for all inode types."""
+
+    kind: str = "node"
+
+    def __init__(self, uid: int = 0, gid: int = 0, mode: int = 0o644):
+        self.ino = next(_inode_counter)
+        self.uid = uid
+        self.gid = gid
+        self.mode = mode
+        self.mtime = 0.0
+        #: set-uid bit shortcut (mode & 0o4000); modelled explicitly because
+        #: setuid helpers are central to the engine comparison.
+        self.xattrs: dict[str, str] = {}
+
+    @property
+    def setuid(self) -> bool:
+        return bool(self.mode & 0o4000)
+
+    def chown(self, uid: int, gid: int) -> None:
+        self.uid = uid
+        self.gid = gid
+
+    def chmod(self, mode: int) -> None:
+        self.mode = mode
+
+
+class FileNode(Node):
+    """A regular file: literal bytes, or size-only bulk content."""
+
+    kind = "file"
+
+    def __init__(
+        self,
+        data: bytes | None = None,
+        size: int | None = None,
+        uid: int = 0,
+        gid: int = 0,
+        mode: int = 0o644,
+    ):
+        super().__init__(uid=uid, gid=gid, mode=mode)
+        if data is not None and size is not None and size != len(data):
+            raise ValueError("size conflicts with len(data)")
+        self.data = data
+        self._size = len(data) if data is not None else int(size or 0)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def write(self, data: bytes) -> None:
+        self.data = data
+        self._size = len(data)
+
+    def digest(self) -> str:
+        """Content digest; size-only files hash their identity + size."""
+        h = hashlib.sha256()
+        if self.data is not None:
+            h.update(self.data)
+        else:
+            h.update(f"bulk:{self.ino}:{self._size}".encode())
+        return h.hexdigest()
+
+    def clone(self) -> "FileNode":
+        node = FileNode(data=self.data, size=self._size, uid=self.uid, gid=self.gid, mode=self.mode)
+        node.xattrs = dict(self.xattrs)
+        return node
+
+    def __repr__(self) -> str:
+        return f"<FileNode size={self._size} uid={self.uid} mode={oct(self.mode)}>"
+
+
+class DirNode(Node):
+    """A directory: named children."""
+
+    kind = "dir"
+
+    def __init__(self, uid: int = 0, gid: int = 0, mode: int = 0o755):
+        super().__init__(uid=uid, gid=gid, mode=mode)
+        self.children: dict[str, Node] = {}
+
+    def clone(self) -> "DirNode":
+        node = DirNode(uid=self.uid, gid=self.gid, mode=self.mode)
+        for name, child in self.children.items():
+            node.children[name] = child.clone()  # type: ignore[attr-defined]
+        return node
+
+    def __repr__(self) -> str:
+        return f"<DirNode {len(self.children)} entries>"
+
+
+class SymlinkNode(Node):
+    """A symbolic link to ``target`` (absolute or relative path)."""
+
+    kind = "symlink"
+
+    def __init__(self, target: str, uid: int = 0, gid: int = 0):
+        super().__init__(uid=uid, gid=gid, mode=0o777)
+        self.target = target
+
+    def clone(self) -> "SymlinkNode":
+        return SymlinkNode(self.target, uid=self.uid, gid=self.gid)
+
+    def __repr__(self) -> str:
+        return f"<SymlinkNode -> {self.target}>"
+
+
+#: whiteout marker used by overlay layers to hide lower entries (the OCI
+#: layer format encodes these as ``.wh.<name>`` files).
+class WhiteoutNode(Node):
+    kind = "whiteout"
+
+    def clone(self) -> "WhiteoutNode":
+        return WhiteoutNode(uid=self.uid, gid=self.gid)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<WhiteoutNode>"
+
+
+AnyNode = _t.Union[FileNode, DirNode, SymlinkNode, WhiteoutNode]

@@ -1,0 +1,141 @@
+"""Calibrated IO cost models.
+
+All timing constants live here.  They are calibrated to the magnitudes
+reported for real hardware and the literature the paper cites (e.g. the
+CSCS squashfs-mount benchmarks [29]: SquashFUSE shows roughly an order of
+magnitude lower random-read IOPS and much higher per-op latency than the
+in-kernel SquashFS driver).  Benchmarks in this repository assert the
+*shape* of results — ratios and crossovers — so the exact values only
+need to be plausible, not exact.
+
+Units: seconds, bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class IOCostModel:
+    """Cost model for a filesystem or mount driver.
+
+    Attributes
+    ----------
+    open_latency:
+        Base latency of a metadata operation (open/stat/readdir entry).
+    read_bandwidth / write_bandwidth:
+        Sustained streaming bandwidth in bytes/second.
+    random_iops:
+        Small random reads per second (4 KiB granularity).
+    per_op_overhead:
+        Extra latency added to *every* operation — this is where FUSE
+        user/kernel crossings show up.
+    decompress_bandwidth:
+        If not None, content must be decompressed at this rate (CPU cost
+        traded for disk IO, per §3.2 of the paper).
+    """
+
+    name: str
+    open_latency: float
+    read_bandwidth: float
+    write_bandwidth: float
+    random_iops: float
+    per_op_overhead: float = 0.0
+    decompress_bandwidth: float | None = None
+
+    # -- derived costs ------------------------------------------------------
+    def open_cost(self) -> float:
+        return self.open_latency + self.per_op_overhead
+
+    def metadata_cost(self, n_ops: int = 1) -> float:
+        return n_ops * (self.open_latency + self.per_op_overhead)
+
+    def sequential_read_cost(self, size: int) -> float:
+        cost = self.per_op_overhead + size / self.read_bandwidth
+        if self.decompress_bandwidth is not None:
+            cost += size / self.decompress_bandwidth
+        return cost
+
+    def random_read_cost(self, n_ops: int, op_size: int = 4096) -> float:
+        per_op = 1.0 / self.random_iops + self.per_op_overhead
+        cost = n_ops * per_op + (n_ops * op_size) / self.read_bandwidth
+        if self.decompress_bandwidth is not None:
+            cost += (n_ops * op_size) / self.decompress_bandwidth
+        return cost
+
+    def write_cost(self, size: int) -> float:
+        return self.per_op_overhead + size / self.write_bandwidth
+
+    def effective_random_iops(self) -> float:
+        """Achievable random 4 KiB IOPS including per-op overheads."""
+        return 1.0 / (1.0 / self.random_iops + self.per_op_overhead)
+
+    def with_overhead(self, extra_per_op: float, bandwidth_scale: float = 1.0) -> "IOCostModel":
+        """Derive a model with added per-op latency and scaled bandwidth
+        (used by stacking drivers such as fuse-overlayfs on a backend)."""
+        return dataclasses.replace(
+            self,
+            name=f"{self.name}+overhead",
+            per_op_overhead=self.per_op_overhead + extra_per_op,
+            read_bandwidth=self.read_bandwidth * bandwidth_scale,
+            write_bandwidth=self.write_bandwidth * bandwidth_scale,
+        )
+
+
+#: Canonical cost profiles.  Magnitudes:
+#:   - NVMe node-local disk: tens of µs metadata, GB/s streaming, ~300k IOPS
+#:   - tmpfs: single-digit µs metadata, ~10 GB/s
+#:   - shared cluster FS client: ~1 ms metadata RPC (plus MDS queueing,
+#:     modelled separately), high streaming bandwidth, poor small-file IOPS
+#:   - in-kernel SquashFS: near-disk metadata, decompression-limited reads
+#:   - SquashFUSE: per-op FUSE crossing => ~10x lower IOPS, higher latency
+#:   - fuse-overlayfs: FUSE crossing on every op, bandwidth absorbed by CPU
+PROFILES: dict[str, IOCostModel] = {
+    "nvme": IOCostModel(
+        name="nvme",
+        open_latency=20e-6,
+        read_bandwidth=2.5e9,
+        write_bandwidth=1.2e9,
+        random_iops=300_000,
+    ),
+    "tmpfs": IOCostModel(
+        name="tmpfs",
+        open_latency=2e-6,
+        read_bandwidth=10e9,
+        write_bandwidth=8e9,
+        random_iops=2_000_000,
+    ),
+    "sharedfs_client": IOCostModel(
+        name="sharedfs_client",
+        open_latency=1e-3,
+        read_bandwidth=3e9,
+        write_bandwidth=2e9,
+        random_iops=15_000,
+    ),
+    "squashfs_kernel": IOCostModel(
+        name="squashfs_kernel",
+        open_latency=25e-6,
+        read_bandwidth=2.2e9,
+        write_bandwidth=1.0,  # read-only filesystem; writes rejected by driver
+        random_iops=150_000,
+        decompress_bandwidth=900e6,
+    ),
+    "squashfuse": IOCostModel(
+        name="squashfuse",
+        open_latency=25e-6,
+        read_bandwidth=1.6e9,
+        write_bandwidth=1.0,  # read-only filesystem; writes rejected by driver
+        random_iops=150_000,
+        per_op_overhead=60e-6,  # FUSE user/kernel round trip per op
+        decompress_bandwidth=500e6,  # decompression in userspace, no readahead
+    ),
+}
+
+#: Extra per-op latency a FUSE OverlayFS layer adds on top of its backend.
+FUSE_OVERLAY_PER_OP = 55e-6
+#: Bandwidth fraction surviving the fuse-overlayfs data path ("heavy I/O
+#: must be absorbed by the CPU", §4.1.2).
+FUSE_OVERLAY_BW_SCALE = 0.55
+#: Kernel OverlayFS adds a small per-layer lookup cost on cache-cold paths.
+OVERLAY_KERNEL_PER_LAYER = 3e-6

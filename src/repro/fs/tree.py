@@ -1,0 +1,197 @@
+"""Path-addressed file tree over the inode types."""
+
+from __future__ import annotations
+
+import posixpath
+import typing as _t
+
+from repro.fs.inode import AnyNode, DirNode, FileNode, Node, SymlinkNode, WhiteoutNode
+
+
+class FsError(OSError):
+    """Filesystem-level error (missing path, wrong node type, ...)."""
+
+
+def normalize(path: str) -> str:
+    """Normalize to an absolute, '/'-rooted path."""
+    if not path.startswith("/"):
+        path = "/" + path
+    norm = posixpath.normpath(path)
+    return norm
+
+
+def split_parts(path: str) -> list[str]:
+    norm = normalize(path)
+    return [p for p in norm.split("/") if p]
+
+
+class FileTree:
+    """A mutable, path-addressed tree of inodes."""
+
+    def __init__(self, root: DirNode | None = None):
+        self.root = root or DirNode()
+
+    # -- lookup -------------------------------------------------------------
+    def get(self, path: str, follow_symlinks: bool = True) -> Node:
+        node = self._resolve(path, follow_symlinks=follow_symlinks)
+        if node is None:
+            raise FsError(f"no such path: {path}")
+        return node
+
+    def lookup(self, path: str, follow_symlinks: bool = True) -> Node | None:
+        return self._resolve(path, follow_symlinks=follow_symlinks)
+
+    def exists(self, path: str) -> bool:
+        return self._resolve(path) is not None
+
+    def is_dir(self, path: str) -> bool:
+        node = self._resolve(path)
+        return isinstance(node, DirNode)
+
+    def is_file(self, path: str) -> bool:
+        node = self._resolve(path)
+        return isinstance(node, FileNode)
+
+    def _resolve(
+        self, path: str, follow_symlinks: bool = True, _depth: int = 0
+    ) -> Node | None:
+        if _depth > 40:
+            raise FsError(f"too many levels of symbolic links: {path}")
+        node: Node = self.root
+        parts = split_parts(path)
+        for i, part in enumerate(parts):
+            if isinstance(node, SymlinkNode):
+                resolved = self._resolve(node.target, _depth=_depth + 1)
+                if resolved is None:
+                    return None
+                node = resolved
+            if not isinstance(node, DirNode):
+                return None
+            child = node.children.get(part)
+            if child is None:
+                return None
+            node = child
+        if follow_symlinks and isinstance(node, SymlinkNode):
+            return self._resolve(node.target, _depth=_depth + 1)
+        return node
+
+    # -- mutation -----------------------------------------------------------
+    def mkdir(self, path: str, parents: bool = False, uid: int = 0, gid: int = 0) -> DirNode:
+        parts = split_parts(path)
+        if not parts:
+            return self.root
+        node: DirNode = self.root
+        for i, part in enumerate(parts):
+            child = node.children.get(part)
+            last = i == len(parts) - 1
+            if child is None:
+                if not last and not parents:
+                    raise FsError(f"missing parent for {path}")
+                child = DirNode(uid=uid, gid=gid)
+                node.children[part] = child
+            if not isinstance(child, DirNode):
+                raise FsError(f"not a directory: /{'/'.join(parts[: i + 1])}")
+            node = child
+        return node
+
+    def create_file(
+        self,
+        path: str,
+        data: bytes | None = None,
+        size: int | None = None,
+        uid: int = 0,
+        gid: int = 0,
+        mode: int = 0o644,
+        parents: bool = True,
+    ) -> FileNode:
+        parts = split_parts(path)
+        if not parts:
+            raise FsError("cannot create file at /")
+        parent = self.mkdir("/".join(parts[:-1]), parents=parents, uid=uid, gid=gid)
+        node = FileNode(data=data, size=size, uid=uid, gid=gid, mode=mode)
+        parent.children[parts[-1]] = node
+        return node
+
+    def symlink(self, path: str, target: str, uid: int = 0, gid: int = 0) -> SymlinkNode:
+        parts = split_parts(path)
+        parent = self.mkdir("/".join(parts[:-1]), parents=True, uid=uid, gid=gid)
+        node = SymlinkNode(target, uid=uid, gid=gid)
+        parent.children[parts[-1]] = node
+        return node
+
+    def whiteout(self, path: str) -> WhiteoutNode:
+        parts = split_parts(path)
+        parent = self.mkdir("/".join(parts[:-1]), parents=True)
+        node = WhiteoutNode()
+        parent.children[parts[-1]] = node
+        return node
+
+    def remove(self, path: str) -> None:
+        parts = split_parts(path)
+        if not parts:
+            raise FsError("cannot remove /")
+        parent = self._resolve("/".join(parts[:-1]))
+        if not isinstance(parent, DirNode) or parts[-1] not in parent.children:
+            raise FsError(f"no such path: {path}")
+        del parent.children[parts[-1]]
+
+    def attach(self, path: str, node: Node) -> None:
+        """Graft an existing node (subtree) at ``path``."""
+        parts = split_parts(path)
+        if not parts:
+            if not isinstance(node, DirNode):
+                raise FsError("root must be a directory")
+            self.root = node
+            return
+        parent = self.mkdir("/".join(parts[:-1]), parents=True)
+        parent.children[parts[-1]] = node
+
+    # -- iteration & aggregate stats -----------------------------------------
+    def walk(self, top: str = "/") -> _t.Iterator[tuple[str, Node]]:
+        """Yield (path, node) for every node below ``top`` (depth-first)."""
+        start = self._resolve(top, follow_symlinks=False)
+        if start is None:
+            raise FsError(f"no such path: {top}")
+        base = normalize(top)
+
+        def _walk(prefix: str, node: Node) -> _t.Iterator[tuple[str, Node]]:
+            yield prefix, node
+            if isinstance(node, DirNode):
+                for name in sorted(node.children):
+                    child_prefix = prefix.rstrip("/") + "/" + name
+                    yield from _walk(child_prefix, node.children[name])
+
+        yield from _walk(base, start)
+
+    def files(self, top: str = "/") -> _t.Iterator[tuple[str, FileNode]]:
+        for path, node in self.walk(top):
+            if isinstance(node, FileNode):
+                yield path, node
+
+    def num_files(self, top: str = "/") -> int:
+        return sum(1 for _ in self.files(top))
+
+    def total_size(self, top: str = "/") -> int:
+        return sum(node.size for _, node in self.files(top))
+
+    def clone(self) -> "FileTree":
+        return FileTree(root=self.root.clone())
+
+    def merge_from(self, other: "FileTree", at: str = "/") -> None:
+        """Deep-merge another tree's contents under ``at`` (upper wins)."""
+        target_root = self.mkdir(at, parents=True)
+
+        def _merge(dst: DirNode, src: DirNode) -> None:
+            for name, child in src.children.items():
+                if isinstance(child, WhiteoutNode):
+                    dst.children.pop(name, None)
+                    continue
+                if isinstance(child, DirNode) and isinstance(dst.children.get(name), DirNode):
+                    _merge(dst.children[name], child)  # type: ignore[arg-type]
+                else:
+                    dst.children[name] = child.clone()  # type: ignore[attr-defined]
+
+        _merge(target_root, other.root)
+
+    def __repr__(self) -> str:
+        return f"<FileTree files={self.num_files()} bytes={self.total_size()}>"

@@ -1,0 +1,44 @@
+"""A minimal-but-faithful Kubernetes: API server with watches, scheduler,
+kubelets speaking CRI to a container engine, the K3s single-binary
+bundle, the KNoC-style virtual kubelet, and the WLM bridge operator —
+everything §6's integration scenarios need."""
+
+from repro.k8s.objects import (
+    ContainerSpec,
+    K8sNode,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+    ResourceRequests,
+)
+from repro.k8s.apiserver import APIServer, WatchEvent
+from repro.k8s.scheduler import K8sScheduler
+from repro.k8s.cri import CRIRuntime
+from repro.k8s.kubelet import Kubelet, KubeletError
+from repro.k8s.k3s import FullK8sServer, K3sServer
+from repro.k8s.virtual_kubelet import VirtualKubelet
+from repro.k8s.controller import NodeLifecycleController
+from repro.k8s.operators import BridgeOperator, WLMJobRequest
+
+__all__ = [
+    "APIServer",
+    "BridgeOperator",
+    "CRIRuntime",
+    "ContainerSpec",
+    "FullK8sServer",
+    "K3sServer",
+    "K8sNode",
+    "K8sScheduler",
+    "Kubelet",
+    "KubeletError",
+    "NodeLifecycleController",
+    "ObjectMeta",
+    "Pod",
+    "PodPhase",
+    "PodSpec",
+    "ResourceRequests",
+    "VirtualKubelet",
+    "WLMJobRequest",
+    "WatchEvent",
+]

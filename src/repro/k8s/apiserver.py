@@ -1,0 +1,119 @@
+"""The Kubernetes API server: typed object store with watch streams."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import itertools
+import typing as _t
+
+from repro.k8s.objects import K8sNode, ObjectMeta, Pod
+
+
+class WatchEventType(enum.Enum):
+    ADDED = "ADDED"
+    MODIFIED = "MODIFIED"
+    DELETED = "DELETED"
+
+
+@dataclasses.dataclass(frozen=True)
+class WatchEvent:
+    type: WatchEventType
+    kind: str
+    obj: object
+
+
+WatchCallback = _t.Callable[[WatchEvent], None]
+
+
+class APIServer:
+    """etcd + apiserver in one object.
+
+    Objects are stored per kind; watches are synchronous callbacks (the
+    simulation's stand-in for watch streams).  An optional per-request
+    latency models the control-plane RPC cost.
+    """
+
+    #: request latency billed to callers who account time themselves
+    request_latency = 1.5e-3
+
+    def __init__(self) -> None:
+        self._store: dict[str, dict[tuple[str, str], object]] = {}
+        self._watchers: dict[str, list[WatchCallback]] = {}
+        self._resource_version = itertools.count(1)
+        self.stats = {"requests": 0, "watch_events": 0}
+
+    # -- helpers -----------------------------------------------------------------
+    @staticmethod
+    def _meta(obj: object) -> ObjectMeta:
+        meta = getattr(obj, "metadata", None)
+        if not isinstance(meta, ObjectMeta):
+            raise TypeError(f"object {obj!r} has no ObjectMeta")
+        return meta
+
+    def _notify(self, event: WatchEvent) -> None:
+        for callback in list(self._watchers.get(event.kind, [])):
+            self.stats["watch_events"] += 1
+            callback(event)
+
+    # -- CRUD ---------------------------------------------------------------------
+    def create(self, kind: str, obj: object) -> object:
+        self.stats["requests"] += 1
+        meta = self._meta(obj)
+        bucket = self._store.setdefault(kind, {})
+        if meta.key in bucket:
+            raise KeyError(f"{kind} {meta.namespace}/{meta.name} already exists")
+        meta.resource_version = next(self._resource_version)
+        bucket[meta.key] = obj
+        self._notify(WatchEvent(WatchEventType.ADDED, kind, obj))
+        return obj
+
+    def get(self, kind: str, name: str, namespace: str = "default") -> object | None:
+        self.stats["requests"] += 1
+        return self._store.get(kind, {}).get((namespace, name))
+
+    def list(self, kind: str, namespace: str | None = None) -> list[object]:
+        self.stats["requests"] += 1
+        objs = list(self._store.get(kind, {}).values())
+        if namespace is None:
+            return objs
+        return [o for o in objs if self._meta(o).namespace == namespace]
+
+    def update(self, kind: str, obj: object) -> object:
+        self.stats["requests"] += 1
+        meta = self._meta(obj)
+        bucket = self._store.setdefault(kind, {})
+        if meta.key not in bucket:
+            raise KeyError(f"{kind} {meta.namespace}/{meta.name} not found")
+        meta.resource_version = next(self._resource_version)
+        bucket[meta.key] = obj
+        self._notify(WatchEvent(WatchEventType.MODIFIED, kind, obj))
+        return obj
+
+    def delete(self, kind: str, name: str, namespace: str = "default") -> object | None:
+        self.stats["requests"] += 1
+        bucket = self._store.get(kind, {})
+        obj = bucket.pop((namespace, name), None)
+        if obj is not None:
+            self._notify(WatchEvent(WatchEventType.DELETED, kind, obj))
+        return obj
+
+    # -- watch ---------------------------------------------------------------------
+    def watch(self, kind: str, callback: WatchCallback, replay_existing: bool = True) -> None:
+        self._watchers.setdefault(kind, []).append(callback)
+        if replay_existing:
+            for obj in self._store.get(kind, {}).values():
+                callback(WatchEvent(WatchEventType.ADDED, kind, obj))
+
+    def unwatch(self, kind: str, callback: WatchCallback) -> None:
+        try:
+            self._watchers.get(kind, []).remove(callback)
+        except ValueError:
+            pass
+
+    # -- typed conveniences ------------------------------------------------------------
+    def pods(self, namespace: str | None = None) -> list[Pod]:
+        return [p for p in self.list("Pod", namespace) if isinstance(p, Pod)]
+
+    def nodes(self) -> list[K8sNode]:
+        return [n for n in self.list("Node") if isinstance(n, K8sNode)]

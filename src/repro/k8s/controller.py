@@ -1,0 +1,68 @@
+"""Node lifecycle controller: detect dead kubelets, fail their pods.
+
+The controller-manager piece the §6 scenarios need for failure handling:
+a kubelet that stops heartbeating (allocation cancelled, node crashed)
+gets its node marked NotReady, and after an eviction grace period its
+running pods are failed so higher layers can reschedule or report.
+"""
+
+from __future__ import annotations
+
+from repro.k8s.apiserver import APIServer
+from repro.k8s.objects import K8sNode, Pod, PodPhase
+from repro.sim import Environment
+
+
+class NodeLifecycleController:
+    """Watches heartbeats; fails pods stuck on dead nodes."""
+
+    #: heartbeat age after which a node is NotReady
+    node_monitor_grace = 40.0
+    #: additional delay before pods on a NotReady node are failed
+    pod_eviction_timeout = 30.0
+    check_interval = 5.0
+
+    def __init__(self, env: Environment, apiserver: APIServer):
+        self.env = env
+        self.api = apiserver
+        self.stats = {"nodes_marked_not_ready": 0, "pods_evicted": 0}
+        self._not_ready_since: dict[str, float] = {}
+        env.process(self._loop(), name="node-lifecycle-controller")
+
+    def _loop(self):
+        while True:
+            yield self.env.timeout(self.check_interval)
+            self._check_nodes()
+            self._evict_from_dead_nodes()
+
+    def _check_nodes(self) -> None:
+        for node in self.api.nodes():
+            stale = self.env.now - node.condition.last_heartbeat > self.node_monitor_grace
+            name = node.metadata.name
+            if node.condition.ready and stale:
+                node.condition.ready = False
+                self.api.update("Node", node)
+                self._not_ready_since[name] = self.env.now
+                self.stats["nodes_marked_not_ready"] += 1
+            elif not node.condition.ready and name not in self._not_ready_since:
+                self._not_ready_since[name] = self.env.now
+            elif node.condition.ready:
+                self._not_ready_since.pop(name, None)
+
+    def _evict_from_dead_nodes(self) -> None:
+        for pod in self.api.pods():
+            if pod.phase is not PodPhase.RUNNING or pod.node_name is None:
+                continue
+            since = self._not_ready_since.get(pod.node_name)
+            if since is None:
+                continue
+            if self.env.now - since >= self.pod_eviction_timeout:
+                pod.phase = PodPhase.FAILED
+                pod.end_time = self.env.now
+                pod.message = f"node {pod.node_name} not ready"
+                node = self.api.get("Node", pod.node_name)
+                if isinstance(node, K8sNode):
+                    node.release(pod.spec.total_requests())
+                    self.api.update("Node", node)
+                self.api.update("Pod", pod)
+                self.stats["pods_evicted"] += 1

@@ -1,0 +1,186 @@
+"""The kubelet: node agent that makes bound pods real.
+
+Supports the rootless mode §6.5 depends on: running as an unprivileged
+WLM user inside an allocation, which requires user namespaces, cgroup
+v2, and a delegated cgroup subtree — all verified against the node's
+(simulated) kernel at startup.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cluster.network import Interconnect
+from repro.k8s.apiserver import APIServer
+from repro.k8s.cri import CRIRuntime
+from repro.k8s.objects import (
+    K8sNode,
+    NodeCondition,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    ResourceRequests,
+)
+from repro.kernel.process import SimProcess
+from repro.sim import Environment, Interrupt
+
+
+class KubeletError(RuntimeError):
+    pass
+
+
+class Kubelet:
+    """One node agent."""
+
+    #: cold start: config load, CRI probe, node registration
+    startup_cost = 2.0
+    sync_interval = 0.5
+    heartbeat_interval = 10.0
+
+    def __init__(
+        self,
+        env: Environment,
+        apiserver: APIServer,
+        node_name: str,
+        cri: CRIRuntime,
+        capacity: ResourceRequests | None = None,
+        labels: dict[str, str] | None = None,
+        network: Interconnect | None = None,
+        #: rootless mode: the WLM-allocation user process this kubelet runs as
+        user_proc: SimProcess | None = None,
+        #: delegated cgroup subtree for pod cgroups (rootless mode)
+        cgroup_path: str | None = None,
+    ):
+        self.env = env
+        self.api = apiserver
+        self.node_name = node_name
+        self.cri = cri
+        self.capacity = capacity or ResourceRequests(cpu=64, memory=256 * 2**30, gpu=0)
+        self.labels = labels or {}
+        self.network = network
+        self.user_proc = user_proc
+        self.cgroup_path = cgroup_path
+        self.k8s_node: K8sNode | None = None
+        self._proc = None
+        self._running = False
+        self._active_pods: dict[str, object] = {}
+        self.stats = {"pods_started": 0, "pods_finished": 0, "sync_loops": 0}
+
+    @property
+    def rootless(self) -> bool:
+        return self.user_proc is not None and not self.user_proc.creds.is_root
+
+    def _validate_rootless(self) -> None:
+        """§6.5: 'enabling version 2 of the Linux cgroups framework,
+        cgroup delegations, and setting a suitable network configuration'."""
+        kernel = self.cri.engine.kernel
+        if not kernel.config.unprivileged_userns:
+            raise KubeletError("rootless kubelet needs unprivileged user namespaces")
+        if kernel.config.cgroup_version != 2:
+            raise KubeletError("rootless kubelet needs cgroup v2")
+        if self.cgroup_path is None:
+            raise KubeletError("rootless kubelet needs a delegated cgroup subtree")
+        assert self.user_proc is not None
+        node_cg = kernel.cgroups._resolve(self.cgroup_path)
+        if node_cg.delegated_uid() != self.user_proc.creds.uid:
+            raise KubeletError(
+                f"cgroup {self.cgroup_path} is not delegated to uid "
+                f"{self.user_proc.creds.uid}"
+            )
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self):
+        """Begin the kubelet process; returns the sim process (the node is
+        registered and Ready once `startup_cost` has elapsed)."""
+        if self.rootless:
+            self._validate_rootless()
+        self._running = True
+        self._proc = self.env.process(self._main(), name=f"kubelet-{self.node_name}")
+        return self._proc
+
+    def stop(self) -> None:
+        self._running = False
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause="kubelet stop")
+
+    def _rpc(self):
+        if self.network is not None:
+            return self.env.timeout(self.network.rpc_cost())
+        return self.env.timeout(self.api.request_latency)
+
+    def _main(self):
+        yield self.env.timeout(self.startup_cost)
+        yield self._rpc()
+        node = K8sNode(
+            metadata=ObjectMeta(name=self.node_name, labels=dict(self.labels)),
+            capacity=self.capacity,
+            condition=NodeCondition(ready=True, last_heartbeat=self.env.now),
+        )
+        existing = self.api.get("Node", self.node_name)
+        if existing is None:
+            self.api.create("Node", node)
+        else:
+            assert isinstance(existing, K8sNode)
+            existing.condition = NodeCondition(ready=True, last_heartbeat=self.env.now)
+            node = existing
+            self.api.update("Node", node)
+        self.k8s_node = node
+        last_heartbeat = self.env.now
+        try:
+            while self._running:
+                yield self.env.timeout(self.sync_interval)
+                self.stats["sync_loops"] += 1
+                yield from self._sync()
+                if self.env.now - last_heartbeat >= self.heartbeat_interval:
+                    node.condition.last_heartbeat = self.env.now
+                    yield self._rpc()
+                    self.api.update("Node", node)
+                    last_heartbeat = self.env.now
+        except Interrupt:
+            pass
+        node.condition.ready = False
+        self.api.update("Node", node)
+
+    # -- pod sync --------------------------------------------------------------------
+    def _sync(self):
+        for pod in self.api.pods():
+            if pod.node_name != self.node_name:
+                continue
+            if pod.phase is PodPhase.PENDING and pod.metadata.uid not in self._active_pods:
+                yield from self._start_pod(pod)
+
+    def _start_pod(self, pod: Pod):
+        self._active_pods[pod.metadata.uid] = pod
+        results = []
+        user = self.user_proc or self.cri.engine.kernel.init
+        for cspec in pod.spec.containers:
+            pulled = self.cri.pull_image(cspec.image, now=self.env.now)
+            yield self.env.timeout(pulled.pull_cost)
+            cgroup = (
+                f"{self.cgroup_path}/pod-{pod.metadata.uid}" if self.cgroup_path else None
+            )
+            result = self.cri.run_container(pulled, user, command=cspec.command, cgroup_path=cgroup)
+            yield self.env.timeout(result.startup_seconds - pulled.pull_cost)
+            results.append(result)
+        pod.container_results = results
+        pod.phase = PodPhase.RUNNING
+        pod.start_time = self.env.now
+        yield self._rpc()
+        self.api.update("Pod", pod)
+        self.stats["pods_started"] += 1
+        if pod.spec.duration is not None:
+            self.env.process(self._finish_pod_later(pod, results), name=f"pod-{pod.metadata.name}")
+
+    def _finish_pod_later(self, pod: Pod, results: list):
+        assert pod.spec.duration is not None
+        yield self.env.timeout(pod.spec.duration)
+        for result in results:
+            self.cri.stop_container(result)
+        pod.phase = PodPhase.SUCCEEDED
+        pod.end_time = self.env.now
+        if self.k8s_node is not None:
+            self.k8s_node.release(pod.spec.total_requests())
+            self.api.update("Node", self.k8s_node)
+        self.api.update("Pod", pod)
+        self.stats["pods_finished"] += 1
+        self._active_pods.pop(pod.metadata.uid, None)

@@ -1,0 +1,87 @@
+"""The Kubernetes pod scheduler: filter → score → bind."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.k8s.apiserver import APIServer, WatchEvent, WatchEventType
+from repro.k8s.objects import K8sNode, Pod, PodPhase
+from repro.sim import Environment
+
+
+class K8sScheduler:
+    """Watch unbound pods; bind them to the least-loaded fitting node."""
+
+    #: one scheduling pass latency
+    pass_latency = 0.02
+
+    def __init__(self, env: Environment, apiserver: APIServer):
+        self.env = env
+        self.api = apiserver
+        self._bell = env.event()
+        self.stats = {"scheduled": 0, "unschedulable_events": 0}
+        apiserver.watch("Pod", self._on_pod_event, replay_existing=True)
+        apiserver.watch("Node", self._on_node_event, replay_existing=False)
+        env.process(self._loop(), name="kube-scheduler")
+
+    def _on_pod_event(self, event: WatchEvent) -> None:
+        if event.type in (WatchEventType.ADDED, WatchEventType.MODIFIED):
+            self._ring()
+
+    def _on_node_event(self, event: WatchEvent) -> None:
+        self._ring()
+
+    def _ring(self) -> None:
+        if not self._bell.triggered:
+            self._bell.succeed()
+
+    def _loop(self):
+        while True:
+            yield self._bell
+            self._bell = self.env.event()
+            yield self.env.timeout(self.pass_latency)
+            self._schedule_pass()
+
+    # -- one pass ------------------------------------------------------------------
+    def _schedule_pass(self) -> None:
+        nodes = self.api.nodes()
+        for pod in self.api.pods():
+            if pod.bound or pod.phase is not PodPhase.PENDING:
+                continue
+            target = self._pick_node(pod, nodes)
+            if target is None:
+                self.stats["unschedulable_events"] += 1
+                continue
+            req = pod.spec.total_requests()
+            target.claim(req)
+            pod.node_name = target.metadata.name
+            self.api.update("Pod", pod)
+            self.api.update("Node", target)
+            self.stats["scheduled"] += 1
+
+    def _pick_node(self, pod: Pod, nodes: list[K8sNode]) -> K8sNode | None:
+        req = pod.spec.total_requests()
+        candidates = []
+        for node in nodes:
+            if not node.condition.ready:
+                continue
+            selector = pod.spec.node_selector
+            if selector and any(node.metadata.labels.get(k) != v for k, v in selector.items()):
+                continue
+            if not node.fits(req):
+                continue
+            candidates.append(node)
+        if not candidates:
+            return None
+        # Least-allocated scoring: spread pods across the allocation.
+        return min(candidates, key=lambda n: (n.allocated.cpu / max(n.capacity.cpu, 1e-9),
+                                              n.metadata.name))
+
+    def release_pod(self, pod: Pod) -> None:
+        """Return a finished/deleted pod's resources to its node."""
+        if pod.node_name is None:
+            return
+        node = self.api.get("Node", pod.node_name)
+        if isinstance(node, K8sNode):
+            node.release(pod.spec.total_requests())
+            self.api.update("Node", node)

@@ -1,0 +1,41 @@
+"""Simulated Linux kernel facilities.
+
+The engine comparison in the paper (§4) is at heart a comparison of
+*which kernel mechanisms* each container engine uses: user namespaces vs
+setuid helpers, in-kernel vs FUSE filesystem drivers, cgroup versions and
+delegation, pivot_root vs chroot.  This package models that syscall
+surface with the same permission rules the real kernel applies, so that
+every table cell in the reproduction is backed by an actual (simulated)
+permission check rather than a hardcoded boolean.
+"""
+
+from repro.kernel.errors import EACCES, EBUSY, EINVAL, ENOENT, EPERM, KernelError
+from repro.kernel.credentials import Capability, Credentials, FULL_CAPS
+from repro.kernel.namespaces import IdMapping, Namespace, NamespaceKind, UserNamespace
+from repro.kernel.cgroups import Cgroup, CgroupManager, Controller
+from repro.kernel.config import KernelConfig
+from repro.kernel.process import ProcessState, SimProcess
+from repro.kernel.syscalls import Kernel
+
+__all__ = [
+    "Capability",
+    "Cgroup",
+    "CgroupManager",
+    "Controller",
+    "Credentials",
+    "EACCES",
+    "EBUSY",
+    "EINVAL",
+    "ENOENT",
+    "EPERM",
+    "FULL_CAPS",
+    "IdMapping",
+    "Kernel",
+    "KernelConfig",
+    "KernelError",
+    "Namespace",
+    "NamespaceKind",
+    "ProcessState",
+    "SimProcess",
+    "UserNamespace",
+]

@@ -1,0 +1,59 @@
+"""Kernel build/runtime configuration knobs.
+
+HPC sites differ in exactly these settings, and the feasibility of each
+container engine's rootless mechanism depends on them (§3.2, §4.1.2):
+whether unprivileged user namespaces are enabled, whether the kernel is
+new enough for unprivileged OverlayFS mounts (5.11+), whether /dev/fuse
+is available on compute nodes, and which cgroup version is mounted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class KernelConfig:
+    version: tuple[int, int] = (5, 14)
+    #: sysctl kernel.unprivileged_userns_clone (or distro equivalent)
+    unprivileged_userns: bool = True
+    #: /dev/fuse present and usable by unprivileged users on compute nodes
+    fuse_available: bool = True
+    #: cgroup hierarchy version mounted on the node
+    cgroup_version: int = 2
+    #: systemd-style delegation configured for user slices
+    cgroup_delegation: bool = True
+    #: setuid-root binaries permitted on the (often hardened) compute node
+    allow_setuid_binaries: bool = True
+    #: maximum number of user namespaces (sysctl user.max_user_namespaces)
+    max_user_namespaces: int = 15_000
+
+    @property
+    def unprivileged_overlayfs(self) -> bool:
+        """Unprivileged OverlayFS mounts inside a userns (kernel >= 5.11)."""
+        return self.version >= (5, 11)
+
+    @classmethod
+    def legacy_hpc(cls) -> "KernelConfig":
+        """A conservative site: old kernel, no unprivileged userns, cgroup v1.
+
+        This is the configuration that historically forced setuid-based
+        engines (Shifter, Sarus, Singularity-suid) onto HPC systems.
+        """
+        return cls(
+            version=(4, 18),
+            unprivileged_userns=False,
+            fuse_available=False,
+            cgroup_version=1,
+            cgroup_delegation=False,
+        )
+
+    @classmethod
+    def modern_hpc(cls) -> "KernelConfig":
+        """A current site: 5.14+, userns + fuse enabled, cgroup v2 delegated."""
+        return cls()
+
+    @classmethod
+    def hardened(cls) -> "KernelConfig":
+        """Security-hardened site: userns on, but no setuid binaries at all."""
+        return cls(allow_setuid_binaries=False)

@@ -1,0 +1,43 @@
+"""Kernel error types mirroring the errno family the real syscalls return."""
+
+from __future__ import annotations
+
+
+class KernelError(OSError):
+    """Base class for simulated syscall failures."""
+
+    errno_name = "E?"
+
+    def __init__(self, message: str):
+        super().__init__(f"{self.errno_name}: {message}")
+        self.message = message
+
+
+class EPERM(KernelError):
+    """Operation not permitted (capability / privilege check failed)."""
+
+    errno_name = "EPERM"
+
+
+class EACCES(KernelError):
+    """Permission denied (DAC check failed)."""
+
+    errno_name = "EACCES"
+
+
+class EINVAL(KernelError):
+    """Invalid argument (bad namespace combination, malformed mapping...)."""
+
+    errno_name = "EINVAL"
+
+
+class ENOENT(KernelError):
+    """No such file, directory, or object."""
+
+    errno_name = "ENOENT"
+
+
+class EBUSY(KernelError):
+    """Resource busy (e.g. mount target in use)."""
+
+    errno_name = "EBUSY"

@@ -1,0 +1,98 @@
+"""Simulated processes: the subjects of all kernel permission checks."""
+
+from __future__ import annotations
+
+import enum
+import typing as _t
+
+from repro.kernel.credentials import Credentials
+from repro.kernel.namespaces import Namespace, NamespaceKind, UserNamespace
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.mounts import MountTable
+
+
+class ProcessState(enum.Enum):
+    RUNNING = "running"
+    SLEEPING = "sleeping"
+    ZOMBIE = "zombie"
+    DEAD = "dead"
+
+
+class SimProcess:
+    """A process with credentials, namespace membership, and a root."""
+
+    def __init__(
+        self,
+        pid: int,
+        creds: Credentials,
+        namespaces: dict[NamespaceKind, Namespace],
+        mount_table: "MountTable",
+        parent: "SimProcess | None" = None,
+        argv: tuple[str, ...] = ("init",),
+    ):
+        self.pid = pid
+        self.creds = creds
+        self.namespaces = dict(namespaces)
+        self.mount_table = mount_table
+        self.parent = parent
+        self.children: list[SimProcess] = []
+        self.argv = argv
+        self.state = ProcessState.RUNNING
+        self.exit_code: int | None = None
+        #: path of the process root (changed by chroot/pivot_root)
+        self.root = "/"
+        self.cwd = "/"
+        self.environ: dict[str, str] = {}
+        #: LD_PRELOAD-style interposition libraries (fakeroot modelling)
+        self.preloads: list[str] = []
+        #: whether the executed binary is statically linked — static
+        #: binaries ignore LD_PRELOAD (§4.1.2 fakeroot limitation)
+        self.static_binary = False
+        #: attached ptrace supervisor pid (ptrace fakeroot), if any
+        self.ptraced_by: int | None = None
+
+    @property
+    def userns(self) -> UserNamespace:
+        ns = self.namespaces[NamespaceKind.USER]
+        assert isinstance(ns, UserNamespace)
+        return ns
+
+    @property
+    def uid(self) -> int:
+        return self.creds.uid
+
+    @property
+    def euid(self) -> int:
+        assert self.creds.euid is not None
+        return self.creds.euid
+
+    def host_uid(self) -> int:
+        """This process's uid as seen from the initial namespace.
+
+        Credentials are always stored host-relative in this model; the
+        inside-namespace identity is *derived* via :meth:`container_uid`.
+        """
+        return self.euid
+
+    def container_uid(self) -> int | None:
+        """This process's uid as seen inside its user namespace (None if
+        the host uid is unmapped there — overflow uid in a real kernel)."""
+        return self.userns.uid_from_host(self.euid)
+
+    @property
+    def in_initial_userns(self) -> bool:
+        return self.userns.is_initial
+
+    def ns(self, kind: NamespaceKind) -> Namespace:
+        return self.namespaces[kind]
+
+    def exit(self, code: int = 0) -> None:
+        self.state = ProcessState.ZOMBIE if self.parent else ProcessState.DEAD
+        self.exit_code = code
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimProcess pid={self.pid} uid={self.creds.uid} euid={self.euid} "
+            f"userns={self.userns.ns_id} {self.state.value}>"
+        )

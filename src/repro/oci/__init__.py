@@ -1,0 +1,57 @@
+"""The OCI (Open Container Initiative) stack.
+
+Implements the interoperability layer the paper's §3.1 describes: the
+image format (manifests, configs, content-addressed layers), the runtime
+specification (bundles, lifecycle, hooks), two reference runtimes (runc
+and crun), image builders (Dockerfile and Singularity definition files)
+with layer caching, the flat SIF format, and OCI→SquashFS conversion.
+"""
+
+from repro.oci.digest import digest_bytes, digest_str, short_digest
+from repro.oci.layer import Layer, diff_trees
+from repro.oci.image import ImageConfig, ImageReference, Manifest, OCIImage
+from repro.oci.bundle import Bundle, NamespaceRequest, RuntimeSpec
+from repro.oci.hooks import Hook, HookError, HookPoint, HookRegistry
+from repro.oci.runtime import Container, ContainerState, CrunRuntime, OCIRuntime, RuncRuntime
+from repro.oci.builder import (
+    BuildCache,
+    Builder,
+    BuildError,
+    DockerfileParser,
+    SingularityDefParser,
+)
+from repro.oci.sif import SIFImage, SIFPartition
+from repro.oci.squash import flatten_image, oci_to_squash
+
+__all__ = [
+    "Bundle",
+    "BuildCache",
+    "BuildError",
+    "Builder",
+    "Container",
+    "ContainerState",
+    "CrunRuntime",
+    "DockerfileParser",
+    "Hook",
+    "HookError",
+    "HookPoint",
+    "HookRegistry",
+    "ImageConfig",
+    "ImageReference",
+    "Layer",
+    "Manifest",
+    "NamespaceRequest",
+    "OCIImage",
+    "OCIRuntime",
+    "RuncRuntime",
+    "RuntimeSpec",
+    "SIFImage",
+    "SIFPartition",
+    "SingularityDefParser",
+    "diff_trees",
+    "digest_bytes",
+    "digest_str",
+    "flatten_image",
+    "oci_to_squash",
+    "short_digest",
+]

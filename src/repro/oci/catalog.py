@@ -1,0 +1,120 @@
+"""Synthetic base images with realistic file-count/size profiles.
+
+The profiles matter: the paper's shared-filesystem argument (§3.2,
+§4.1.4) hinges on interpreter stacks shipping *thousands of small files*
+(Python) versus compiled stacks shipping *few large ones*.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.fs.tree import FileTree
+from repro.oci.image import ImageConfig, OCIImage
+from repro.oci.layer import Layer
+
+
+def _make_distro_base(tree: FileTree, n_libs: int, lib_size: int) -> None:
+    tree.create_file("/bin/sh", size=120_000, mode=0o755)
+    tree.create_file("/etc/os-release", data=b"ID=repro-linux\n")
+    tree.create_file("/etc/nsswitch.conf", data=b"passwd: files\ngroup: files\n")
+    tree.create_file("/etc/passwd", data=b"root:x:0:0:root:/root:/bin/sh\n")
+    tree.create_file("/etc/group", data=b"root:x:0:\n")
+    tree.create_file("/usr/lib/libc.so.6", size=2_000_000, mode=0o755)
+    tree.symlink("/lib", "/usr/lib")
+    for i in range(n_libs):
+        tree.create_file(f"/usr/lib/lib{i:03}.so", size=lib_size, mode=0o755)
+    # locale data the paper calls out as surprise startup IO (§4.1.4)
+    for loc in ("en_US", "C.UTF-8", "POSIX"):
+        tree.create_file(f"/usr/lib/locale/{loc}/LC_ALL", size=5_000)
+
+
+def build_ubuntu_base() -> OCIImage:
+    """A glibc distro base: moderately many medium files (~60 MB)."""
+    tree = FileTree()
+    _make_distro_base(tree, n_libs=110, lib_size=500_000)
+    config = ImageConfig(cmd=("sh",), labels={"org.opencontainers.image.ref.name": "ubuntu"})
+    return OCIImage(config, [Layer(tree, created_by="FROM scratch (ubuntu base)")])
+
+
+def build_alpine_base() -> OCIImage:
+    """A musl micro base: few small files (~8 MB)."""
+    tree = FileTree()
+    tree.create_file("/bin/sh", size=80_000, mode=0o755)
+    tree.create_file("/etc/os-release", data=b"ID=alpine-sim\n")
+    tree.create_file("/etc/nsswitch.conf", data=b"passwd: files\n")
+    tree.create_file("/etc/passwd", data=b"root:x:0:0:root:/root:/bin/sh\n")
+    tree.create_file("/lib/ld-musl.so.1", size=600_000, mode=0o755)
+    for i in range(14):
+        tree.create_file(f"/lib/lib{i:02}.so", size=250_000, mode=0o755)
+    config = ImageConfig(cmd=("sh",), labels={"org.opencontainers.image.ref.name": "alpine"})
+    return OCIImage(config, [Layer(tree, created_by="FROM scratch (alpine base)")])
+
+
+def build_python_base(n_stdlib_files: int = 3000) -> OCIImage:
+    """An interpreter stack: thousands of small files — the shared-FS
+    stress case."""
+    base = build_ubuntu_base()
+    tree = FileTree()
+    tree.create_file("/usr/bin/python3.11", size=6_000_000, mode=0o755)
+    for i in range(n_stdlib_files):
+        tree.create_file(f"/usr/lib/python3.11/stdlib_{i:04}.py", size=3_000)
+    config = ImageConfig(
+        entrypoint=("python3.11",),
+        cmd=(),
+        env={"PYTHONPATH": "/usr/lib/python3.11"},
+        labels={"org.opencontainers.image.ref.name": "python"},
+    )
+    return OCIImage(config, [*base.layers, Layer(tree, created_by="python 3.11 runtime")])
+
+
+def build_mpi_app_base() -> OCIImage:
+    """A compiled MPI application: few large files — the easy case."""
+    base = build_ubuntu_base()
+    tree = FileTree()
+    tree.create_file("/usr/lib/libmpi.so.40", size=8_000_000, mode=0o755)
+    tree.create_file("/opt/app/bin/solver", size=45_000_000, mode=0o755)
+    tree.create_file("/opt/app/share/params.dat", size=120_000_000)
+    config = ImageConfig(
+        entrypoint=("/opt/app/bin/solver",),
+        cmd=(),
+        labels={"org.opencontainers.image.ref.name": "mpi-solver"},
+        target_microarch="x86-64-v3",
+    )
+    return OCIImage(config, [*base.layers, Layer(tree, created_by="mpi solver install")])
+
+
+class BaseImageCatalog:
+    """Named base images for ``FROM``/``Bootstrap`` resolution."""
+
+    def __init__(self) -> None:
+        self._builders: dict[str, _t.Callable[[], OCIImage]] = {
+            "scratch": lambda: OCIImage(ImageConfig(), [Layer(FileTree(), created_by="scratch")]),
+            "ubuntu": build_ubuntu_base,
+            "ubuntu:22.04": build_ubuntu_base,
+            "alpine": build_alpine_base,
+            "alpine:3.18": build_alpine_base,
+            "python": build_python_base,
+            "python:3.11": build_python_base,
+            "mpi-solver": build_mpi_app_base,
+        }
+        self._cache: dict[str, OCIImage] = {}
+
+    def register(self, name: str, builder: _t.Callable[[], OCIImage]) -> None:
+        self._builders[name] = builder
+        self._cache.pop(name, None)
+
+    def register_image(self, name: str, image: OCIImage) -> None:
+        self._builders[name] = lambda: image
+        self._cache[name] = image
+
+    def names(self) -> list[str]:
+        return sorted(self._builders)
+
+    def get(self, name: str) -> OCIImage:
+        if name not in self._cache:
+            builder = self._builders.get(name)
+            if builder is None:
+                raise KeyError(f"unknown base image: {name!r} (known: {self.names()})")
+            self._cache[name] = builder()
+        return self._cache[name]

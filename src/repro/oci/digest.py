@@ -1,0 +1,24 @@
+"""Content addressing (sha256 digests) used throughout the OCI stack."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def digest_bytes(data: bytes) -> str:
+    return "sha256:" + hashlib.sha256(data).hexdigest()
+
+
+def digest_str(text: str) -> str:
+    return digest_bytes(text.encode())
+
+
+def short_digest(digest: str, length: int = 12) -> str:
+    """The familiar truncated form shown by docker/podman CLIs."""
+    if ":" in digest:
+        digest = digest.split(":", 1)[1]
+    return digest[:length]
+
+
+def is_digest(value: str) -> bool:
+    return value.startswith("sha256:") and len(value) == 7 + 64

@@ -1,0 +1,80 @@
+"""OCI image encryption (ocicrypt, §4.1.5 / conclusion).
+
+"registry-supported solutions for [encryption and signing] are being
+introduced in the cloud compute ecosystem via the Notary, sigstore and
+ocicrypt projects."  Layers are encrypted per-recipient; a runtime with
+ocicrypt support decrypts at pull/run time, one without it must refuse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.oci.digest import digest_str
+from repro.oci.image import ImageConfig, OCIImage
+from repro.oci.layer import Layer
+from repro.signing.keys import KeyPair, SignatureError
+
+ENCRYPTED_MEDIA_TYPE = "application/vnd.oci.image.layer.v1.tar+gzip+encrypted"
+
+
+@dataclasses.dataclass(frozen=True)
+class EncryptedLayer:
+    """An encrypted layer blob: content is opaque until unwrapped."""
+
+    wrapped: Layer
+    key_id: str
+
+    @property
+    def digest(self) -> str:
+        return digest_str(f"enc:{self.key_id}:{self.wrapped.digest}")
+
+    @property
+    def compressed_size(self) -> int:
+        return self.wrapped.compressed_size + 512  # key-wrap envelope
+
+    def unwrap(self, key: KeyPair) -> Layer:
+        if key.public_id != self.key_id:
+            raise SignatureError(
+                f"layer encrypted for key {self.key_id}, got {key.public_id}"
+            )
+        return self.wrapped
+
+
+class EncryptedOCIImage:
+    """An OCI image whose layers are ocicrypt-encrypted."""
+
+    def __init__(self, config: ImageConfig, layers: list[EncryptedLayer], source_digest: str):
+        self.config = config
+        self.encrypted_layers = layers
+        self.source_digest = source_digest
+        self.media_type = ENCRYPTED_MEDIA_TYPE
+
+    @property
+    def digest(self) -> str:
+        return digest_str("encimg:" + ":".join(l.digest for l in self.encrypted_layers))
+
+    @property
+    def compressed_size(self) -> int:
+        return sum(l.compressed_size for l in self.encrypted_layers)
+
+    @property
+    def key_id(self) -> str:
+        return self.encrypted_layers[0].key_id
+
+    def decrypt(self, key: KeyPair) -> OCIImage:
+        layers = [l.unwrap(key) for l in self.encrypted_layers]
+        image = OCIImage(self.config, layers)
+        if image.digest != self.source_digest:
+            raise SignatureError("decrypted image digest mismatch (tampered?)")
+        return image
+
+    def __repr__(self) -> str:
+        return f"<EncryptedOCIImage {len(self.encrypted_layers)} layers for {self.key_id}>"
+
+
+def encrypt_image(image: OCIImage, recipient: KeyPair) -> EncryptedOCIImage:
+    """Encrypt every layer for ``recipient`` (ocicrypt per-layer model)."""
+    layers = [EncryptedLayer(wrapped=layer, key_id=recipient.public_id)
+              for layer in image.layers]
+    return EncryptedOCIImage(image.config, layers, source_digest=image.digest)

@@ -1,0 +1,153 @@
+"""eStargz-style lazy-pullable images (§7 outlook).
+
+"With registries like Quay or Dragonfly providing eStargz or EroFS
+images, which can be either generated on-the-fly or uploaded in addition
+to the OCI compatible layers, we assume it won't be long until these
+formats will be evaluated and possibly adopted for HPC usage as an
+alternative to SIF."
+
+An eStargz image is a *seekable* layer format: a table of contents maps
+each file to a byte range, so a client can mount the image immediately and
+fetch chunks over HTTP range requests on first access, instead of
+pulling everything up front.  Startup becomes proportional to the bytes
+actually touched; the price is a per-miss network round trip and
+background prefetch traffic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.fs.inode import FileNode, Node
+from repro.fs.tree import FileTree, FsError
+from repro.oci.digest import digest_str
+from repro.oci.image import OCIImage
+
+#: estargz compresses per-chunk, slightly worse than whole-image gzip
+ESTARGZ_COMPRESSION_RATIO = 0.55
+CHUNK_SIZE = 4 * 2**20
+
+
+@dataclasses.dataclass(frozen=True)
+class TocEntry:
+    path: str
+    offset: int
+    compressed_size: int
+    uncompressed_size: int
+
+
+class EStargzImage:
+    """A seekable image with a table of contents."""
+
+    def __init__(self, image: OCIImage, prefetch_landmarks: _t.Sequence[str] = ()):
+        self.source_digest = image.digest
+        self.config = image.config
+        self.tree = image.flatten()
+        self.toc: dict[str, TocEntry] = {}
+        offset = 0
+        for path, node in self.tree.files():
+            compressed = int(node.size * ESTARGZ_COMPRESSION_RATIO)
+            self.toc[path] = TocEntry(path, offset, compressed, node.size)
+            offset += compressed
+        self.total_compressed = offset
+        #: files the producer marked for eager prefetch (the "landmark"
+        #: mechanism: entrypoint binary, config files)
+        self.prefetch_landmarks = tuple(p for p in prefetch_landmarks if p in self.toc)
+
+    @property
+    def digest(self) -> str:
+        return digest_str(f"estargz:{self.source_digest}")
+
+    @property
+    def toc_size(self) -> int:
+        # ~100 bytes of JSON per entry
+        return 100 * len(self.toc)
+
+
+def to_estargz(image: OCIImage, prefetch_landmarks: _t.Sequence[str] = ()) -> EStargzImage:
+    """Convert an OCI image to the seekable format (registry-side,
+    'generated on-the-fly or uploaded in addition')."""
+    return EStargzImage(image, prefetch_landmarks)
+
+
+class LazyPullTransport:
+    """HTTP range-request cost model between node and registry."""
+
+    def __init__(self, latency: float = 15e-3, bandwidth: float = 1.0e9):
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.stats = {"range_requests": 0, "bytes_fetched": 0}
+
+    def fetch(self, nbytes: int) -> float:
+        self.stats["range_requests"] += 1
+        self.stats["bytes_fetched"] += nbytes
+        return self.latency + nbytes / self.bandwidth
+
+
+class LazyMountedView:
+    """A mounted view over an eStargz image that faults chunks in.
+
+    Reads of not-yet-present content pay a range request; subsequent
+    reads hit the local chunk cache.  Mount time is just the TOC fetch
+    plus the landmark prefetch — the lazy-pull win.
+    """
+
+    def __init__(self, image: EStargzImage, transport: LazyPullTransport | None = None):
+        self.image = image
+        self.transport = transport or LazyPullTransport()
+        self._present: set[str] = set()
+        self.driver_name = "estargz-lazy"
+        self.stats = {"opens": 0, "bytes_read": 0, "faults": 0}
+        #: decompression cost per byte on fault
+        self._decompress_bw = 600e6
+
+    def mount_cost(self) -> float:
+        """Fetch the TOC + prefetch landmarks; the container can start."""
+        cost = self.transport.fetch(self.image.toc_size)
+        for path in self.image.prefetch_landmarks:
+            cost += self._fault(path)
+        return cost
+
+    def _fault(self, path: str) -> float:
+        entry = self.image.toc[path]
+        self._present.add(path)
+        self.stats["faults"] += 1
+        return (
+            self.transport.fetch(entry.compressed_size)
+            + entry.uncompressed_size / self._decompress_bw
+        )
+
+    # -- the MountedView-ish surface used by workloads ---------------------------
+    def lookup(self, path: str) -> Node | None:
+        return self.image.tree.lookup(path)
+
+    def exists(self, path: str) -> bool:
+        return self.image.tree.exists(path)
+
+    def open(self, path: str) -> float:
+        if not self.image.tree.exists(path):
+            raise FsError(f"no such path: {path}")
+        self.stats["opens"] += 1
+        # metadata is fully local after the TOC fetch
+        return 20e-6
+
+    def read(self, path: str, random: bool = False) -> tuple[float, int]:
+        node = self.image.tree.get(path)
+        if not isinstance(node, FileNode):
+            raise FsError(f"not a file: {path}")
+        cost = 0.0
+        if path not in self._present:
+            cost += self._fault(path)
+        # local (cached) read after the fault
+        cost += node.size / 2.0e9
+        self.stats["bytes_read"] += node.size
+        return cost, node.size
+
+    def resident_fraction(self) -> float:
+        """Fraction of image bytes actually pulled so far."""
+        pulled = sum(self.image.toc[p].compressed_size for p in self._present)
+        return pulled / self.image.total_compressed if self.image.total_compressed else 1.0
+
+    def _all_trees_top_down(self) -> list[FileTree]:
+        return [self.image.tree]

@@ -1,0 +1,101 @@
+"""OCI image layers: content-addressed filesystem diffs.
+
+A layer captures changes relative to the previous layer (§3.1).  Layers
+are the unit of deduplication in registries and local caches
+(content-addressable storage), and the unit the HPC conversion step
+flattens away.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing as _t
+
+from repro.fs.inode import DirNode, FileNode, Node, SymlinkNode, WhiteoutNode
+from repro.fs.tree import FileTree
+
+#: gzip-ish compression ratio for layer tarballs in transit
+LAYER_COMPRESSION_RATIO = 0.5
+
+
+class Layer:
+    """An immutable filesystem diff with a content digest."""
+
+    def __init__(self, tree: FileTree, created_by: str = ""):
+        self.tree = tree
+        self.created_by = created_by
+        self.uncompressed_size = tree.total_size()
+        self.compressed_size = int(self.uncompressed_size * LAYER_COMPRESSION_RATIO)
+        self.num_files = tree.num_files()
+        self._digest = self._compute_digest()
+
+    def _compute_digest(self) -> str:
+        """Digest over the sorted (path, kind, content-digest) entries, so
+        identical content yields identical digests — the property layer
+        deduplication relies on."""
+        h = hashlib.sha256()
+        h.update(self.created_by.encode())
+        for path, node in self.tree.walk():
+            h.update(path.encode())
+            h.update(node.kind.encode())
+            if isinstance(node, FileNode):
+                h.update(node.digest().encode())
+                h.update(str(node.mode).encode())
+                h.update(f"{node.uid}:{node.gid}".encode())
+            elif isinstance(node, SymlinkNode):
+                h.update(node.target.encode())
+        return "sha256:" + h.hexdigest()
+
+    @property
+    def digest(self) -> str:
+        return self._digest
+
+    def apply_to(self, tree: FileTree) -> None:
+        """Apply this diff (including whiteouts) onto ``tree`` in place."""
+        tree.merge_from(self.tree)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Layer) and other.digest == self.digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest)
+
+    def __repr__(self) -> str:
+        return f"<Layer {self.digest[:19]} files={self.num_files} size={self.uncompressed_size}>"
+
+
+def diff_trees(base: FileTree, new: FileTree, created_by: str = "") -> Layer:
+    """Compute the layer that transforms ``base`` into ``new``.
+
+    Additions and modifications appear as content; deletions appear as
+    whiteout entries (the ``.wh.`` convention of the OCI layer format).
+    """
+    delta = FileTree()
+
+    new_nodes: dict[str, Node] = dict(new.walk())
+    base_nodes: dict[str, Node] = dict(base.walk())
+
+    for path, node in new_nodes.items():
+        if path == "/":
+            continue
+        old = base_nodes.get(path)
+        if isinstance(node, FileNode):
+            if not isinstance(old, FileNode) or old.digest() != node.digest() or old.mode != node.mode:
+                delta.create_file(
+                    path, data=node.data, size=None if node.data is not None else node.size,
+                    uid=node.uid, gid=node.gid, mode=node.mode,
+                )
+        elif isinstance(node, SymlinkNode):
+            if not isinstance(old, SymlinkNode) or old.target != node.target:
+                delta.symlink(path, node.target, uid=node.uid, gid=node.gid)
+        elif isinstance(node, DirNode) and old is None:
+            delta.mkdir(path, parents=True, uid=node.uid, gid=node.gid)
+
+    for path in base_nodes:
+        if path != "/" and path not in new_nodes:
+            # Only whiteout the topmost deleted entry, not every descendant.
+            parent = path.rsplit("/", 1)[0] or "/"
+            if parent == "/" or parent in new_nodes:
+                delta.whiteout(path)
+
+    return Layer(delta, created_by=created_by)

@@ -1,0 +1,131 @@
+"""The miniature shell the image builders execute.
+
+Real Dockerfiles run arbitrary shell; a simulation cannot, so ``RUN``
+lines (and ``%post`` sections) are written in a small command language
+whose effects on the filesystem tree are explicit:
+
+=====================================  ==========================================
+command                                effect
+=====================================  ==========================================
+``mkdir [-p] PATH``                    create a directory
+``touch PATH``                         create an empty file
+``write PATH SIZE``                    create a size-only file of SIZE bytes
+``echo TEXT > PATH``                   create a data file with TEXT
+``rm [-rf] PATH``                      remove a path
+``chmod MODE PATH``                    change mode (octal)
+``ln -s TARGET PATH``                  create a symlink
+``install-pkg NAME NFILES SIZE``       OS package: NFILES files of SIZE bytes
+                                       under /opt/NAME + an SBOM marker
+``pip-install NAME [NFILES]``          Python package: many small .py files in
+                                       site-packages + an SBOM marker
+``compile SRC OUT SIZE``               produce a binary of SIZE bytes at OUT
+=====================================  ==========================================
+
+Multiple commands may be chained with ``&&``.  An unknown command leaves
+a deterministic marker file so distinct commands still yield distinct
+layers (and cache keys).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shlex
+
+from repro.fs.tree import FileTree
+
+#: where package installs record their SBOM markers (see signing.sbom)
+MANIFEST_DIR = "/var/lib/repro-pkg"
+
+#: default python minor version used for site-packages paths
+SITE_PACKAGES = "/usr/lib/python3.11/site-packages"
+
+
+class ShellError(ValueError):
+    """A build command failed (bad syntax or bad target)."""
+
+
+def run_commands(tree: FileTree, script: str, uid: int = 0) -> None:
+    """Execute a script (newlines and ``&&`` both separate commands)."""
+    for raw_line in script.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        for command in line.split("&&"):
+            command = command.strip()
+            if command:
+                _run_one(tree, command, uid)
+
+
+def _record_pkg(tree: FileTree, name: str, version: str, origin: str, uid: int) -> None:
+    meta = json.dumps({"name": name, "version": version, "origin": origin})
+    tree.create_file(f"{MANIFEST_DIR}/{origin}-{name}.json", data=meta.encode(), uid=uid)
+
+
+def _run_one(tree: FileTree, command: str, uid: int) -> None:
+    try:
+        argv = shlex.split(command)
+    except ValueError as exc:
+        raise ShellError(f"unparseable command {command!r}: {exc}") from exc
+    if not argv:
+        return
+    cmd, *args = argv
+
+    if cmd == "mkdir":
+        args = [a for a in args if a != "-p"]
+        if not args:
+            raise ShellError("mkdir: missing path")
+        for path in args:
+            tree.mkdir(path, parents=True, uid=uid)
+    elif cmd == "touch":
+        for path in args:
+            tree.create_file(path, data=b"", uid=uid)
+    elif cmd == "write":
+        if len(args) != 2:
+            raise ShellError(f"write: expected PATH SIZE, got {args}")
+        tree.create_file(args[0], size=int(args[1]), uid=uid)
+    elif cmd == "echo":
+        if ">" not in args:
+            raise ShellError("echo: only the 'echo TEXT > PATH' form is supported")
+        split = args.index(">")
+        text, target = " ".join(args[:split]), args[split + 1]
+        tree.create_file(target, data=text.encode(), uid=uid)
+    elif cmd == "rm":
+        args = [a for a in args if a not in ("-r", "-f", "-rf")]
+        for path in args:
+            tree.remove(path)
+    elif cmd == "chmod":
+        if len(args) != 2:
+            raise ShellError("chmod: expected MODE PATH")
+        tree.get(args[1]).chmod(int(args[0], 8))
+    elif cmd == "ln":
+        if len(args) != 3 or args[0] != "-s":
+            raise ShellError("ln: only 'ln -s TARGET PATH' is supported")
+        tree.symlink(args[2], args[1], uid=uid)
+    elif cmd == "install-pkg":
+        if len(args) not in (3, 4):
+            raise ShellError("install-pkg: expected NAME NFILES SIZE [VERSION]")
+        name, nfiles, size = args[0], int(args[1]), int(args[2])
+        version = args[3] if len(args) == 4 else "1.0"
+        for i in range(nfiles):
+            tree.create_file(f"/opt/{name}/lib/file_{i:04}.so", size=size, uid=uid)
+        _record_pkg(tree, name, version, "os-package", uid)
+    elif cmd == "pip-install":
+        if not args:
+            raise ShellError("pip-install: missing package name")
+        name = args[0]
+        nfiles = int(args[1]) if len(args) > 1 else 120
+        for i in range(nfiles):
+            tree.create_file(f"{SITE_PACKAGES}/{name}/mod_{i:04}.py", size=2_000, uid=uid)
+        _record_pkg(tree, name, "1.0", "pip", uid)
+    elif cmd == "compile":
+        if len(args) != 3:
+            raise ShellError("compile: expected SRC OUT SIZE")
+        src, out, size = args
+        if not tree.exists(src):
+            raise ShellError(f"compile: source {src} does not exist")
+        tree.create_file(out, size=int(size), uid=uid, mode=0o755)
+    else:
+        # Unknown command: deterministic marker so layers still differ.
+        marker = hashlib.sha256(command.encode()).hexdigest()[:16]
+        tree.create_file(f"/.build/{marker}", data=command.encode(), uid=uid)

@@ -1,0 +1,80 @@
+"""Container registries: OCI distribution v2, Library API, and the seven
+concrete registry products the paper compares (Tables 4 and 5).
+
+Includes the infrastructure concerns §5 discusses: blob storage backends,
+authentication providers, multi-tenancy and quotas, rate limiting (the
+DockerHub problem), pull-through proxying, and mirroring/replication.
+"""
+
+from repro.registry.storage import BlobStore, FSBlobStore, S3BlobStore, StorageError
+from repro.registry.auth import (
+    AuthError,
+    AuthProvider,
+    AuthService,
+    InternalAuth,
+    KerberosAuth,
+    LDAPAuth,
+    OIDCAuth,
+    PAMAuth,
+    SAMLAuth,
+)
+from repro.registry.ratelimit import RateLimiter, RateLimitExceeded
+from repro.registry.distribution import (
+    OCIDistributionRegistry,
+    RegistryError,
+    Transport,
+)
+from repro.registry.library_api import LibraryAPIRegistry
+from repro.registry.proxy import PullThroughProxy
+from repro.registry.mirror import MirrorDirection, MirrorRule, Replicator
+from repro.registry.quota import QuotaManager, QuotaExceeded
+from repro.registry.registries import (
+    ALL_REGISTRIES,
+    Gitea,
+    GitLabRegistry,
+    Harbor,
+    Hinkskalle,
+    Quay,
+    RegistryProduct,
+    RegistryTraits,
+    Shpc,
+    Zot,
+)
+
+__all__ = [
+    "ALL_REGISTRIES",
+    "AuthError",
+    "AuthProvider",
+    "AuthService",
+    "BlobStore",
+    "FSBlobStore",
+    "Gitea",
+    "GitLabRegistry",
+    "Harbor",
+    "Hinkskalle",
+    "InternalAuth",
+    "KerberosAuth",
+    "LDAPAuth",
+    "LibraryAPIRegistry",
+    "MirrorDirection",
+    "MirrorRule",
+    "OCIDistributionRegistry",
+    "OIDCAuth",
+    "PAMAuth",
+    "PullThroughProxy",
+    "Quay",
+    "QuotaExceeded",
+    "QuotaManager",
+    "RateLimitExceeded",
+    "RateLimiter",
+    "RegistryError",
+    "RegistryProduct",
+    "RegistryTraits",
+    "Replicator",
+    "S3BlobStore",
+    "SAMLAuth",
+    "Shpc",
+    "StorageError",
+    "Transport",
+    "Zot",
+]

@@ -1,0 +1,82 @@
+"""The Singularity Library API protocol.
+
+SIF-native registries (§5.1.1): flat images addressed as
+``entity/collection/container:tag``, with signature metadata preserved
+(no repackaging), as opposed to pushing SIF files into OCI registries as
+opaque artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.oci.sif import SIFImage
+from repro.registry.distribution import RegistryError, Transport
+from repro.registry.storage import BlobStore, FSBlobStore
+
+
+@dataclasses.dataclass(frozen=True)
+class LibraryRef:
+    entity: str
+    collection: str
+    container: str
+    tag: str = "latest"
+
+    @classmethod
+    def parse(cls, ref: str) -> "LibraryRef":
+        ref = ref.removeprefix("library://")
+        if ":" in ref:
+            path, tag = ref.rsplit(":", 1)
+        else:
+            path, tag = ref, "latest"
+        parts = path.split("/")
+        if len(parts) != 3 or not all(parts):
+            raise RegistryError(
+                f"library ref must be entity/collection/container[:tag], got {ref!r}"
+            )
+        return cls(parts[0], parts[1], parts[2], tag)
+
+    def __str__(self) -> str:
+        return f"library://{self.entity}/{self.collection}/{self.container}:{self.tag}"
+
+
+class LibraryAPIRegistry:
+    """A SIF registry speaking the Library API."""
+
+    def __init__(self, name: str = "library", store: BlobStore | None = None,
+                 transport: Transport = Transport()):
+        self.name = name
+        self.store = store if store is not None else FSBlobStore()
+        self.transport = transport
+        #: (entity, collection, container) -> tag -> sif digest
+        self._tags: dict[tuple[str, str, str], dict[str, str]] = {}
+        self.stats = {"pushes": 0, "pulls": 0}
+
+    def push_sif(self, ref: str | LibraryRef, image: SIFImage) -> float:
+        parsed = LibraryRef.parse(ref) if isinstance(ref, str) else ref
+        cost = self.transport.request_cost(image.file_size)
+        cost += self.store.put(image.digest, image.file_size, payload=image,
+                               media_type="application/vnd.sylabs.sif.layer.v1.sif")
+        key = (parsed.entity, parsed.collection, parsed.container)
+        self._tags.setdefault(key, {})[parsed.tag] = image.digest
+        self.stats["pushes"] += 1
+        return cost
+
+    def pull_sif(self, ref: str | LibraryRef) -> tuple[SIFImage, float]:
+        parsed = LibraryRef.parse(ref) if isinstance(ref, str) else ref
+        key = (parsed.entity, parsed.collection, parsed.container)
+        tags = self._tags.get(key)
+        if tags is None or parsed.tag not in tags:
+            raise RegistryError(f"{self.name}: no such image {parsed}")
+        blob, store_cost = self.store.get(tags[parsed.tag])
+        image = blob.payload
+        assert isinstance(image, SIFImage)
+        self.stats["pulls"] += 1
+        return image, store_cost + self.transport.request_cost(blob.size)
+
+    def list_containers(self, entity: str, collection: str) -> list[str]:
+        return sorted(
+            container
+            for (e, c, container) in self._tags
+            if e == entity and c == collection
+        )

@@ -1,0 +1,76 @@
+"""Mirroring / replication between registries (Table 4's "Repl./Mirroring").
+
+Two directions (§5.1.3): *push* replication propagates local content to a
+peer on every push (Harbor); *pull* replication periodically syncs
+remote repositories onto local infrastructure (Quay, zot, Harbor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import fnmatch
+
+from repro.registry.distribution import OCIDistributionRegistry, RegistryError
+
+
+class MirrorDirection(enum.Enum):
+    PUSH = "push"
+    PULL = "pull"
+
+
+@dataclasses.dataclass
+class MirrorRule:
+    direction: MirrorDirection
+    #: glob over repository names ("hpc/*")
+    repository_pattern: str
+    peer: OCIDistributionRegistry
+
+    def matches(self, repository: str) -> bool:
+        return fnmatch.fnmatch(repository, self.repository_pattern)
+
+
+class Replicator:
+    """Applies mirror rules for one local registry."""
+
+    def __init__(self, local: OCIDistributionRegistry):
+        self.local = local
+        self.rules: list[MirrorRule] = []
+        self.stats = {"push_replications": 0, "pull_syncs": 0}
+
+    def add_rule(self, rule: MirrorRule) -> None:
+        self.rules.append(rule)
+
+    # -- push replication ------------------------------------------------------
+    def on_push(self, repository: str, tag: str) -> float:
+        """Call after a local push; replicates to matching push peers."""
+        cost = 0.0
+        image, pull_cost = self.local.pull_image(repository, tag)
+        for rule in self.rules:
+            if rule.direction is MirrorDirection.PUSH and rule.matches(repository):
+                cost += pull_cost + rule.peer.push_image(repository, tag, image)
+                self.stats["push_replications"] += 1
+        return cost
+
+    # -- pull (sync) replication ---------------------------------------------------
+    def sync(self, now: float = 0.0) -> float:
+        """Periodic sync: copy matching remote repositories into local."""
+        cost = 0.0
+        for rule in self.rules:
+            if rule.direction is not MirrorDirection.PULL:
+                continue
+            for repository in rule.peer.list_repositories():
+                if not rule.matches(repository):
+                    continue
+                for tag in rule.peer.list_tags(repository):
+                    remote_digest = rule.peer.resolve(repository, tag)
+                    try:
+                        local_digest = self.local.resolve(repository, tag)
+                    except RegistryError:
+                        local_digest = None
+                    if local_digest == remote_digest:
+                        continue
+                    image, pull_cost = rule.peer.pull_image(repository, tag, now=now)
+                    cost += pull_cost + self.local.push_image(repository, tag, image)
+                    self.stats["pull_syncs"] += 1
+        return cost

@@ -1,0 +1,66 @@
+"""Pull-through proxy cache.
+
+"A registry implementing proxy capabilities by means of transparently
+forwarding and caching requests in a namespace to an upstream registry"
+(§5.1.3).  The proxy absorbs the upstream's per-IP rate limit: hundreds
+of compute nodes behind one NAT IP hit the cache instead of DockerHub.
+"""
+
+from __future__ import annotations
+
+from repro.oci.image import OCIImage
+from repro.registry.distribution import OCIDistributionRegistry, Transport
+
+
+class PullThroughProxy:
+    """A caching proxy in front of an upstream OCI registry."""
+
+    def __init__(
+        self,
+        upstream: OCIDistributionRegistry,
+        name: str = "proxy-cache",
+        #: the single public IP the site's egress NAT presents upstream
+        egress_ip: str = "198.51.100.1",
+        #: LAN transport between compute nodes and the proxy — fast
+        local_transport: Transport = Transport(latency=0.5e-3, bandwidth=5e9),
+    ):
+        self.upstream = upstream
+        self.name = name
+        self.egress_ip = egress_ip
+        self.cache = OCIDistributionRegistry(name=f"{name}-store", transport=local_transport)
+        self.stats = {"hits": 0, "misses": 0, "upstream_requests": 0, "upstream_bytes": 0}
+
+    def pull_image(
+        self,
+        repository: str,
+        tag: str,
+        now: float = 0.0,
+        have_digests=frozenset(),
+    ) -> tuple[OCIImage, float]:
+        """Pull through the cache; one upstream fetch per (repo, tag)."""
+        try:
+            self.cache.resolve(repository, tag)
+            cached = True
+        except Exception:
+            cached = False
+        cost = 0.0
+        if not cached:
+            self.stats["misses"] += 1
+            self.stats["upstream_requests"] += 1
+            image, upstream_cost = self.upstream.pull_image(
+                repository, tag, ip=self.egress_ip, now=now
+            )
+            self.stats["upstream_bytes"] += image.compressed_size
+            cost += upstream_cost
+            self.cache.push_image(repository, tag, image)
+        else:
+            self.stats["hits"] += 1
+        image, local_cost = self.cache.pull_image(
+            repository, tag, now=now, have_digests=have_digests
+        )
+        return image, cost + local_cost
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats["hits"] + self.stats["misses"]
+        return self.stats["hits"] / total if total else 0.0

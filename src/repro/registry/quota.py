@@ -1,0 +1,38 @@
+"""Per-project storage quotas (Table 5's "Quota" column)."""
+
+from __future__ import annotations
+
+
+class QuotaExceeded(RuntimeError):
+    def __init__(self, project: str, used: int, limit: int, requested: int):
+        super().__init__(
+            f"quota exceeded for project {project!r}: {used} + {requested} > {limit}"
+        )
+        self.project = project
+
+
+class QuotaManager:
+    """Tracks per-project byte budgets."""
+
+    def __init__(self) -> None:
+        self._limits: dict[str, int] = {}
+        self._used: dict[str, int] = {}
+
+    def set_limit(self, project: str, limit_bytes: int) -> None:
+        self._limits[project] = limit_bytes
+
+    def limit(self, project: str) -> int | None:
+        return self._limits.get(project)
+
+    def used(self, project: str) -> int:
+        return self._used.get(project, 0)
+
+    def charge(self, project: str, nbytes: int) -> None:
+        limit = self._limits.get(project)
+        used = self._used.get(project, 0)
+        if limit is not None and used + nbytes > limit:
+            raise QuotaExceeded(project, used, limit, nbytes)
+        self._used[project] = used + nbytes
+
+    def release(self, project: str, nbytes: int) -> None:
+        self._used[project] = max(0, self._used.get(project, 0) - nbytes)

@@ -1,0 +1,53 @@
+"""Rate limiting, keyed by client IP.
+
+"The most popular public OCI registry DockerHub introduced rate
+limiting.  Any site with a small number of public IP addresses for a
+large number of clients is quickly affected by this." (§5.1.3)
+
+A sliding-window limiter over simulated time: HPC clusters NAT hundreds
+of nodes behind one or two IPs, so they exhaust the per-IP budget almost
+immediately — the behaviour the pull-through proxy bench reproduces.
+"""
+
+from __future__ import annotations
+
+import collections
+
+
+class RateLimitExceeded(RuntimeError):
+    def __init__(self, ip: str, retry_after: float):
+        super().__init__(f"rate limit exceeded for {ip}; retry after {retry_after:.0f}s")
+        self.ip = ip
+        self.retry_after = retry_after
+
+
+class RateLimiter:
+    """Sliding-window request limiter (DockerHub: 100 pulls / 6 h / IP)."""
+
+    def __init__(self, max_requests: int = 100, window_seconds: float = 6 * 3600):
+        if max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        self.max_requests = max_requests
+        self.window_seconds = window_seconds
+        self._history: dict[str, collections.deque[float]] = collections.defaultdict(
+            collections.deque
+        )
+        self.rejections = 0
+
+    def check(self, ip: str, now: float) -> None:
+        """Record one request at virtual time ``now``; raise when over."""
+        history = self._history[ip]
+        cutoff = now - self.window_seconds
+        while history and history[0] <= cutoff:
+            history.popleft()
+        if len(history) >= self.max_requests:
+            self.rejections += 1
+            retry_after = history[0] + self.window_seconds - now
+            raise RateLimitExceeded(ip, retry_after)
+        history.append(now)
+
+    def remaining(self, ip: str, now: float) -> int:
+        history = self._history[ip]
+        cutoff = now - self.window_seconds
+        live = sum(1 for t in history if t > cutoff)
+        return max(0, self.max_requests - live)

@@ -1,0 +1,253 @@
+"""The seven registry products of Tables 4 and 5.
+
+Every trait in the paper's tables is represented either as *behaviour*
+(proxying, mirroring, quotas, tenancy, signing, squashing, protocols —
+all exercised by tests and benches) or as *literature metadata* (version,
+champion, affiliation — facts about the real projects, marked as such).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.registry.auth import (
+    AuthProvider,
+    AuthService,
+    InternalAuth,
+    KerberosAuth,
+    KeystoneAuth,
+    LDAPAuth,
+    OIDCAuth,
+    PAMAuth,
+    SAMLAuth,
+    UAAAuth,
+)
+from repro.registry.distribution import OCIDistributionRegistry, RegistryError
+from repro.registry.library_api import LibraryAPIRegistry
+from repro.registry.mirror import MirrorDirection, MirrorRule, Replicator
+from repro.registry.proxy import PullThroughProxy
+from repro.registry.quota import QuotaManager
+
+#: cosign signature artifacts attached next to images
+COSIGN_MEDIA_TYPE = "application/vnd.dev.cosign.simplesigning.v1+json"
+HELM_MEDIA_TYPE = "application/vnd.cncf.helm.chart.content.v1.tar+gzip"
+ZSTD_LAYER_MEDIA_TYPE = "application/vnd.oci.image.layer.v1.tar+zstd"
+NOTATION_MEDIA_TYPE = "application/vnd.cncf.notary.signature"
+SIF_MEDIA_TYPE = "application/vnd.sylabs.sif.layer.v1.sif"
+
+
+@dataclasses.dataclass(frozen=True)
+class RegistryTraits:
+    """Static facts from Tables 4/5 (literature metadata + feature flags)."""
+
+    name: str
+    version: str          # literature: release surveyed by the paper
+    champion: str         # literature
+    affiliation: str      # literature
+    focus: str
+    protocols: tuple[str, ...]            # "OCI v2", "OCI v1", "Library API"
+    proxying: str                         # "auto", "manual", "none"
+    mirroring: tuple[str, ...]            # subset of ("push", "pull", "manual")
+    storage_backends: tuple[str, ...]
+    auth_provider_names: tuple[str, ...]
+    image_squashing: str                  # "on-demand" or "no"
+    image_formats: tuple[str, ...]        # "OCI", "SIF"
+    multi_tenancy: str                    # label ("Organization", "Project") or "no"
+    quota: str                            # "per-project", "minimal", "no"
+    signing: bool
+    deployment: tuple[str, ...]
+    build_integration: str
+
+    @property
+    def supports_oci(self) -> bool:
+        return any(p.startswith("OCI") for p in self.protocols)
+
+    @property
+    def supports_library_api(self) -> bool:
+        return "Library API" in self.protocols
+
+
+_AUTH_CLASSES: dict[str, type[AuthProvider]] = {
+    "internal": InternalAuth,
+    "ldap": LDAPAuth,
+    "oidc": OIDCAuth,
+    "pam": PAMAuth,
+    "kerberos": KerberosAuth,
+    "saml": SAMLAuth,
+    "uaa": UAAAuth,
+    "keystone": KeystoneAuth,
+}
+
+
+class RegistryProduct:
+    """A deployable registry product assembled from its traits."""
+
+    traits: RegistryTraits
+    #: extra artifact media types the product accepts
+    artifact_media_types: frozenset[str] = frozenset()
+    user_defined_artifacts: bool = False
+
+    def __init__(self) -> None:
+        providers = [_AUTH_CLASSES[n]() for n in self.traits.auth_provider_names
+                     if n in _AUTH_CLASSES]
+        self.auth = AuthService(providers) if providers else None
+        self.quotas = QuotaManager() if self.traits.quota == "per-project" else None
+        self.oci: OCIDistributionRegistry | None = None
+        if self.traits.supports_oci:
+            self.oci = OCIDistributionRegistry(
+                name=self.traits.name,
+                quotas=self.quotas,
+                multi_tenant=self.traits.multi_tenancy != "no",
+                extra_media_types=self.artifact_media_types,
+                user_defined_artifacts=self.user_defined_artifacts,
+                supports_squashing=self.traits.image_squashing == "on-demand",
+            )
+        self.library: LibraryAPIRegistry | None = None
+        if self.traits.supports_library_api:
+            self.library = LibraryAPIRegistry(name=f"{self.traits.name}-library")
+        self.replicator = Replicator(self.oci) if self.oci else None
+
+    # -- gated capabilities -----------------------------------------------------------
+    def create_proxy(self, upstream: OCIDistributionRegistry) -> PullThroughProxy:
+        if self.traits.proxying == "none":
+            raise RegistryError(f"{self.traits.name} has no proxying support")
+        if self.oci is None:
+            raise RegistryError(f"{self.traits.name} cannot proxy without OCI support")
+        return PullThroughProxy(upstream, name=f"{self.traits.name}-proxy")
+
+    def add_mirror(self, direction: MirrorDirection, pattern: str,
+                   peer: OCIDistributionRegistry) -> MirrorRule:
+        if direction.value not in self.traits.mirroring:
+            raise RegistryError(
+                f"{self.traits.name} does not support {direction.value} mirroring"
+            )
+        assert self.replicator is not None
+        rule = MirrorRule(direction, pattern, peer)
+        self.replicator.add_rule(rule)
+        return rule
+
+    def attach_signature(self, repository: str, image_digest: str,
+                         payload: object = None) -> None:
+        if not self.traits.signing:
+            raise RegistryError(f"{self.traits.name} cannot store signatures")
+        if self.oci is not None:
+            ref = f"sha256-{image_digest.split(':', 1)[1]}.sig"
+            self.oci.push_artifact(repository, ref, COSIGN_MEDIA_TYPE, size=2048,
+                                   payload=payload)
+        # Library-API-only products store signatures inside the SIF itself.
+
+    def get_signature(self, repository: str, image_digest: str) -> object:
+        if self.oci is None:
+            raise RegistryError(f"{self.traits.name} has no OCI artifact store")
+        ref = f"sha256-{image_digest.split(':', 1)[1]}.sig"
+        return self.oci.get_artifact(repository, ref).payload
+
+
+class Quay(RegistryProduct):
+    traits = RegistryTraits(
+        name="quay", version="v3.8.10", champion="RedHat/IBM", affiliation="-",
+        focus="Registry", protocols=("OCI v2",),
+        proxying="auto", mirroring=("pull",),
+        storage_backends=("fs", "s3", "gcs", "swift", "ceph"),
+        auth_provider_names=("internal", "ldap", "keystone", "oidc"),
+        image_squashing="on-demand", image_formats=("OCI",),
+        multi_tenancy="Organization", quota="per-project", signing=True,
+        deployment=("kubernetes-operator",),
+        build_integration="build on Kubernetes, EC2",
+    )
+    artifact_media_types = frozenset({HELM_MEDIA_TYPE, COSIGN_MEDIA_TYPE, ZSTD_LAYER_MEDIA_TYPE})
+
+
+class Harbor(RegistryProduct):
+    traits = RegistryTraits(
+        name="harbor", version="v2.8.3", champion="VMWare", affiliation="CNCF",
+        focus="Registry", protocols=("OCI v2",),
+        proxying="auto", mirroring=("push", "pull"),
+        storage_backends=("fs", "azure", "gcs", "s3", "swift", "oss"),
+        auth_provider_names=("internal", "ldap", "uaa", "oidc"),
+        image_squashing="no", image_formats=("OCI",),
+        multi_tenancy="Project", quota="per-project", signing=True,
+        deployment=("docker-compose", "helm-chart"),
+        build_integration="via CI/CD",
+    )
+    artifact_media_types = frozenset({HELM_MEDIA_TYPE, COSIGN_MEDIA_TYPE})
+    user_defined_artifacts = True
+
+
+class GitLabRegistry(RegistryProduct):
+    traits = RegistryTraits(
+        name="gitlab", version="v16.2", champion="GitLab", affiliation="-",
+        focus="Git hosting, CI/CD", protocols=("OCI v2",),
+        proxying="manual", mirroring=(),
+        storage_backends=("fs", "azure", "gcs", "s3", "swift", "oss"),
+        auth_provider_names=("ldap",),
+        image_squashing="no", image_formats=("OCI",),
+        multi_tenancy="Organization", quota="minimal", signing=False,
+        deployment=("linux-packages", "helm-chart", "kubernetes-operator", "docker", "get"),
+        build_integration="via CI/CD",
+    )
+
+
+class Gitea(RegistryProduct):
+    traits = RegistryTraits(
+        name="gitea", version="v1.20.2", champion="(OSS community)", affiliation="-",
+        focus="Git hosting, CI/CD", protocols=("OCI v2",),
+        proxying="none", mirroring=(),
+        storage_backends=("fs", "minio-s3"),
+        auth_provider_names=("internal", "ldap", "pam", "kerberos"),
+        image_squashing="no", image_formats=("OCI",),
+        multi_tenancy="no", quota="no", signing=False,
+        deployment=("docker-compose", "binary", "helm-chart"),
+        build_integration="via CI/CD",
+    )
+    artifact_media_types = frozenset({HELM_MEDIA_TYPE})
+
+
+class Shpc(RegistryProduct):
+    traits = RegistryTraits(
+        name="shpc", version="v2.1.0", champion="vsoch", affiliation="LLNL",
+        focus="Registry", protocols=("Library API",),
+        proxying="none", mirroring=("manual",),
+        storage_backends=("minio", "gcs", "s3"),
+        auth_provider_names=("ldap", "pam", "saml"),
+        image_squashing="no", image_formats=("SIF",),
+        multi_tenancy="no", quota="no", signing=True,
+        deployment=("docker-compose",),
+        build_integration="build on GCC",
+    )
+
+
+class Hinkskalle(RegistryProduct):
+    traits = RegistryTraits(
+        name="hinkskalle", version="v4.6.0", champion="h3kker",
+        affiliation="University of Vienna",
+        focus="Registry", protocols=("Library API", "OCI v2"),
+        proxying="none", mirroring=(),
+        storage_backends=("fs",),
+        auth_provider_names=("ldap",),
+        image_squashing="no", image_formats=("SIF", "OCI"),
+        multi_tenancy="no", quota="no", signing=True,
+        deployment=("docker-compose",),
+        build_integration="no",
+    )
+
+
+class Zot(RegistryProduct):
+    traits = RegistryTraits(
+        name="zot", version="v1.4.3", champion="Cisco", affiliation="CNCF",
+        focus="Registry", protocols=("OCI v1",),
+        proxying="none", mirroring=("pull",),
+        storage_backends=("fs", "s3"),
+        auth_provider_names=("internal", "ldap"),
+        image_squashing="no", image_formats=("OCI",),
+        multi_tenancy="no", quota="no", signing=True,
+        deployment=("docker", "helm", "podman"),
+        build_integration="via CI/CD",
+    )
+    artifact_media_types = frozenset({HELM_MEDIA_TYPE, COSIGN_MEDIA_TYPE, NOTATION_MEDIA_TYPE})
+
+
+ALL_REGISTRIES: tuple[type[RegistryProduct], ...] = (
+    Quay, Harbor, GitLabRegistry, Gitea, Shpc, Hinkskalle, Zot,
+)

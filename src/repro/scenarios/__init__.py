@@ -1,0 +1,24 @@
+"""The five Kubernetes/WLM integration scenarios of §6, behind one
+common interface so §6.6's comparison is apples-to-apples."""
+
+from repro.scenarios.base import IntegrationScenario, ScenarioMetrics
+from repro.scenarios.reallocation import OnDemandReallocationScenario
+from repro.scenarios.wlm_in_k8s import WLMInKubernetesScenario
+from repro.scenarios.k8s_in_wlm import KubernetesInWLMScenario
+from repro.scenarios.bridge import BridgeOperatorScenario
+from repro.scenarios.knoc import KNoCScenario
+from repro.scenarios.kubelet_in_allocation import KubeletInAllocationScenario
+from repro.scenarios.evaluate import ALL_SCENARIOS, evaluate_all, run_scenario
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "BridgeOperatorScenario",
+    "IntegrationScenario",
+    "KNoCScenario",
+    "KubeletInAllocationScenario",
+    "KubernetesInWLMScenario",
+    "OnDemandReallocationScenario",
+    "ScenarioMetrics",
+    "evaluate_all",
+    "run_scenario",
+]

@@ -1,0 +1,72 @@
+"""Run every §6 scenario on an identical pod workload and compare —
+the quantitative version of the paper's §6.6 summary."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.scenarios.base import WORKFLOW_IMAGE, IntegrationScenario, ScenarioMetrics
+from repro.scenarios.bridge import BridgeOperatorScenario
+from repro.scenarios.k8s_in_wlm import KubernetesInWLMScenario
+from repro.scenarios.knoc import KNoCScenario
+from repro.scenarios.kubelet_in_allocation import KubeletInAllocationScenario
+from repro.scenarios.reallocation import OnDemandReallocationScenario
+from repro.scenarios.wlm_in_k8s import WLMInKubernetesScenario
+from repro.sim import Environment
+from repro.workload.generators import PodBatchGenerator
+
+ALL_SCENARIOS: tuple[type[IntegrationScenario], ...] = (
+    OnDemandReallocationScenario,
+    WLMInKubernetesScenario,
+    KubernetesInWLMScenario,
+    BridgeOperatorScenario,
+    KNoCScenario,
+    KubeletInAllocationScenario,
+)
+
+
+def run_scenario(
+    scenario_cls: type[IntegrationScenario],
+    n_nodes: int = 4,
+    n_pods: int = 8,
+    seed: int = 0,
+    horizon: float = 4000.0,
+) -> ScenarioMetrics:
+    """Provision, submit the standard pod batch, run to quiescence."""
+    env = Environment()
+    scenario = scenario_cls(env, n_nodes=n_nodes, seed=seed)
+    ready = scenario.provision()
+    env.run(until=ready)
+    generator = PodBatchGenerator(WORKFLOW_IMAGE, seed=seed)
+    pods = generator.batch(n_pods)
+    scenario.submit(pods)
+    env.run(until=horizon)
+    if hasattr(scenario, "teardown"):
+        scenario.teardown()
+        env.run(until=horizon + 100)
+    return scenario.metrics()
+
+
+def evaluate_all(
+    n_nodes: int = 4, n_pods: int = 8, seed: int = 0
+) -> list[ScenarioMetrics]:
+    return [run_scenario(cls, n_nodes=n_nodes, n_pods=n_pods, seed=seed)
+            for cls in ALL_SCENARIOS]
+
+
+def summary_rows(metrics: _t.Sequence[ScenarioMetrics]) -> list[dict[str, object]]:
+    """Rows for the §6.6-style comparison table."""
+    return [
+        {
+            "scenario": m.scenario,
+            "section": m.section,
+            "provision_s": round(m.provision_time, 1),
+            "mean_pod_startup_s": round(m.mean_pod_startup, 2),
+            "pods": f"{m.pods_completed}/{m.pods_submitted}",
+            "wlm_accounting": round(m.wlm_accounting_coverage, 2),
+            "transparent": m.workflow_transparency,
+            "standard_env": m.standard_pod_environment,
+            "isolation": m.isolation,
+        }
+        for m in metrics
+    ]

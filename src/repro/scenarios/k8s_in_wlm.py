@@ -1,0 +1,113 @@
+"""§6.3 — Kubernetes in WLM.
+
+The user's job allocation bootstraps an entire private Kubernetes: K3s
+server on the first node, rootless kubelets on the rest.  Perfect
+per-user isolation and full WLM accounting — but "it can introduce
+considerable startup overhead.  Until the Kubernetes cluster is ready,
+scheduling Pods or running workflows is not possible", and the workflow
+must be changed to bootstrap the cluster first.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.k8s.cri import CRIRuntime
+from repro.k8s.k3s import K3sServer
+from repro.k8s.kubelet import Kubelet
+from repro.k8s.objects import Pod, ResourceRequests
+from repro.scenarios.base import IntegrationScenario
+from repro.sim import Environment
+from repro.wlm.jobs import JobSpec
+from repro.wlm.slurm import SlurmController
+
+
+class KubernetesInWLMScenario(IntegrationScenario):
+    name = "kubernetes-in-wlm"
+    section = "§6.3"
+    workflow_transparency = False    # user must bootstrap a cluster first
+    standard_pod_environment = True  # mainline K3s once it is up
+    isolation = "per-user-cluster"
+
+    def __init__(self, env: Environment, n_nodes: int = 4, seed: int = 0):
+        super().__init__(env, n_nodes, seed)
+        self.wlm = SlurmController(env, self.hosts)
+        self.k3s: K3sServer | None = None
+        self.kubelets: list[Kubelet] = []
+        self.job = None
+        self._cluster_ready = env.event()
+
+    def provision(self):
+        """Submit the cluster-bootstrap job and wait for K3s + kubelets."""
+        spec = JobSpec(
+            name="k8s-cluster",
+            user_uid=1000,
+            nodes=self.n_nodes,
+            duration=None,  # holds the allocation until cancelled
+            time_limit=24 * 3600,
+            on_start=self._node_up,
+        )
+        self.job = self.wlm.submit(spec)
+        return self.env.process(self._wait_ready(), name="provision-6.3")
+
+    def _node_up(self, node, job, user_proc) -> None:
+        first = node.name == job.allocated_nodes[0]
+        if first:
+            # K3s server starts on the head node of the allocation.
+            self.k3s = K3sServer(self.env)
+            self.env.process(self._join_agents(job), name="join-agents")
+
+    def _join_agents(self, job):
+        assert self.k3s is not None
+        yield self.k3s.ready
+        for name in job.allocated_nodes:
+            host = next(h for h in self.hosts if h.name == name)
+            user_proc = job.node_procs[name]
+            cg_path = f"/slurm/uid_{job.spec.user_uid}/job_{job.job_id}"
+            cri = CRIRuntime(self.engines[name], self.registry)
+            kubelet = Kubelet(
+                self.env, self.k3s.api, name, cri,
+                capacity=ResourceRequests(cpu=host.cpu.cores, memory=256 * 2**30),
+                user_proc=user_proc,
+                cgroup_path=cg_path,
+            )
+            kubelet.start()
+            self.kubelets.append(kubelet)
+        yield self.env.timeout(Kubelet.startup_cost + 1.0)
+        self._cluster_ready.succeed(self.env.now)
+
+    def _wait_ready(self):
+        yield self._cluster_ready
+        self.provisioned_at = self.env.now
+        self.notes.append(
+            f"private cluster bootstrap inside the allocation took "
+            f"{self.provisioned_at:.1f}s of allocated (billed!) node time"
+        )
+        return self.env.now
+
+    def submit(self, pods: _t.Sequence[Pod]) -> None:
+        assert self.k3s is not None, "provision first"
+        for pod in pods:
+            pod._submitted_at = self.env.now  # type: ignore[attr-defined]
+            self.pods.append(pod)
+            self.k3s.api.create("Pod", pod)
+
+    def teardown(self) -> None:
+        for kubelet in self.kubelets:
+            kubelet.stop()
+        if self.job is not None:
+            self.wlm.cancel(self.job)
+
+    def _accounted_cpu_seconds(self) -> float:
+        """The hosting job covers all pod work (and more: the whole
+        allocation is billed, idle or not)."""
+        if self.job is None:
+            return 0.0
+        if self.job.end_time is not None:
+            records = [r for r in self.wlm.accounting.all() if r.job_id == self.job.job_id]
+            return sum(r.cpu_seconds for r in records)
+        # still running: bill so far
+        if self.job.start_time is None:
+            return 0.0
+        cores = self.hosts[0].cpu.cores
+        return (self.env.now - self.job.start_time) * cores * self.n_nodes

@@ -1,0 +1,51 @@
+"""§6.4 (second modality) — KNoC: a virtual kubelet over the WLM.
+
+"A more elegant approach": a service impersonates a kubelet, translating
+bound pods into WLM jobs that start containers inside allocations —
+"almost transparent ... to the user of the Kubernetes cluster and to the
+operators of the HPC cluster".
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.k8s.k3s import K3sServer
+from repro.k8s.objects import Pod
+from repro.k8s.virtual_kubelet import VirtualKubelet
+from repro.scenarios.base import IntegrationScenario
+from repro.sim import Environment
+from repro.wlm.slurm import SlurmController
+
+
+class KNoCScenario(IntegrationScenario):
+    name = "knoc-virtual-kubelet"
+    section = "§6.4b"
+    workflow_transparency = True       # plain pods, unchanged workflows
+    standard_pod_environment = False   # virtual kubelet, not mainline
+    isolation = "wlm-job-per-pod"
+
+    def __init__(self, env: Environment, n_nodes: int = 4, seed: int = 0):
+        super().__init__(env, n_nodes, seed)
+        self.wlm = SlurmController(env, self.hosts)
+        self.k8s = K3sServer(env)
+        self.vk = VirtualKubelet(env, self.k8s.api, self.wlm, self.engines, self.registry)
+
+    def provision(self):
+        def ready(env):
+            yield self.k8s.ready
+            yield self.vk.start()
+            self.provisioned_at = env.now
+            return env.now
+
+        return self.env.process(ready(self.env), name="provision-6.4b")
+
+    def submit(self, pods: _t.Sequence[Pod]) -> None:
+        for pod in pods:
+            pod._submitted_at = self.env.now  # type: ignore[attr-defined]
+            self.pods.append(pod)
+            self.k8s.api.create("Pod", pod)
+
+    def _accounted_cpu_seconds(self) -> float:
+        records = self.wlm.accounting.by_comment_prefix("kubernetes-pod:")
+        return sum(r.cpu_seconds for r in records)

@@ -1,0 +1,27 @@
+"""Simulated signing infrastructure: GPG-style keys, Notary, sigstore.
+
+Cryptographic strength is out of scope (the paper tracks *support and
+workflow*, §4.1.5): signatures here are keyed hashes, but the trust
+topology is faithful — detached GPG signatures, Notary's per-repository
+trust roots, and sigstore's append-only transparency log with inclusion
+proofs.
+"""
+
+from repro.signing.keys import KeyPair, Signature, SignatureError
+from repro.signing.gpg import GPGKeyring
+from repro.signing.notary import NotaryService
+from repro.signing.cosign import CosignClient, TransparencyLog
+from repro.signing.sbom import SBOM, SBOMComponent, generate_sbom
+
+__all__ = [
+    "CosignClient",
+    "GPGKeyring",
+    "KeyPair",
+    "NotaryService",
+    "SBOM",
+    "SBOMComponent",
+    "Signature",
+    "SignatureError",
+    "TransparencyLog",
+    "generate_sbom",
+]

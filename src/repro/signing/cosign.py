@@ -1,0 +1,83 @@
+"""sigstore/cosign: signatures recorded in an append-only transparency
+log with verifiable inclusion (§4.1.5, refs [30][31])."""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.signing.keys import KeyPair, Signature, SignatureError
+
+
+@dataclasses.dataclass(frozen=True)
+class LogEntry:
+    index: int
+    artifact_digest: str
+    signature: Signature
+    entry_hash: str
+
+
+class TransparencyLog:
+    """An append-only Merkle-chained log (Rekor analogue)."""
+
+    def __init__(self) -> None:
+        self._entries: list[LogEntry] = []
+        self._head = hashlib.sha256(b"rekor-root").hexdigest()
+
+    def append(self, artifact_digest: str, signature: Signature) -> LogEntry:
+        chained = hashlib.sha256(
+            f"{self._head}:{artifact_digest}:{signature.mac}".encode()
+        ).hexdigest()
+        entry = LogEntry(
+            index=len(self._entries),
+            artifact_digest=artifact_digest,
+            signature=signature,
+            entry_hash=chained,
+        )
+        self._entries.append(entry)
+        self._head = chained
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, index: int) -> LogEntry:
+        return self._entries[index]
+
+    def verify_inclusion(self, entry: LogEntry) -> bool:
+        """Recompute the hash chain up to the entry — detects tampering
+        and entries fabricated outside the log."""
+        head = hashlib.sha256(b"rekor-root").hexdigest()
+        for i, stored in enumerate(self._entries[: entry.index + 1]):
+            head = hashlib.sha256(
+                f"{head}:{stored.artifact_digest}:{stored.signature.mac}".encode()
+            ).hexdigest()
+            if i == entry.index:
+                return head == entry.entry_hash and stored == entry
+        return False
+
+    def entries_for(self, artifact_digest: str) -> list[LogEntry]:
+        return [e for e in self._entries if e.artifact_digest == artifact_digest]
+
+
+class CosignClient:
+    """Sign and verify container artifacts against a transparency log."""
+
+    def __init__(self, log: TransparencyLog):
+        self.log = log
+
+    def sign(self, key: KeyPair, artifact_digest: str) -> LogEntry:
+        signature = key.sign(artifact_digest.encode())
+        return self.log.append(artifact_digest, signature)
+
+    def verify(self, key: KeyPair, artifact_digest: str) -> LogEntry:
+        """Verify that a valid signature by ``key`` is logged for the
+        artifact; returns the log entry."""
+        for entry in self.log.entries_for(artifact_digest):
+            if entry.signature.key_id == key.public_id and key.verify(
+                artifact_digest.encode(), entry.signature
+            ):
+                if not self.log.verify_inclusion(entry):
+                    raise SignatureError("inclusion proof failed (log tampered?)")
+                return entry
+        raise SignatureError(f"no logged signature by {key.public_id} for {artifact_digest[:19]}")

@@ -1,0 +1,43 @@
+"""GPG-style keyring with detached signatures.
+
+This is the model used by Podman (GPG signature attachments) and the
+Singularity family (PGP signatures embedded in SIF), §4.1.5.
+"""
+
+from __future__ import annotations
+
+from repro.signing.keys import KeyPair, Signature, SignatureError
+
+
+class GPGKeyring:
+    """A keyring of trusted public keys."""
+
+    def __init__(self) -> None:
+        self._keys: dict[str, KeyPair] = {}
+
+    def generate_key(self, owner: str) -> KeyPair:
+        key = KeyPair(owner)
+        self._keys[key.public_id] = key
+        return key
+
+    def import_key(self, key: KeyPair) -> None:
+        self._keys[key.public_id] = key
+
+    def remove_key(self, key_id: str) -> None:
+        self._keys.pop(key_id, None)
+
+    def known(self, key_id: str) -> bool:
+        return key_id in self._keys
+
+    @staticmethod
+    def sign_detached(key: KeyPair, data: bytes) -> Signature:
+        return key.sign(data)
+
+    def verify_detached(self, data: bytes, signature: Signature) -> str:
+        """Verify against the keyring; returns the signer's owner name."""
+        key = self._keys.get(signature.key_id)
+        if key is None:
+            raise SignatureError(f"unknown key id {signature.key_id} (not in keyring)")
+        if not key.verify(data, signature):
+            raise SignatureError("bad signature")
+        return key.owner

@@ -1,0 +1,72 @@
+"""Software Bill of Materials generation for container images.
+
+The paper mentions SBOM support as a differentiator (SingularityPro,
+§4.1.1) and a sigstore use case (§4.1.5).  The generator scans the
+synthetic package markers the image builder leaves behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.fs.tree import FileTree
+from repro.oci.digest import digest_str
+
+
+@dataclasses.dataclass(frozen=True)
+class SBOMComponent:
+    name: str
+    version: str
+    origin: str  # "os-package", "pip", "source-build", ...
+
+
+@dataclasses.dataclass
+class SBOM:
+    image_digest: str
+    components: list[SBOMComponent]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "image": self.image_digest,
+                "components": [dataclasses.asdict(c) for c in self.components],
+            },
+            sort_keys=True,
+        )
+
+    @property
+    def digest(self) -> str:
+        return digest_str(self.to_json())
+
+    def find(self, name: str) -> SBOMComponent | None:
+        for c in self.components:
+            if c.name == name:
+                return c
+        return None
+
+
+#: directory the builder records package installs in
+MANIFEST_DIR = "/var/lib/repro-pkg"
+
+
+def generate_sbom(rootfs: FileTree, image_digest: str) -> SBOM:
+    """Scan an image root for package markers and emit an SBOM."""
+    components: list[SBOMComponent] = []
+    if rootfs.exists(MANIFEST_DIR):
+        for path, node in rootfs.files(MANIFEST_DIR):
+            if node.data is None:
+                continue
+            try:
+                meta = json.loads(node.data.decode())
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            components.append(
+                SBOMComponent(
+                    name=meta.get("name", path.rsplit("/", 1)[-1]),
+                    version=meta.get("version", "0"),
+                    origin=meta.get("origin", "unknown"),
+                )
+            )
+    components.sort(key=lambda c: (c.origin, c.name))
+    return SBOM(image_digest=image_digest, components=components)

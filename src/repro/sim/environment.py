@@ -1,0 +1,192 @@
+"""The simulation environment: event queue, virtual clock, processes."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as _t
+
+from repro.sim.events import Event, Interrupt, SimulationError, Timeout
+
+ProcessGenerator = _t.Generator[Event, object, object]
+
+
+class Environment:
+    """Owns the virtual clock and the pending-event queue.
+
+    Events are processed in ``(time, priority, sequence)`` order; the
+    sequence number makes simultaneous events FIFO and the whole
+    simulation deterministic.
+    """
+
+    #: priority for normal events; interrupts use URGENT so that an
+    #: interrupt scheduled at time t pre-empts same-time normal events.
+    NORMAL = 1
+    URGENT = 0
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> "Process | None":
+        return self._active_process
+
+    # -- event construction helpers ---------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: str | None = None) -> "Process":
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if event._exception is not None and not event.defused:
+            raise event._exception
+
+    def run(self, until: "float | Event | None" = None) -> object:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain), a number (absolute virtual
+        time), or an :class:`Event` (run until it is processed, returning
+        its value).
+        """
+        if isinstance(until, Event):
+            stop = until
+            if stop.processed:
+                return stop.value
+            sentinel: list[bool] = []
+            if stop.callbacks is None:
+                raise SimulationError("cannot run until an in-flight event")
+            stop.callbacks.append(lambda _ev: sentinel.append(True))
+            # A failed `until` event must surface its exception to the
+            # caller even if a waiter defused it inside the simulation.
+            while self._queue and not sentinel:
+                self.step()
+            if not sentinel:
+                raise SimulationError("event queue drained before `until` event fired")
+            return stop.value
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self._now:
+            raise ValueError(f"until={deadline} is in the past (now={self._now})")
+        while self._queue and self._queue[0][0] <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+
+class Process(Event):
+    """A generator-driven simulation process.
+
+    The process itself is an event: it triggers with the generator's
+    return value when the generator finishes, so processes can wait on
+    each other by yielding the target process.
+    """
+
+    def __init__(self, env: Environment, generator: ProcessGenerator, name: str | None = None):
+        super().__init__(env)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(generator).__name__}")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Bootstrap: resume the generator at the current simulation time.
+        boot = Event(env)
+        boot.callbacks.append(self._resume)  # type: ignore[union-attr]
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever it was waiting on so the stale resume
+        # callback does not fire later.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+        carrier = Event(self.env)
+        carrier.callbacks.append(self._resume)  # type: ignore[union-attr]
+        carrier._exception = Interrupt(cause)
+        carrier._value = None
+        carrier.defused = True
+        self.env._schedule(carrier, priority=Environment.URGENT)
+
+    # -- internals ----------------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self.env._active_process = self
+        try:
+            if trigger._exception is not None:
+                trigger.defused = True
+                target = self._generator.throw(trigger._exception)
+            else:
+                target = self._generator.send(trigger._value if trigger._value is not None else None)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Events"
+            )
+        if target.env is not self.env:
+            raise SimulationError("process yielded an event from a different environment")
+        self._target = target
+        if target.processed:
+            # Already processed: resume immediately (next queue slot).
+            carrier = Event(self.env)
+            carrier.callbacks.append(self._resume)  # type: ignore[union-attr]
+            carrier._value = target._value
+            carrier._exception = target._exception
+            if carrier._exception is not None:
+                carrier.defused = True
+            if not carrier.triggered:
+                carrier.succeed(target._value)
+            else:
+                self.env._schedule(carrier)
+        else:
+            assert target.callbacks is not None
+            target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"

@@ -1,0 +1,171 @@
+"""Event primitives for the discrete-event simulator.
+
+An :class:`Event` is a one-shot occurrence in virtual time.  Processes
+(see :mod:`repro.sim.environment`) wait on events by yielding them; when
+the event *triggers*, every waiting process is resumed with the event's
+value (or has the event's exception thrown into it if the event *failed*).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation API (double trigger, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries an arbitrary, caller-supplied payload
+    describing why the interrupt happened (e.g. job preemption).
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+# Sentinel distinguishing "not yet set" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait for.
+
+    Events move through three states: *pending* (created, not yet
+    triggered), *triggered* (scheduled in the event queue), and
+    *processed* (callbacks have run).  ``succeed``/``fail`` transition a
+    pending event to triggered.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: list[_t.Callable[["Event"], None]] | None = []
+        self._value: object = _PENDING
+        self._exception: BaseException | None = None
+        # ``defused`` marks a failed event whose exception was consumed by a
+        # waiter; undefused failures crash the simulation at processing time
+        # so errors never pass silently.
+        self.defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True once the event triggered successfully."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> object:
+        if not self.triggered:
+            raise SimulationError("event value read before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    # -- transitions ------------------------------------------------------
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception to be thrown into waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._value = None
+        self.env._schedule(self)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed virtual-time delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: object = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay}>"
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: _t.Sequence[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        self._outstanding = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            elif ev.callbacks is not None:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, object]:
+        # Only *processed* events count: a pre-scheduled Timeout carries its
+        # value from construction, so ``ok`` alone would over-collect.
+        return {ev: ev._value for ev in self.events if ev.processed and ev.ok}
+
+
+class AllOf(_Condition):
+    """Triggers once every constituent event has triggered successfully."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._outstanding -= 1
+        if self._outstanding == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any constituent event triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self.succeed(self._collect())

@@ -1,0 +1,28 @@
+"""Workload manager (Slurm-like): jobs, partitions, FIFO+backfill
+scheduling, allocations with cgroup and device setup, job steps,
+accounting, and the SPANK plugin interface used for container
+integration (Tables 3, §6)."""
+
+from repro.wlm.jobs import Job, JobSpec, JobState, JobStep
+from repro.wlm.nodes import NodeState, WLMNode
+from repro.wlm.scheduler import BackfillScheduler
+from repro.wlm.accounting import AccountingDB, AccountingRecord
+from repro.wlm.spank import SpankContext, SpankError, SpankPlugin
+from repro.wlm.slurm import SlurmController, WLMError
+
+__all__ = [
+    "AccountingDB",
+    "AccountingRecord",
+    "BackfillScheduler",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobStep",
+    "NodeState",
+    "SlurmController",
+    "SpankContext",
+    "SpankError",
+    "SpankPlugin",
+    "WLMError",
+    "WLMNode",
+]

@@ -1,0 +1,93 @@
+"""Job specifications, jobs, and job steps."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing as _t
+
+
+class JobState(enum.Enum):
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMEOUT = "TIMEOUT"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (
+            JobState.COMPLETED,
+            JobState.FAILED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+        )
+
+
+@dataclasses.dataclass
+class JobSpec:
+    """sbatch-style submission."""
+
+    name: str
+    user_uid: int
+    nodes: int = 1
+    cores_per_node: int = 0          # 0 = all cores (exclusive default)
+    gpus_per_node: int = 0
+    #: wall-clock duration of the payload in simulated seconds; None means
+    #: "runs until cancelled" (services such as kubelets, §6.5)
+    duration: float | None = 60.0
+    time_limit: float = 24 * 3600.0
+    partition: str = "batch"
+    exclusive: bool = True
+    priority: int = 0
+    #: called on each allocated node at job start: fn(node, job, user_proc)
+    on_start: _t.Callable | None = None
+    #: called at job end: fn(job)
+    on_end: _t.Callable | None = None
+
+
+@dataclasses.dataclass
+class JobStep:
+    """An srun step within an allocation."""
+
+    step_id: int
+    argv: tuple[str, ...]
+    nodes: list[str]
+    start_time: float
+    end_time: float | None = None
+    exit_code: int | None = None
+
+
+class Job:
+    def __init__(self, job_id: int, spec: JobSpec, submit_time: float):
+        self.job_id = job_id
+        self.spec = spec
+        self.state = JobState.PENDING
+        self.submit_time = submit_time
+        self.start_time: float | None = None
+        self.end_time: float | None = None
+        self.allocated_nodes: list[str] = []
+        self.steps: list[JobStep] = []
+        self.exit_code: int | None = None
+        #: per-node user processes created by the allocation
+        self.node_procs: dict[str, object] = {}
+        self.state_log: list[tuple[float, JobState]] = [(submit_time, JobState.PENDING)]
+
+    def set_state(self, state: JobState, now: float) -> None:
+        self.state = state
+        self.state_log.append((now, state))
+
+    @property
+    def elapsed(self) -> float | None:
+        if self.start_time is None:
+            return None
+        end = self.end_time if self.end_time is not None else None
+        return None if end is None else end - self.start_time
+
+    @property
+    def wait_time(self) -> float | None:
+        return None if self.start_time is None else self.start_time - self.submit_time
+
+    def __repr__(self) -> str:
+        return f"<Job {self.job_id} {self.spec.name!r} {self.state.value}>"

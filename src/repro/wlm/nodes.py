@@ -1,0 +1,80 @@
+"""WLM node state wrapping the hardware model."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cluster.node import HostNode
+
+
+class NodeState(enum.Enum):
+    IDLE = "idle"
+    ALLOCATED = "alloc"
+    MIXED = "mix"
+    DRAINING = "drng"
+    DRAINED = "drain"
+    DOWN = "down"
+
+
+class WLMNode:
+    """A compute node as the WLM sees it."""
+
+    def __init__(self, host: HostNode, partition: str = "batch"):
+        self.host = host
+        self.partition = partition
+        self.state = NodeState.IDLE
+        #: job ids holding cores here -> cores held
+        self.allocations: dict[int, int] = {}
+        self.drain_reason: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    @property
+    def total_cores(self) -> int:
+        return self.host.cpu.cores
+
+    @property
+    def free_cores(self) -> int:
+        return self.total_cores - sum(self.allocations.values())
+
+    @property
+    def gpu_count(self) -> int:
+        return len(self.host.gpus)
+
+    def can_host(self, cores: int, gpus: int, exclusive: bool) -> bool:
+        if self.state in (NodeState.DOWN, NodeState.DRAINING, NodeState.DRAINED):
+            return False
+        if gpus > self.gpu_count:
+            return False
+        if exclusive:
+            return not self.allocations
+        return self.free_cores >= cores
+
+    def allocate(self, job_id: int, cores: int) -> None:
+        self.allocations[job_id] = cores
+        self.state = (
+            NodeState.ALLOCATED if self.free_cores == 0 else NodeState.MIXED
+        )
+
+    def release(self, job_id: int) -> None:
+        self.allocations.pop(job_id, None)
+        if not self.allocations:
+            if self.state is NodeState.DRAINING:
+                self.state = NodeState.DRAINED
+            elif self.state is not NodeState.DRAINED:
+                self.state = NodeState.IDLE
+        else:
+            self.state = NodeState.MIXED
+
+    def drain(self, reason: str = "") -> None:
+        self.drain_reason = reason
+        self.state = NodeState.DRAINING if self.allocations else NodeState.DRAINED
+
+    def resume(self) -> None:
+        self.drain_reason = None
+        self.state = NodeState.IDLE if not self.allocations else NodeState.MIXED
+
+    def __repr__(self) -> str:
+        return f"<WLMNode {self.name} {self.state.value} jobs={list(self.allocations)}>"

@@ -1,0 +1,96 @@
+"""FIFO + conservative backfill scheduling."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.wlm.jobs import Job
+from repro.wlm.nodes import NodeState, WLMNode
+
+
+class BackfillScheduler:
+    """Priority-FIFO with backfill.
+
+    The head-of-queue job reserves the earliest time enough nodes free
+    up; later jobs may start now only if they fit on idle nodes *and*
+    finish before that reservation (conservative backfill on declared
+    time limits).
+    """
+
+    def __init__(self, backfill: bool = True):
+        self.backfill = backfill
+
+    @staticmethod
+    def _fits(job: Job, nodes: list[WLMNode]) -> list[WLMNode] | None:
+        spec = job.spec
+        usable = [
+            n
+            for n in nodes
+            if n.partition == spec.partition
+            and n.can_host(spec.cores_per_node or n.total_cores, spec.gpus_per_node, spec.exclusive)
+        ]
+        if len(usable) >= spec.nodes:
+            return usable[: spec.nodes]
+        return None
+
+    def schedule(
+        self,
+        queue: _t.Sequence[Job],
+        nodes: list[WLMNode],
+        now: float,
+        running: _t.Sequence[Job] = (),
+    ) -> list[tuple[Job, list[WLMNode]]]:
+        """Return (job, nodes) placements to start now."""
+        decisions: list[tuple[Job, list[WLMNode]]] = []
+        pending = sorted(
+            queue, key=lambda j: (-j.spec.priority, j.submit_time, j.job_id)
+        )
+        if not pending:
+            return decisions
+
+        blocked_at: float | None = None  # shadow time of the blocked head job
+        for i, job in enumerate(pending):
+            placement = self._fits(job, nodes)
+            if placement is not None:
+                if blocked_at is None:
+                    # Head of (remaining) queue: start immediately.
+                    pass
+                else:
+                    if not self.backfill:
+                        continue
+                    # Backfill: must finish before the reservation.
+                    if now + job.spec.time_limit > blocked_at:
+                        continue
+                decisions.append((job, placement))
+                for n in placement:
+                    n.allocate(job.job_id, job.spec.cores_per_node or n.total_cores)
+            elif blocked_at is None:
+                blocked_at = self._shadow_time(job, nodes, running, now)
+                if blocked_at is None:
+                    blocked_at = float("inf")
+        # Undo the tentative allocations; the controller re-applies them.
+        for job, placement in decisions:
+            for n in placement:
+                n.release(job.job_id)
+        return decisions
+
+    @staticmethod
+    def _shadow_time(job: Job, nodes: list[WLMNode], running: _t.Sequence[Job], now: float) -> float | None:
+        """Earliest time the blocked job could start, assuming running
+        jobs end at their time limits."""
+        ends = sorted(
+            (r.start_time or now) + r.spec.time_limit
+            for r in running
+            if r.start_time is not None
+        )
+        free = sum(
+            1
+            for n in nodes
+            if n.partition == job.spec.partition and n.state is NodeState.IDLE
+        )
+        needed = job.spec.nodes - free
+        if needed <= 0:
+            return now
+        if needed > len(ends):
+            return None
+        return ends[needed - 1]

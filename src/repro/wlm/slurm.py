@@ -1,0 +1,291 @@
+"""The Slurm-like workload manager controller.
+
+Runs as a discrete-event process: submissions kick the scheduler, jobs
+occupy nodes for their (virtual) duration, allocations set up cgroups,
+device grants, and per-node user processes, and completed jobs land in
+accounting.  Service jobs (``duration=None``) run until cancelled — the
+§6 scenarios use them to host kubelets inside allocations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import typing as _t
+
+from repro.cluster.node import HostNode
+from repro.kernel.cgroups import Controller
+from repro.kernel.process import SimProcess
+from repro.sim import Environment, Interrupt
+from repro.wlm.accounting import AccountingDB
+from repro.wlm.jobs import Job, JobSpec, JobState, JobStep
+from repro.wlm.nodes import NodeState, WLMNode
+from repro.wlm.scheduler import BackfillScheduler
+from repro.wlm.spank import SpankContext, SpankStack
+
+
+class WLMError(RuntimeError):
+    pass
+
+
+class SlurmController:
+    """The central daemon: queue, scheduler, allocations, accounting."""
+
+    #: overhead for setting up one node of an allocation (cgroups, prolog)
+    node_setup_cost = 0.3
+    #: scheduler pass latency
+    sched_latency = 0.05
+
+    def __init__(
+        self,
+        env: Environment,
+        hosts: _t.Sequence[HostNode],
+        partition: str = "batch",
+        backfill: bool = True,
+        preemption: bool = False,
+    ):
+        #: PreemptMode=REQUEUE: a higher-priority job may requeue running
+        #: lower-priority jobs when it cannot otherwise be placed (§6)
+        self.preemption = preemption
+        self.env = env
+        self.nodes = [WLMNode(h, partition) for h in hosts]
+        self.partition = partition
+        self.scheduler = BackfillScheduler(backfill=backfill)
+        self.accounting = AccountingDB()
+        self.spank = SpankStack()
+        self.queue: list[Job] = []
+        self.running: dict[int, Job] = {}
+        self._jobs: dict[int, Job] = {}
+        self._job_counter = itertools.count(1)
+        self._step_counter = itertools.count(0)
+        self._bell = env.event()
+        self._busy_integral = 0.0
+        self._busy_nodes = 0
+        self._last_change = env.now
+        env.process(self._scheduler_loop(), name="slurmctld")
+
+    # ------------------------------------------------------------- submission
+    def submit(self, spec: JobSpec) -> Job:
+        if spec.nodes < 1:
+            raise WLMError("a job needs at least one node")
+        if spec.nodes > len(self.nodes):
+            raise WLMError(
+                f"job wants {spec.nodes} nodes, partition has {len(self.nodes)}"
+            )
+        job = Job(next(self._job_counter), spec, submit_time=self.env.now)
+        self._jobs[job.job_id] = job
+        self.queue.append(job)
+        self._ring()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        if job.state is JobState.PENDING:
+            self.queue.remove(job)
+            job.set_state(JobState.CANCELLED, self.env.now)
+        elif job.state is JobState.RUNNING:
+            proc = getattr(job, "_sim_process", None)
+            if proc is not None and proc.is_alive:
+                proc.interrupt(cause="scancel")
+        # terminal states: no-op
+
+    def job(self, job_id: int) -> Job:
+        return self._jobs[job_id]
+
+    # ------------------------------------------------------------- scheduling
+    def _ring(self) -> None:
+        if not self._bell.triggered:
+            self._bell.succeed()
+
+    def _scheduler_loop(self):
+        while True:
+            yield self._bell
+            self._bell = self.env.event()
+            yield self.env.timeout(self.sched_latency)
+            decisions = self.scheduler.schedule(
+                self.queue, self.nodes, self.env.now, running=list(self.running.values())
+            )
+            for job, placement in decisions:
+                self.queue.remove(job)
+                self.env.process(self._run_job(job, placement), name=f"job-{job.job_id}")
+            if self.preemption and self.queue:
+                self._try_preempt()
+
+    def _try_preempt(self) -> None:
+        """Requeue lower-priority running jobs to place the queue head."""
+        head = max(self.queue, key=lambda j: (j.spec.priority, -j.job_id))
+        victims = sorted(
+            (j for j in self.running.values() if j.spec.priority < head.spec.priority),
+            key=lambda j: j.spec.priority,
+        )
+        if not victims:
+            return
+        free = sum(1 for n in self.nodes if not n.allocations
+                   and n.partition == head.spec.partition)
+        to_requeue = []
+        freed = 0
+        for victim in victims:
+            if free + freed >= head.spec.nodes:
+                break
+            to_requeue.append(victim)
+            freed += len(victim.allocated_nodes)
+        if free + freed < head.spec.nodes:
+            return  # preempting would not be enough; leave everyone alone
+        for victim in to_requeue:
+            proc = getattr(victim, "_sim_process", None)
+            if proc is not None and proc.is_alive:
+                proc.interrupt(cause="preemption")
+
+    def _account_busy(self, delta_nodes: int) -> None:
+        now = self.env.now
+        self._busy_integral += self._busy_nodes * (now - self._last_change)
+        self._busy_nodes += delta_nodes
+        self._last_change = now
+
+    # ------------------------------------------------------------- job lifecycle
+    def _run_job(self, job: Job, placement: list[WLMNode]):
+        spec = job.spec
+        job._sim_process = self.env.active_process  # type: ignore[attr-defined]
+        for node in placement:
+            node.allocate(job.job_id, spec.cores_per_node or node.total_cores)
+        job.allocated_nodes = [n.name for n in placement]
+        self.running[job.job_id] = job
+        self._account_busy(len(placement))
+
+        # Per-node setup: cgroup, user process, device grants, delegation.
+        yield self.env.timeout(self.node_setup_cost)
+        for node in placement:
+            kernel = node.host.kernel
+            cg_path = f"/slurm/uid_{spec.user_uid}/job_{job.job_id}"
+            cg = kernel.cgroups.create(cg_path)
+            cores = spec.cores_per_node or node.total_cores
+            kernel.cgroups.set_limit(cg_path, Controller.CPU, float(cores))
+            user_proc = kernel.spawn(parent=kernel.init, uid=spec.user_uid,
+                                     argv=("slurmstepd", spec.name))
+            kernel.cgroups.attach(cg_path, user_proc.pid)
+            if kernel.config.cgroup_version == 2 and kernel.config.cgroup_delegation:
+                kernel.cgroups.delegate(cg_path, uid=spec.user_uid)
+            for gpu in node.host.gpus[: spec.gpus_per_node]:
+                kernel.grant_device(user_proc, gpu.device_node)
+            job.node_procs[node.name] = user_proc
+
+        job.start_time = self.env.now
+        job.set_state(JobState.RUNNING, self.env.now)
+        if spec.on_start is not None:
+            for node in placement:
+                spec.on_start(node, job, job.node_procs[node.name])
+
+        # Payload.
+        final_state = JobState.COMPLETED
+        preempted = False
+        try:
+            if spec.duration is None:
+                yield self.env.timeout(spec.time_limit)
+                final_state = JobState.TIMEOUT
+            else:
+                run_for = min(spec.duration, spec.time_limit)
+                yield self.env.timeout(run_for)
+                if spec.duration > spec.time_limit:
+                    final_state = JobState.TIMEOUT
+        except Interrupt as intr:
+            if intr.cause == "preemption":
+                preempted = True
+            else:
+                final_state = JobState.CANCELLED
+
+        if preempted:
+            # PreemptMode=REQUEUE: release nodes, go back to PENDING; the
+            # job restarts from scratch on its next allocation.
+            for node in placement:
+                node.release(job.job_id)
+            self.running.pop(job.job_id, None)
+            self._account_busy(-len(placement))
+            job.start_time = None
+            job.allocated_nodes = []
+            job.node_procs.clear()
+            job.preempt_count = getattr(job, "preempt_count", 0) + 1
+            job.set_state(JobState.PENDING, self.env.now)
+            self.queue.append(job)
+            self._ring()
+            return
+
+        # Teardown.
+        job.end_time = self.env.now
+        job.set_state(final_state, self.env.now)
+        job.exit_code = 0 if final_state is JobState.COMPLETED else 1
+        for node in placement:
+            node.release(job.job_id)
+        self.running.pop(job.job_id, None)
+        self._account_busy(-len(placement))
+        cores = spec.cores_per_node or placement[0].total_cores
+        self.accounting.record_job(job, cores_per_node=cores,
+                                   comment=getattr(job, "comment", ""))
+        if spec.on_end is not None:
+            spec.on_end(job)
+        self._ring()
+
+    # ------------------------------------------------------------- job steps
+    def srun(self, job: Job, argv: tuple[str, ...], options: dict[str, str] | None = None) -> JobStep:
+        """Launch a step on every node of a running allocation, passing it
+        through the SPANK stack (container plugins hook in here)."""
+        if job.state is not JobState.RUNNING:
+            raise WLMError(f"job {job.job_id} is not running ({job.state.value})")
+        step = JobStep(
+            step_id=next(self._step_counter),
+            argv=argv,
+            nodes=list(job.allocated_nodes),
+            start_time=self.env.now,
+        )
+        contexts = []
+        for node in self.nodes:
+            if node.name not in job.allocated_nodes:
+                continue
+            ctx = SpankContext(
+                job=job,
+                node=node,
+                user_proc=job.node_procs[node.name],
+                options=dict(options or {}),
+            )
+            self.spank.run_task_init_privileged(ctx)
+            self.spank.run_task_init(ctx)
+            contexts.append(ctx)
+        step.contexts = contexts  # type: ignore[attr-defined]
+        job.steps.append(step)
+        return step
+
+    def finish_step(self, job: Job, step: JobStep, exit_code: int = 0) -> None:
+        step.end_time = self.env.now
+        step.exit_code = exit_code
+        for ctx in getattr(step, "contexts", []):
+            self.spank.run_task_exit(ctx)
+
+    # ------------------------------------------------------------- node admin
+    def _named(self, names: _t.Iterable[str]) -> list[WLMNode]:
+        by_name = {n.name: n for n in self.nodes}
+        return [by_name[name] for name in names]
+
+    def drain_nodes(self, names: _t.Iterable[str], reason: str = "") -> None:
+        for node in self._named(names):
+            node.drain(reason)
+
+    def resume_nodes(self, names: _t.Iterable[str]) -> None:
+        for node in self._named(names):
+            node.resume()
+        self._ring()
+
+    # ------------------------------------------------------------- views
+    def sinfo(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes:
+            counts[node.state.value] = counts.get(node.state.value, 0) + 1
+        return counts
+
+    def squeue(self) -> list[Job]:
+        return sorted(
+            [*self.queue, *self.running.values()], key=lambda j: j.job_id
+        )
+
+    def utilization(self) -> float:
+        """Time-averaged fraction of nodes allocated."""
+        now = self.env.now
+        integral = self._busy_integral + self._busy_nodes * (now - self._last_change)
+        total = len(self.nodes) * now
+        return integral / total if total > 0 else 0.0

@@ -1,0 +1,79 @@
+"""The SPANK plugin interface (Slurm Plug-in Architecture for Node and
+job Kontrol).
+
+Shifter and ENROOT (via pyxis) integrate with Slurm through SPANK
+plugins (Table 3): the plugin intercepts task launch inside the
+allocation and starts the task inside a container instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.kernel.process import SimProcess
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.wlm.jobs import Job
+    from repro.wlm.nodes import WLMNode
+
+
+class SpankError(RuntimeError):
+    pass
+
+
+@dataclasses.dataclass
+class SpankContext:
+    """What a SPANK callback sees on the node."""
+
+    job: "Job"
+    node: "WLMNode"
+    user_proc: SimProcess
+    #: job --export / plugin options (e.g. {"shifter_image": "repo:tag"})
+    options: dict[str, str]
+    #: set by plugins: the container run result, if any
+    run_result: object = None
+
+
+class SpankPlugin:
+    """Base plugin: override the callbacks you need."""
+
+    name = "spank-plugin"
+
+    def init(self, controller) -> None:
+        """slurm_spank_init: called when the controller loads plugins."""
+
+    def task_init_privileged(self, ctx: SpankContext) -> None:
+        """Before dropping privileges (device cgroup setup, mounts)."""
+
+    def task_init(self, ctx: SpankContext) -> None:
+        """As the user, immediately before the task runs."""
+
+    def task_exit(self, ctx: SpankContext) -> None:
+        """After the task exits."""
+
+
+class SpankStack:
+    """The ordered plugin stack a controller loads (plugstack.conf)."""
+
+    def __init__(self) -> None:
+        self.plugins: list[SpankPlugin] = []
+
+    def load(self, plugin: SpankPlugin, controller=None) -> None:
+        plugin.init(controller)
+        self.plugins.append(plugin)
+
+    def run_task_init_privileged(self, ctx: SpankContext) -> None:
+        for plugin in self.plugins:
+            plugin.task_init_privileged(ctx)
+
+    def run_task_init(self, ctx: SpankContext) -> None:
+        for plugin in self.plugins:
+            plugin.task_init(ctx)
+
+    def run_task_exit(self, ctx: SpankContext) -> None:
+        for plugin in self.plugins:
+            plugin.task_exit(ctx)
+
+    def __len__(self) -> int:
+        return len(self.plugins)

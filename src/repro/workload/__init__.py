@@ -1,0 +1,12 @@
+"""Synthetic workloads: application IO/startup models and generators."""
+
+from repro.workload.apps import ApplicationModel, CompiledMPIApp, PythonPipelineApp
+from repro.workload.generators import PodBatchGenerator, poisson_arrivals
+
+__all__ = [
+    "ApplicationModel",
+    "CompiledMPIApp",
+    "PodBatchGenerator",
+    "PythonPipelineApp",
+    "poisson_arrivals",
+]

@@ -1,0 +1,85 @@
+"""Application IO models.
+
+Two archetypes drive the paper's filesystem arguments (§3.2, §4.1.2):
+
+- **Interpreted stacks** (Python pipelines): cold start opens thousands
+  of small files in effectively random order — metadata-bound, the worst
+  case for shared filesystems and FUSE drivers.
+- **Compiled MPI applications**: cold start streams a couple of large
+  files (binary + parameter data) — bandwidth-bound, "only noticeable on
+  start and when loading bundled parameter data".
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.fs.drivers import MountedView
+from repro.fs.inode import FileNode
+
+
+class ApplicationModel:
+    """Base: how an application touches its rootfs at start."""
+
+    name = "app"
+
+    def startup_cost(self, view: MountedView) -> float:
+        raise NotImplementedError
+
+    @staticmethod
+    def _files_under(view: MountedView, top: str) -> list[tuple[str, FileNode]]:
+        found: dict[str, FileNode] = {}
+        for tree in view._all_trees_top_down():
+            if not tree.exists(top):
+                continue
+            for path, node in tree.files(top):
+                if path not in found and view.lookup(path) is node:
+                    found[path] = node
+        return sorted(found.items())
+
+
+class PythonPipelineApp(ApplicationModel):
+    """Imports interpreter + stdlib + site-packages: many small files,
+    random access order."""
+
+    name = "python-pipeline"
+
+    def __init__(self, code_roots: tuple[str, ...] = ("/usr/lib/python3.11",)):
+        self.code_roots = code_roots
+
+    def startup_cost(self, view: MountedView) -> float:
+        cost = 0.0
+        n_files = 0
+        for root in self.code_roots:
+            for path, node in self._files_under(view, root):
+                cost += view.open(path)
+                read_cost, _ = view.read(path, random=True)
+                cost += read_cost
+                n_files += 1
+        if n_files == 0:
+            raise ValueError(
+                f"no python files under {self.code_roots} in this image"
+            )
+        return cost
+
+
+class CompiledMPIApp(ApplicationModel):
+    """Streams a big binary and its parameter data sequentially."""
+
+    name = "compiled-mpi"
+
+    def __init__(self, binary: str = "/opt/app/bin/solver",
+                 data_files: tuple[str, ...] = ("/opt/app/share/params.dat",)):
+        self.binary = binary
+        self.data_files = data_files
+
+    def startup_cost(self, view: MountedView) -> float:
+        cost = view.open(self.binary)
+        read_cost, _ = view.read(self.binary, random=False)
+        cost += read_cost
+        for path in self.data_files:
+            if view.exists(path):
+                cost += view.open(path)
+                rc, _ = view.read(path, random=False)
+                cost += rc
+        return cost

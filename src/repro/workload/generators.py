@@ -1,0 +1,62 @@
+"""Workload generators for scenario and benchmark runs."""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.k8s.objects import ContainerSpec, ObjectMeta, Pod, PodSpec, ResourceRequests
+from repro.sim.rng import DeterministicRNG
+
+
+def poisson_arrivals(rng: DeterministicRNG, rate_per_second: float, count: int) -> list[float]:
+    """Arrival times of ``count`` events at the given mean rate."""
+    stream = rng.stream("arrivals")
+    times = []
+    t = 0.0
+    for _ in range(count):
+        t += float(stream.exponential(1.0 / rate_per_second))
+        times.append(t)
+    return times
+
+
+class PodBatchGenerator:
+    """Generates workflow-style pod batches (bioinformatics pipelines:
+    many single-node steps of varying size, §2)."""
+
+    def __init__(
+        self,
+        image: str,
+        seed: int = 0,
+        user_uid: int = 1000,
+        cpu_choices: tuple[float, ...] = (1, 2, 4),
+        duration_range: tuple[float, float] = (20.0, 120.0),
+    ):
+        self.image = image
+        self.rng = DeterministicRNG(seed)
+        self.user_uid = user_uid
+        self.cpu_choices = cpu_choices
+        self.duration_range = duration_range
+        self._counter = 0
+
+    def make_pod(self, name: str | None = None) -> Pod:
+        self._counter += 1
+        cpu = self.rng.choice(list(self.cpu_choices))
+        lo, hi = self.duration_range
+        duration = self.rng.uniform(lo, hi)
+        return Pod(
+            metadata=ObjectMeta(name=name or f"step-{self._counter:04}"),
+            spec=PodSpec(
+                containers=[
+                    ContainerSpec(
+                        name="main",
+                        image=self.image,
+                        resources=ResourceRequests(cpu=cpu),
+                    )
+                ],
+                user_uid=self.user_uid,
+                duration=duration,
+            ),
+        )
+
+    def batch(self, n: int) -> list[Pod]:
+        return [self.make_pod() for _ in range(n)]

@@ -1,0 +1,80 @@
+"""Bulk-synchronous (BSP) MPI job model for OS-jitter studies.
+
+§3.2: a per-node daemon "is wasteful and may introduce extra jitter".
+Jitter hurts tightly-coupled codes through a max() effect: every
+synchronization step waits for the slowest rank, so even rare per-rank
+delays inflate *every* step as rank counts grow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+import numpy as np
+
+from repro.sim.rng import DeterministicRNG
+
+
+class NoiseSource:
+    """Per-rank, per-step extra delay (seconds)."""
+
+    name = "none"
+
+    def sample(self, rng: np.random.Generator, n_ranks: int) -> np.ndarray:
+        return np.zeros(n_ranks)
+
+
+@dataclasses.dataclass
+class DaemonNoise(NoiseSource):
+    """A resident daemon: constant background steal plus occasional
+    scheduling spikes when it wakes up (housekeeping, healthchecks)."""
+
+    name: str = "dockerd"
+    background_fraction: float = 0.002
+    spike_probability: float = 0.02
+    spike_seconds: float = 0.004
+
+    def sample(self, rng: np.random.Generator, n_ranks: int) -> np.ndarray:
+        spikes = (rng.random(n_ranks) < self.spike_probability) * self.spike_seconds
+        return spikes
+
+
+@dataclasses.dataclass
+class ConmonNoise(NoiseSource):
+    """A per-container monitor: dormant between container events."""
+
+    name: str = "conmon"
+    background_fraction: float = 0.00005
+    spike_probability: float = 1e-5
+    spike_seconds: float = 0.0005
+
+    def sample(self, rng: np.random.Generator, n_ranks: int) -> np.ndarray:
+        spikes = (rng.random(n_ranks) < self.spike_probability) * self.spike_seconds
+        return spikes
+
+
+@dataclasses.dataclass
+class BSPJob:
+    """n_ranks ranks computing `step_seconds` then synchronizing, for
+    `n_steps` steps."""
+
+    n_ranks: int
+    n_steps: int = 200
+    step_seconds: float = 0.010
+
+    def run(self, noise: NoiseSource | None = None, seed: int = 0) -> float:
+        """Total wall-clock; vectorized over steps x ranks."""
+        rng = DeterministicRNG(seed).stream(f"bsp-{self.n_ranks}")
+        background = getattr(noise, "background_fraction", 0.0) if noise else 0.0
+        base = self.step_seconds * (1.0 + background)
+        total = 0.0
+        for _ in range(self.n_steps):
+            delays = noise.sample(rng, self.n_ranks) if noise else None
+            step = base + (float(delays.max()) if delays is not None else 0.0)
+            total += step
+        return total
+
+    def slowdown(self, noise: NoiseSource, seed: int = 0) -> float:
+        clean = self.n_steps * self.step_seconds
+        return self.run(noise, seed=seed) / clean

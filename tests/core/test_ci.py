@@ -1,0 +1,103 @@
+"""Tests for the CI/CD container-update automation (§2)."""
+
+import pytest
+
+from repro.core.ci import CIError, ContainerCI, RegressionCheck
+from repro.oci.catalog import BaseImageCatalog, build_ubuntu_base
+from repro.registry import OCIDistributionRegistry
+from repro.signing import CosignClient, KeyPair, TransparencyLog
+
+DOCKERFILE = """FROM ubuntu:22.04
+RUN install-pkg solver-deps 20 500000
+RUN write /opt/app/solver 3000000
+ENTRYPOINT /opt/app/solver
+"""
+
+CHECKS = [
+    RegressionCheck("solver-present", lambda fs, img: fs.exists("/opt/app/solver")),
+    RegressionCheck("entrypoint-set", lambda fs, img: img.config.entrypoint != ()),
+]
+
+
+@pytest.fixture
+def ci():
+    registry = OCIDistributionRegistry(name="site")
+    log = TransparencyLog()
+    return ContainerCI(
+        registry,
+        signing_key=KeyPair("ci-bot"),
+        cosign=CosignClient(log),
+    ), registry, log
+
+
+def test_first_pass_builds_and_signs(ci):
+    pipeline, registry, log = ci
+    pipeline.track("hpc/solver", "stable", DOCKERFILE, checks=CHECKS)
+    [report] = pipeline.run_pipeline(now=0.0)
+    assert report["action"] == "rebuilt"
+    assert registry.resolve("hpc/solver", "stable") == report["digest"]
+    assert len(log) == 1  # cosign signature logged
+
+
+def test_second_pass_is_noop(ci):
+    pipeline, registry, _ = ci
+    pipeline.track("hpc/solver", "stable", DOCKERFILE, checks=CHECKS)
+    pipeline.run_pipeline(now=0.0)
+    [report] = pipeline.run_pipeline(now=3600.0)
+    assert report["action"] == "up-to-date"
+
+
+def test_base_image_update_triggers_rebuild(ci):
+    """The §2 scenario: the host/base OS gets a security update; tracked
+    containers must be rebuilt automatically."""
+    pipeline, registry, _ = ci
+    pipeline.track("hpc/solver", "stable", DOCKERFILE, checks=CHECKS)
+    first = pipeline.run_pipeline(now=0.0)[0]
+
+    def patched_ubuntu():
+        image = build_ubuntu_base()
+        # the patched base carries an updated libc
+        from repro.oci.layer import Layer
+        from repro.fs import FileTree
+
+        fix = FileTree()
+        fix.create_file("/usr/lib/libc.so.6", size=2_000_100, mode=0o755)
+        return type(image)(image.config, [*image.layers, Layer(fix, created_by="CVE fix")])
+
+    pipeline.catalog.register("ubuntu:22.04", patched_ubuntu)
+    second = pipeline.run_pipeline(now=7200.0)[0]
+    assert second["action"] == "rebuilt"
+    assert second["digest"] != first["digest"]
+
+
+def test_failing_regression_check_blocks_push(ci):
+    pipeline, registry, _ = ci
+    bad_checks = CHECKS + [RegressionCheck("impossible", lambda fs, img: fs.exists("/nope"))]
+    pipeline.track("hpc/broken", "v1", DOCKERFILE, checks=bad_checks)
+    [report] = pipeline.run_pipeline(now=0.0)
+    assert report["action"] == "blocked"
+    assert report["failed_checks"] == ["impossible"]
+    from repro.registry import RegistryError
+
+    with pytest.raises(RegistryError):
+        registry.resolve("hpc/broken", "v1")
+
+
+def test_recipe_update_rebuilds(ci):
+    pipeline, registry, _ = ci
+    pipeline.track("hpc/solver", "stable", DOCKERFILE, checks=CHECKS)
+    pipeline.run_pipeline(now=0.0)
+    pipeline.update_recipe("hpc/solver", "stable",
+                           DOCKERFILE.replace("3000000", "3100000"))
+    [report] = pipeline.run_pipeline(now=100.0)
+    assert report["action"] == "rebuilt"
+    with pytest.raises(CIError):
+        pipeline.update_recipe("ghost", "v9", DOCKERFILE)
+
+
+def test_history_accumulates(ci):
+    pipeline, _, _ = ci
+    tracked = pipeline.track("hpc/solver", "stable", DOCKERFILE)
+    pipeline.run_pipeline(now=0.0)
+    pipeline.run_pipeline(now=1.0)
+    assert [h["action"] for h in tracked.history] == ["rebuilt", "up-to-date"]

@@ -1,0 +1,227 @@
+"""Tests for requirements, compliance, selection, decision documents,
+the optimizer, workflows, and module generation."""
+
+import pytest
+
+from repro.cluster import CPUSpec, GPUDevice, HostNode
+from repro.core import (
+    ContainerOptimizer,
+    DecisionReport,
+    HPCRequirement,
+    ImageVariant,
+    ModuleError,
+    SiteRequirements,
+    Workflow,
+    WorkflowError,
+    WorkflowStep,
+    engine_compliance,
+    generate_module_file,
+    rank_engines,
+    rank_registries,
+    rank_scenarios,
+    select_stack,
+)
+from repro.core.optimizer import OptimizerError
+from repro.engines import (
+    ApptainerEngine,
+    CharliecloudEngine,
+    DockerEngine,
+    PodmanEngine,
+    SarusEngine,
+    ShifterEngine,
+)
+from repro.oci import Builder
+from repro.registry.registries import Gitea, Harbor, Quay, Shpc
+
+
+# -- compliance ------------------------------------------------------------------
+
+def test_docker_fails_no_root_daemon():
+    site = SiteRequirements(
+        name="t", required=frozenset({HPCRequirement.NO_ROOT_DAEMON})
+    )
+    report = engine_compliance(DockerEngine, site)
+    assert not report.compliant
+    assert HPCRequirement.NO_ROOT_DAEMON in report.violated
+
+
+def test_sarus_fails_on_hardened_site():
+    site = SiteRequirements.security_hardened_center()
+    report = engine_compliance(SarusEngine, site)
+    assert not report.compliant
+    assert HPCRequirement.NO_SETUID in report.violated
+
+
+def test_charliecloud_passes_hardened_site():
+    site = SiteRequirements.security_hardened_center()
+    report = engine_compliance(CharliecloudEngine, site)
+    assert report.compliant
+
+
+def test_live_probe_catches_deploy_failure():
+    """Shifter's setuid dependency is caught by actually instantiating it
+    against the hardened kernel, not just by flags."""
+    site = SiteRequirements(name="h", kernel=SiteRequirements.security_hardened_center().kernel)
+    report = engine_compliance(ShifterEngine, site)
+    assert any("deploy probe failed" in msg for msg in report.violated.values())
+
+
+# -- selection ---------------------------------------------------------------------
+
+def test_profiles_select_expected_engines():
+    assert rank_engines(SiteRequirements.conservative_center())[0][0] is SarusEngine
+    assert rank_engines(SiteRequirements.security_hardened_center())[0][0] is ApptainerEngine
+    assert rank_engines(SiteRequirements.cloud_converged_center())[0][0] is PodmanEngine
+
+
+def test_registry_ranking_prefers_harbor_or_quay():
+    """§5.2: 'the remaining candidates for an HPC-centric container setup
+    are Project Quay and Harbor'."""
+    site = SiteRequirements.cloud_converged_center()
+    ranking = rank_registries(site)
+    top_two = {cls.traits.name for cls, _, violations in ranking[:2] if not violations}
+    assert top_two == {"harbor", "quay"}
+    # CI/CD registries and Library-API-only ones rank below
+    names = [cls.traits.name for cls, _, _ in ranking]
+    assert names.index("gitea") > 1 and names.index("shpc") > 1
+
+
+def test_scenario_ranking_matches_section_66():
+    site = SiteRequirements.cloud_converged_center()
+    ranking = rank_scenarios(site)
+    names = [cls.name for cls, _, _ in ranking]
+    assert names[0] == "kubelet-in-allocation"
+    assert names[1] == "knoc-virtual-kubelet"
+
+
+def test_select_stack_full():
+    stack = select_stack(SiteRequirements.cloud_converged_center())
+    assert stack["engine"].info.name == "podman"
+    assert stack["registry"].traits.name == "harbor"
+    assert stack["scenario"].name == "kubelet-in-allocation"
+    no_k8s = select_stack(SiteRequirements.conservative_center())
+    assert no_k8s["scenario"] is None
+
+
+def test_decision_report_renders():
+    report = DecisionReport(SiteRequirements.security_hardened_center())
+    text = report.render(include_tables=True)
+    assert "security-hardened-center" in text
+    assert "apptainer" in text
+    assert "Table 1" in text
+    assert "violates" in text  # at least one engine fails visibly
+
+
+# -- optimizer -----------------------------------------------------------------------
+
+@pytest.fixture
+def variants():
+    builder = Builder()
+    image = builder.build_dockerfile("FROM ubuntu:22.04\nRUN write /opt/s 1000")
+    return [
+        ImageVariant(ref="app:v2", image=image, microarch="x86-64-v2"),
+        ImageVariant(ref="app:v3", image=image, microarch="x86-64-v3",
+                     mpi_flavor="mpich"),
+        ImageVariant(ref="app:v4-cuda", image=image, microarch="x86-64-v4",
+                     cuda_driver="535.0"),
+        ImageVariant(ref="app:openmpi", image=image, microarch="x86-64-v2",
+                     mpi_flavor="openmpi"),
+    ]
+
+
+def test_optimizer_picks_highest_compatible_microarch(variants):
+    opt = ContainerOptimizer(SiteRequirements())
+    v3_node = HostNode(name="v3", cpu=CPUSpec(microarch="x86-64-v3"))
+    assert opt.select_variant(variants, v3_node).ref == "app:v3"
+    v4_gpu_node = HostNode(
+        name="v4", cpu=CPUSpec(microarch="x86-64-v4"),
+        gpus=[GPUDevice("nvidia", "h100", 0, driver_version="535.104")],
+    )
+    assert opt.select_variant(variants, v4_gpu_node).ref == "app:v4-cuda"
+
+
+def test_optimizer_filters_incompatible_abi(variants):
+    opt = ContainerOptimizer(SiteRequirements(mpi_flavor="cray-mpich"))
+    node = HostNode(name="n", cpu=CPUSpec(microarch="x86-64-v2"))
+    compatible = opt.compatible_variants(variants, node)
+    refs = {v.ref for v in compatible}
+    assert "app:openmpi" not in refs  # MPI ABI mismatch with cray-mpich host
+    assert "app:v3" not in refs       # microarch too new
+    assert "app:v4-cuda" not in refs  # no GPU on node
+    assert refs == {"app:v2"}
+
+
+def test_optimizer_no_compatible_variant():
+    opt = ContainerOptimizer(SiteRequirements())
+    builder = Builder()
+    image = builder.build_dockerfile("FROM alpine\nRUN touch /x")
+    only_v4 = [ImageVariant(ref="v4", image=image, microarch="x86-64-v4")]
+    old_node = HostNode(name="old", cpu=CPUSpec(microarch="x86-64-v2"))
+    with pytest.raises(OptimizerError, match="no variant"):
+        opt.select_variant(only_v4, old_node)
+
+
+def test_optimizer_runtime_plan(variants):
+    site = SiteRequirements()
+    opt = ContainerOptimizer(site)
+    node = HostNode(
+        name="gpu", cpu=CPUSpec(microarch="x86-64-v4"),
+        gpus=[GPUDevice("nvidia", "h100", 0, driver_version="535.104")],
+    )
+    sarus = SarusEngine(node)
+    plan = opt.plan(variants, node, sarus)
+    assert plan.rootfs_strategy == "squash-kernel"
+    assert "nvidia0" in plan.devices
+    assert plan.env["REPRO_CUDA_DRIVER"] == "535.0"
+    assert plan.expected_speedup > 1.3
+    ch = CharliecloudEngine(node)
+    plan_ch = opt.plan(variants, node, ch)
+    assert plan_ch.rootfs_strategy in ("dir", "squashfuse")
+    assert plan_ch.warnings
+
+
+# -- workflows --------------------------------------------------------------------------
+
+def test_workflow_validation():
+    with pytest.raises(WorkflowError, match="unknown"):
+        Workflow("w", [WorkflowStep(name="a", image="x", after=("ghost",))])
+    with pytest.raises(WorkflowError, match="cycle"):
+        Workflow("w", [
+            WorkflowStep(name="a", image="x", after=("b",)),
+            WorkflowStep(name="b", image="x", after=("a",)),
+        ])
+
+
+def test_workflow_topological_batches():
+    wf = Workflow("pipe", [
+        WorkflowStep(name="qc", image="x"),
+        WorkflowStep(name="align", image="x", after=("qc",)),
+        WorkflowStep(name="call", image="x", after=("align",)),
+        WorkflowStep(name="stats", image="x", after=("qc",)),
+    ])
+    batches = wf.topological_batches()
+    assert batches[0] == ["qc"]
+    assert sorted(batches[1]) == ["align", "stats"]
+    assert batches[2] == ["call"]
+
+
+# -- module generation ----------------------------------------------------------------------
+
+def test_module_generation_for_shpc_engines():
+    from repro.oci.image import ImageConfig
+
+    config = ImageConfig(entrypoint=("/opt/tool/bin",), env={"OMP_NUM_THREADS": "4"})
+    text = generate_module_file(ApptainerEngine, "hpc/tool:v1", config)
+    assert 'set_alias("bin"' in text
+    assert 'setenv("OMP_NUM_THREADS", "4")' in text
+    podman_text = generate_module_file(PodmanEngine, "hpc/tool:v1", config)
+    assert "wrapper script required" in podman_text
+
+
+def test_module_generation_gated():
+    from repro.oci.image import ImageConfig
+
+    with pytest.raises(ModuleError, match="no module-system"):
+        generate_module_file(CharliecloudEngine, "x:y", ImageConfig())
+    with pytest.raises(ModuleError, match="announced"):
+        generate_module_file(SarusEngine, "x:y", ImageConfig())

@@ -1,0 +1,145 @@
+"""Tests that the regenerated Tables 1–5 carry the paper's key cells."""
+
+import pytest
+
+from repro.core import (
+    render_table,
+    table1_engines,
+    table2_formats,
+    table3_integrations,
+    table4_registries,
+    table5_registry_features,
+)
+
+
+def by_key(rows, key_field, key):
+    for row in rows:
+        if row[key_field] == key:
+            return row
+    raise KeyError(key)
+
+
+def test_table1_has_all_nine_engines_in_paper_order():
+    rows = table1_engines()
+    assert [r["engine"] for r in rows] == [
+        "docker", "podman", "podman-hpc", "shifter", "sarus",
+        "charliecloud", "apptainer", "singularity-ce", "enroot",
+    ]
+
+
+@pytest.mark.parametrize(
+    "engine,field,expected",
+    [
+        ("docker", "monitor", "per-machine (dockerd)"),
+        ("podman", "monitor", "per-container (conmon)"),
+        ("shifter", "rootless_fs", "suid"),
+        ("podman-hpc", "rootless_fs", "SquashFUSE, fuse-overlayfs"),
+        ("charliecloud", "rootless_fs", "Dir, SquashFUSE"),
+        ("apptainer", "runtime", "runc"),
+        ("singularity-ce", "runtime", "crun"),
+        ("shifter", "oci_hooks", "no"),
+        ("sarus", "oci_hooks", "yes"),
+        ("enroot", "oci_container", "partial"),
+        ("docker", "oci_container", "yes"),
+        ("charliecloud", "language", "C"),
+        ("sarus", "language", "C++"),
+    ],
+)
+def test_table1_key_cells(engine, field, expected):
+    assert by_key(table1_engines(), "engine", engine)[field] == expected
+
+
+@pytest.mark.parametrize(
+    "engine,field,expected",
+    [
+        ("docker", "transparent_conversion", False),
+        ("podman-hpc", "transparent_conversion", True),
+        ("sarus", "native_sharing", True),
+        ("shifter", "native_sharing", False),
+        ("apptainer", "native_sharing", True),
+        ("charliecloud", "transparent_conversion", False),
+        ("docker", "namespacing", "full"),
+        ("sarus", "namespacing", "user+mount"),
+        ("apptainer", "encryption", True),
+        ("shifter", "encryption", False),
+        ("podman", "signature_verification", "gpg, sigstore"),
+        ("docker", "signature_verification", "notary"),
+        ("sarus", "signature_verification", "-"),
+    ],
+)
+def test_table2_key_cells(engine, field, expected):
+    assert by_key(table2_formats(), "engine", engine)[field] == expected
+
+
+@pytest.mark.parametrize(
+    "engine,field,expected",
+    [
+        ("shifter", "wlm_integration", "spank"),
+        ("enroot", "wlm_integration", "spank"),
+        ("sarus", "wlm_integration", "partial-hooks"),
+        ("docker", "wlm_integration", "no"),
+        ("enroot", "gpu", "nvidia-only"),
+        ("apptainer", "gpu", "yes"),
+        ("charliecloud", "gpu", "manual"),
+        ("shifter", "library_hookup", "mpich"),
+        ("docker", "build_tool", True),
+        ("shifter", "build_tool", False),
+        ("docker", "contributors", 486),
+        ("podman-hpc", "contributors", 3),
+        ("charliecloud", "docs_user", "+++"),
+        ("apptainer", "module_integration", "shpc"),
+        ("charliecloud", "module_integration", "no"),
+    ],
+)
+def test_table3_key_cells(engine, field, expected):
+    assert by_key(table3_integrations(), "engine", engine)[field] == expected
+
+
+def test_table4_has_all_seven_registries():
+    rows = table4_registries()
+    assert [r["registry"] for r in rows] == [
+        "quay", "harbor", "gitlab", "gitea", "shpc", "hinkskalle", "zot",
+    ]
+
+
+@pytest.mark.parametrize(
+    "registry,field,expected",
+    [
+        ("quay", "proxying", "auto"),
+        ("harbor", "mirroring", "push, pull"),
+        ("quay", "mirroring", "pull"),
+        ("gitea", "proxying", "none"),
+        ("shpc", "protocols", "Library API"),
+        ("hinkskalle", "protocols", "Library API, OCI v2"),
+        ("zot", "protocols", "OCI v1"),
+        ("gitlab", "focus", "Git hosting, CI/CD"),
+    ],
+)
+def test_table4_key_cells(registry, field, expected):
+    assert by_key(table4_registries(), "registry", registry)[field] == expected
+
+
+@pytest.mark.parametrize(
+    "registry,field,expected",
+    [
+        ("quay", "squashing", "on-demand"),
+        ("harbor", "squashing", "no"),
+        ("quay", "multi_tenancy", "Organization"),
+        ("harbor", "multi_tenancy", "Project"),
+        ("gitea", "multi_tenancy", "no"),
+        ("harbor", "quota", "per-project"),
+        ("gitlab", "signing", False),
+        ("zot", "signing", True),
+        ("shpc", "formats", "SIF"),
+        ("hinkskalle", "formats", "SIF, OCI"),
+    ],
+)
+def test_table5_key_cells(registry, field, expected):
+    assert by_key(table5_registry_features(), "registry", registry)[field] == expected
+
+
+def test_render_table_text():
+    text = render_table(table1_engines(), title="Table 1")
+    assert text.startswith("Table 1")
+    assert "docker" in text and "enroot" in text
+    assert render_table([], "Empty") == "Empty\n(empty)\n"

@@ -1,0 +1,38 @@
+"""Shared fixtures for engine tests."""
+
+import pytest
+
+from repro.cluster import GPUDevice, HostNode
+from repro.kernel import KernelConfig
+from repro.oci import Builder
+from repro.oci.catalog import BaseImageCatalog
+from repro.registry import OCIDistributionRegistry
+
+
+@pytest.fixture
+def node():
+    return HostNode(
+        name="nid0001",
+        kernel_config=KernelConfig.modern_hpc(),
+        gpus=[GPUDevice(vendor="nvidia", model="a100", index=0)],
+    )
+
+
+@pytest.fixture
+def registry():
+    reg = OCIDistributionRegistry(name="site-registry")
+    builder = Builder(BaseImageCatalog())
+    img = builder.build_dockerfile(
+        "FROM ubuntu:22.04\n"
+        "RUN write /opt/app/solver 5000000\n"
+        "ENTRYPOINT /opt/app/solver\n"
+    )
+    reg.push_image("hpc/solver", "v1", img)
+    py = builder.build_dockerfile("FROM python:3.11\nRUN pip-install scipy 100")
+    reg.push_image("hpc/py-pipeline", "v1", py)
+    return reg
+
+
+@pytest.fixture
+def user(node):
+    return node.kernel.spawn(uid=1000)

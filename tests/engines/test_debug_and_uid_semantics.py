@@ -1,0 +1,56 @@
+"""§4.1.6/§3.2: debuggers and uid semantics.
+
+The HPC single-uid model means a user can ptrace (profile, debug) their
+own containerized processes; the Docker daemon model puts containers
+under root, breaking user-driven debugging."""
+
+import pytest
+
+from repro.cluster import HostNode
+from repro.engines import DockerEngine, SarusEngine
+from repro.kernel.errors import EPERM
+from repro.oci import Builder
+
+
+@pytest.fixture
+def image():
+    return Builder().build_dockerfile("FROM ubuntu:22.04\nRUN write /opt/app 100000")
+
+
+def test_user_can_debug_own_hpc_container(node, registry, user, image):
+    sarus = SarusEngine(node)
+    result = sarus.run(image, user)
+    target = result.container.proc
+    # same (host) uid: a debugger launched by the user attaches fine
+    debugger = node.kernel.spawn(parent=user, argv=("gdb",))
+    node.kernel.ptrace_attach(debugger, target)
+    assert target.ptraced_by == debugger.pid
+
+
+def test_user_cannot_debug_docker_container(node, registry, user, image):
+    docker = DockerEngine(node)
+    docker.start_daemon()
+    result = docker.run(image, user)
+    target = result.container.proc
+    assert target.creds.uid == 0  # child of the root daemon
+    debugger = node.kernel.spawn(parent=user, argv=("gdb",))
+    with pytest.raises(EPERM):
+        node.kernel.ptrace_attach(debugger, target)
+
+
+def test_files_created_in_hpc_container_owned_by_job_user(node, registry, user, image):
+    """§3.2: 'files created by processes in the container have the
+    UID/GID of the user launching the job'."""
+    sarus = SarusEngine(node)
+    result = sarus.run(image, user)
+    proc = result.container.proc
+    # the single mapping is identity on the invoking uid: the process
+    # appears as uid 1000 inside AND outside, so files land correctly
+    assert proc.container_uid() == user.creds.uid
+    assert proc.userns.uid_to_host(user.creds.uid) == user.creds.uid
+    assert not proc.userns.maps_multiple_uids()
+    # container-root (uid 0) simply does not exist in this namespace
+    from repro.kernel.errors import EINVAL
+
+    with pytest.raises(EINVAL):
+        proc.userns.uid_to_host(0)

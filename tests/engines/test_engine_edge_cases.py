@@ -1,0 +1,67 @@
+"""Remaining engine edge cases: cache sharing in the Singularity family,
+docker SIF refusal, podman-hpc SIF passthrough, invalid states."""
+
+import pytest
+
+from repro.cluster import HostNode
+from repro.engines import (
+    ApptainerEngine,
+    DockerEngine,
+    EngineError,
+    PodmanHPCEngine,
+    SingularityCEEngine,
+)
+from repro.oci import Builder
+from repro.oci.runtime import ContainerState
+from repro.oci.sif import SIFImage
+
+
+def test_singularity_sif_cache_shared_between_users(node, registry):
+    """Table 2: native format sharing 'yes' for the Singularity family —
+    SIF files are plain files anyone can read."""
+    engine = ApptainerEngine(node)
+    first = engine.pull("hpc/solver", "v1", registry, user_uid=1000)
+    assert not first.from_cache
+    second = engine.pull("hpc/solver", "v1", registry, user_uid=1001)
+    assert second.from_cache
+    assert second.pull_cost == 0.0
+
+
+def test_docker_refuses_sif(node, user):
+    apptainer = ApptainerEngine(node)
+    sif = apptainer.build("Bootstrap: docker\nFrom: alpine\n%post\n    touch /x")
+    docker = DockerEngine(node)
+    docker.start_daemon()
+    with pytest.raises(EngineError, match="plain OCI"):
+        docker.run(sif, user)
+
+
+def test_podman_hpc_runs_sif_via_squashfuse(node, user):
+    apptainer = ApptainerEngine(node)
+    sif = apptainer.build("Bootstrap: docker\nFrom: alpine\n%post\n    write /t 1000")
+    engine = PodmanHPCEngine(node)
+    result = engine.run(sif, user)
+    assert result.container.state is ContainerState.RUNNING
+    assert result.container.rootfs.driver.name == "squashfuse"
+
+
+def test_singularity_ce_and_apptainer_differ_in_runtime(node):
+    assert ApptainerEngine(node).runtime.name == "runc"
+    assert SingularityCEEngine(node).runtime.name == "crun"
+
+
+def test_run_with_explicit_command_overrides_entrypoint(node, registry, user):
+    engine = ApptainerEngine(node)
+    pulled = engine.pull("hpc/solver", "v1", registry)
+    result = engine.run(pulled, user, command=("/bin/sh", "-c", "hostname"))
+    assert result.container.proc.argv == ("/bin/sh", "-c", "hostname")
+
+
+def test_engine_stats_track_activity(node, registry, user):
+    engine = ApptainerEngine(node)
+    pulled = engine.pull("hpc/solver", "v1", registry)
+    engine.run(pulled, user)
+    engine.run(pulled, user)
+    assert engine.stats["pulls"] == 1
+    assert engine.stats["runs"] == 2
+    assert engine.stats["conversions"] == 1

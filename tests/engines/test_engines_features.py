@@ -1,0 +1,283 @@
+"""Engine feature tests: GPU/MPI hookup with ABI checks, signing,
+encryption, fakeroot, SIF handling — Tables 2 and 3 behaviour."""
+
+import pytest
+
+from repro.cluster import GPUDevice, HostNode
+from repro.engines import (
+    ApptainerEngine,
+    CharliecloudEngine,
+    DockerEngine,
+    EngineError,
+    EnrootEngine,
+    PodmanEngine,
+    PodmanHPCEngine,
+    SarusEngine,
+    ShifterEngine,
+    SingularityCEEngine,
+)
+from repro.engines.fakeroot import (
+    FakerootError,
+    LDPreloadFakeroot,
+    PtraceFakeroot,
+    SubuidFakeroot,
+)
+from repro.engines.hookup import ABIError, check_driver_abi, check_mpi_abi, make_gpu_hook
+from repro.kernel import KernelConfig
+from repro.oci import Builder
+from repro.oci.runtime import ContainerState
+from repro.signing import GPGKeyring, KeyPair
+
+
+DEF_FILE = "Bootstrap: docker\nFrom: ubuntu:22.04\n%post\n    write /opt/t 1000"
+
+
+# -- ABI checks ----------------------------------------------------------------
+
+def test_driver_abi_check():
+    check_driver_abi("535.104", "535.54")  # same major: fine
+    check_driver_abi("535.104", None)      # undeclared: allowed (risky)
+    with pytest.raises(ABIError, match="ABI mismatch"):
+        check_driver_abi("535.104", "470.999")
+
+
+def test_mpi_abi_families():
+    check_mpi_abi("cray-mpich", "mpich")
+    check_mpi_abi("cray-mpich", None)
+    with pytest.raises(ABIError):
+        check_mpi_abi("cray-mpich", "openmpi")
+
+
+# -- GPU enablement -----------------------------------------------------------------
+
+def gpu_image(builder, driver="535.104"):
+    return builder.build_dockerfile(
+        f"FROM ubuntu:22.04\nENV REPRO_CUDA_DRIVER={driver}\nRUN write /opt/gpu-app 1000"
+    )
+
+
+def test_sarus_gpu_hook_with_strict_abi(node, user):
+    builder = Builder()
+    sarus = SarusEngine(node)
+    sarus.enable_gpu()
+    node.kernel.grant_device(user, "nvidia0")
+    result = sarus.run(gpu_image(builder), user)
+    ctr = result.container
+    assert "nvidia0" in ctr.proc.exposed_devices
+    assert ctr.exists("/usr/lib64/libcuda.so.535.104")
+
+
+def test_sarus_gpu_hook_rejects_abi_mismatch(node, user):
+    builder = Builder()
+    sarus = SarusEngine(node)
+    sarus.enable_gpu()
+    node.kernel.grant_device(user, "nvidia0")
+    from repro.oci.hooks import HookError
+
+    with pytest.raises(HookError, match="ABI mismatch"):
+        sarus.run(gpu_image(builder, driver="470.1"), user)
+
+
+def test_gpu_hook_on_gpuless_node(registry, user):
+    bare = HostNode(name="cpu-only")
+    sarus = SarusEngine(bare)
+    with pytest.raises(EngineError, match="no GPUs"):
+        sarus.enable_gpu()
+
+
+def test_enroot_nvidia_only():
+    amd_node = HostNode(gpus=[GPUDevice(vendor="amd", model="mi250", index=0)])
+    enroot = EnrootEngine(amd_node)
+    with pytest.raises(EngineError, match="NVIDIA-only"):
+        enroot.enable_gpu()
+    nv_node = HostNode(gpus=[GPUDevice(vendor="nvidia", model="a100", index=0)])
+    EnrootEngine(nv_node).enable_gpu()
+
+
+def test_singularity_builtin_nv(node, user):
+    apptainer = ApptainerEngine(node)
+    apptainer.enable_gpu()
+    node.kernel.grant_device(user, "nvidia0")
+    sif = apptainer.build(DEF_FILE)
+    result = apptainer.run(sif, user)
+    assert "nvidia0" in result.container.proc.exposed_devices
+    assert result.container.exists("/.singularity.d/libs/libcuda.so.535.104")
+
+
+def test_charliecloud_manual_gpu(node, registry, user):
+    ch = CharliecloudEngine(node)
+    ch.manual_bind("/usr/lib64", "/usr/lib64")
+    pulled = ch.pull("hpc/solver", "v1", registry)
+    result = ch.run(pulled, user)
+    assert result.container.exists("/usr/lib64/libcuda.so.535.104")
+    with pytest.raises(EngineError, match="no such host path"):
+        ch.manual_bind("/nonexistent", "/x")
+
+
+# -- MPI hookup -------------------------------------------------------------------------
+
+def test_shifter_mpich_only(node, registry, user):
+    builder = Builder()
+    shifter = ShifterEngine(node)
+    shifter.enable_mpi()
+    mpich_img = builder.build_dockerfile(
+        "FROM ubuntu:22.04\nENV REPRO_MPI_FLAVOR=mpich\nRUN write /app 100"
+    )
+    result = shifter.run(mpich_img, user)
+    assert result.container.exists("/opt/udiImage/mpi/libmpi.so.40")
+    openmpi_img = builder.build_dockerfile(
+        "FROM ubuntu:22.04\nENV REPRO_MPI_FLAVOR=openmpi\nRUN write /app 100"
+    )
+    with pytest.raises(ABIError, match="MPICH"):
+        shifter.run(openmpi_img, user)
+
+
+def test_podman_hpc_mpi_hookup(node, registry, user):
+    engine = PodmanHPCEngine(node)
+    engine.enable_mpi()
+    pulled = engine.pull("hpc/solver", "v1", registry)
+    result = engine.run(pulled, user)
+    assert result.container.exists("/opt/mpi-host/libmpi.so.40")
+
+
+# -- signing ------------------------------------------------------------------------------
+
+def test_docker_content_trust(node, registry, user):
+    from repro.signing import NotaryService
+
+    notary = NotaryService()
+    docker = DockerEngine(node, content_trust=notary)
+    docker.start_daemon()
+    pulled = docker.pull("hpc/solver", "v1", registry)
+    with pytest.raises(EngineError, match="content trust"):
+        docker.run(pulled, user)
+    key = notary.init_repository("hpc/solver", owner="hpc")
+    notary.sign_target("hpc/solver", "v1", pulled.image.digest, key)
+    assert docker.run(pulled, user).container.state is ContainerState.RUNNING
+
+
+def test_podman_gpg_verification(node, registry):
+    ring = GPGKeyring()
+    key = ring.generate_key("publisher")
+    podman = PodmanEngine(node, keyring=ring)
+    pulled = podman.pull("hpc/solver", "v1", registry)
+    sig = key.sign(pulled.image.digest.encode())
+    assert podman.verify_image(pulled.image, sig) == "publisher"
+
+
+def test_singularity_sif_signing_and_policy(node, user):
+    apptainer = ApptainerEngine(node)
+    sif = apptainer.build(DEF_FILE)
+    key = KeyPair("maintainer")
+    apptainer.sign(sif, key)
+    assert apptainer.verify(sif, key)
+    apptainer.verify_policy_keyring = GPGKeyring()
+    result = apptainer.run(sif, user)  # signed: fine
+    assert result.container.state is ContainerState.RUNNING
+    unsigned = apptainer.build(DEF_FILE + " && touch /v2")
+    with pytest.raises(EngineError, match="unsigned"):
+        apptainer.run(unsigned, user)
+
+
+def test_singularity_oci_imports_not_verified(node, registry, user):
+    """§4.1.5: signatures for imported OCI containers are not verified."""
+    apptainer = ApptainerEngine(node)
+    apptainer.verify_policy_keyring = GPGKeyring()
+    pulled = apptainer.pull("hpc/solver", "v1", registry)
+    result = apptainer.run(pulled, user)
+    assert any("no SIF signature" in w for w in result.warnings)
+
+
+# -- encryption ----------------------------------------------------------------------------
+
+def test_singularity_encryption_requires_suid(node, user):
+    apptainer = ApptainerEngine(node)
+    sif = apptainer.build(DEF_FILE)
+    key = KeyPair("site")
+    sif.encrypt(key)
+    with pytest.raises(EngineError, match="decryption_key"):
+        apptainer.run(sif, user)
+    result = apptainer.run(sif, user, decryption_key=key)
+    assert result.container.state is ContainerState.RUNNING
+
+
+def test_singularity_encryption_unavailable_rootless(user):
+    hardened = HostNode(kernel_config=KernelConfig.hardened())
+    apptainer = ApptainerEngine(hardened)
+    sif = apptainer.build(DEF_FILE)
+    key = KeyPair("site")
+    sif.encrypt(key)
+    huser = hardened.kernel.spawn(uid=1000)
+    with pytest.raises(EngineError, match="rootless"):
+        apptainer.run(sif, huser, decryption_key=key)
+
+
+def test_podman_runs_and_decrypts_sif(node, user):
+    """§4.1.4: Podman can run SIF; Singularity needed only to build."""
+    apptainer = ApptainerEngine(node)
+    sif = apptainer.build(DEF_FILE)
+    key = KeyPair("site")
+    sif.encrypt(key)
+    podman = PodmanEngine(node)
+    result = podman.run(sif, user, decryption_key=key)
+    assert result.container.state is ContainerState.RUNNING
+    assert result.container.rootfs.driver.name == "squashfuse"
+
+
+# -- suid compromise & fallback ------------------------------------------------------------------
+
+def test_singularity_suid_mounts_user_sif_with_warning(node, user):
+    apptainer = ApptainerEngine(node)
+    sif = apptainer.build(DEF_FILE, user=user)
+    assert sif.squash.is_user_manipulable(1000)
+    result = apptainer.run(sif, user)
+    assert any("kernel exposed" in w for w in result.warnings)
+    assert result.container.rootfs.driver.name == "bind"  # kernel driver staged
+
+
+def test_singularity_rootless_fallback_squashfuse(user):
+    hardened = HostNode(kernel_config=KernelConfig.hardened())
+    apptainer = ApptainerEngine(hardened)
+    huser = hardened.kernel.spawn(uid=1000)
+    sif = apptainer.build(DEF_FILE, user=huser)
+    result = apptainer.run(sif, huser)
+    assert result.container.rootfs.driver.name == "squashfuse"
+
+
+# -- fakeroot ------------------------------------------------------------------------------------
+
+def test_ld_preload_fakeroot_fails_static(node, user):
+    fk = LDPreloadFakeroot(node.kernel)
+    tree, cost = fk.build(user, "touch /x", baseline_cost=1.0)
+    assert tree.exists("/x") and tree.get("/x").uid == 0
+    with pytest.raises(FakerootError, match="static"):
+        fk.build(user, "touch /x", uses_static_binaries=True)
+
+
+def test_ptrace_fakeroot_slow_but_works_on_static(node, user):
+    pt = PtraceFakeroot(node.kernel)
+    tree, cost = pt.build(user, "touch /x", baseline_cost=1.0, uses_static_binaries=True)
+    assert tree.exists("/x")
+    assert cost > 3.0  # significant penalty (§4.1.2)
+    ld_cost = LDPreloadFakeroot(node.kernel).build(user, "touch /x", baseline_cost=1.0)[1]
+    assert cost > 2 * ld_cost
+
+
+def test_subuid_fakeroot_needs_range(node, user):
+    fk = SubuidFakeroot(node.kernel)
+    with pytest.raises(FakerootError, match="subuid"):
+        fk.enter(user)
+    fk2 = SubuidFakeroot(node.kernel, {1000: (100000, 65536)})
+    proc = fk2.enter(user)
+    assert proc.userns.maps_multiple_uids()
+    assert proc.userns.uid_to_host(0) == 1000
+    assert proc.userns.uid_to_host(1) == 100000
+
+
+def test_singularity_fakeroot_build(node, user):
+    apptainer = ApptainerEngine(node, subuid_ranges={1000: (100000, 65536)})
+    sif = apptainer.build(DEF_FILE, user=user, fakeroot=True)
+    assert sif.tree.exists("/opt/t")
+    no_range = SingularityCEEngine(node)
+    with pytest.raises(FakerootError):
+        no_range.build(DEF_FILE, user=user, fakeroot=True)

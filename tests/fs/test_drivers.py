@@ -1,0 +1,177 @@
+"""Tests for mount drivers: overlay union semantics, squash mounts, costs."""
+
+import pytest
+
+from repro.fs import (
+    FileTree,
+    FsError,
+    PROFILES,
+    pack_squash,
+)
+from repro.fs.drivers import mount_bind, mount_overlay, mount_squash
+from repro.fs.inode import FileNode
+
+
+def layer_with(files: dict[str, bytes]) -> FileTree:
+    t = FileTree()
+    for path, data in files.items():
+        t.create_file(path, data=data)
+    return t
+
+
+# -- overlay union semantics -----------------------------------------------------
+
+def test_overlay_upper_layer_wins():
+    low = layer_with({"/etc/conf": b"lower", "/bin/tool": b"v1"})
+    high = layer_with({"/bin/tool": b"v2"})
+    view = mount_overlay([low, high], PROFILES["nvme"])
+    node = view.lookup("/bin/tool")
+    assert isinstance(node, FileNode) and node.data == b"v2"
+    conf = view.lookup("/etc/conf")
+    assert isinstance(conf, FileNode) and conf.data == b"lower"
+
+
+def test_overlay_whiteout_hides_lower():
+    low = layer_with({"/etc/secret": b"x"})
+    high = FileTree()
+    high.whiteout("/etc/secret")
+    view = mount_overlay([low, high], PROFILES["nvme"])
+    assert view.lookup("/etc/secret") is None
+    assert not view.exists("/etc/secret")
+
+
+def test_overlay_readdir_merges_and_hides():
+    low = layer_with({"/d/a": b"", "/d/b": b""})
+    high = layer_with({"/d/c": b""})
+    high.whiteout("/d/b")
+    view = mount_overlay([low, high], PROFILES["nvme"])
+    assert view.readdir("/d") == ["a", "c"]
+
+
+def test_overlay_readdir_missing_dir_raises():
+    view = mount_overlay([FileTree()], PROFILES["nvme"])
+    with pytest.raises(FsError):
+        view.readdir("/nope")
+
+
+def test_overlay_write_goes_to_upper_with_copy_up():
+    low = layer_with({"/data/model.bin": b"0" * 1000})
+    view = mount_overlay([low], PROFILES["nvme"], writable=True)
+    cost = view.write("/data/model.bin", data=b"new-content")
+    assert cost > 0
+    assert view.stats["copy_ups"] == 1
+    node = view.lookup("/data/model.bin")
+    assert isinstance(node, FileNode) and node.data == b"new-content"
+    # Lower layer untouched.
+    lower_node = low.get("/data/model.bin")
+    assert isinstance(lower_node, FileNode) and lower_node.data == b"0" * 1000
+
+
+def test_overlay_new_file_no_copy_up():
+    view = mount_overlay([layer_with({"/x": b""})], PROFILES["nvme"], writable=True)
+    view.write("/out/result.dat", size=100)
+    assert view.stats["copy_ups"] == 0
+    assert view.exists("/out/result.dat")
+
+
+def test_overlay_remove_whiteouts_lower():
+    low = layer_with({"/etc/host.conf": b"x"})
+    view = mount_overlay([low], PROFILES["nvme"], writable=True)
+    view.remove("/etc/host.conf")
+    assert not view.exists("/etc/host.conf")
+    assert low.exists("/etc/host.conf")
+
+
+def test_overlay_readonly_rejects_write():
+    view = mount_overlay([layer_with({"/x": b""})], PROFILES["nvme"], writable=False)
+    with pytest.raises(FsError, match="read-only"):
+        view.write("/y", size=1)
+
+
+def test_symlink_resolved_across_layers():
+    low = layer_with({"/usr/lib/libm.so": b"lib"})
+    high = FileTree()
+    high.symlink("/lib64", "/usr/lib")
+    view = mount_overlay([low, high], PROFILES["nvme"])
+    node = view.lookup("/lib64/libm.so")
+    assert isinstance(node, FileNode)
+
+
+# -- fuse vs kernel costs ---------------------------------------------------------
+
+def test_fuse_overlay_slower_metadata_than_kernel_overlay():
+    layers = [layer_with({f"/app/m{i}.py": b"x" * 100}) for i in range(3)]
+    kernel = mount_overlay(layers, PROFILES["nvme"], fuse=False)
+    fuse = mount_overlay(layers, PROFILES["nvme"], fuse=True)
+    assert fuse.open("/app/m0.py") > kernel.open("/app/m0.py")
+
+
+def test_fuse_overlay_bandwidth_penalty():
+    layers = [layer_with({"/big.bin": b""})]
+    layers[0].create_file("/big.bin", size=100_000_000)
+    kernel = mount_overlay(layers, PROFILES["nvme"], fuse=False)
+    fuse = mount_overlay(layers, PROFILES["nvme"], fuse=True)
+    ck, _ = kernel.read("/big.bin")
+    cf, _ = fuse.read("/big.bin")
+    assert cf > 1.5 * ck
+
+
+def test_squash_mounts_readonly_and_cost_ordering():
+    tree = FileTree()
+    for i in range(20):
+        tree.create_file(f"/app/f{i}.py", size=4096)
+    img = pack_squash(tree)
+    kview = mount_squash(img, fuse=False)
+    fview = mount_squash(img, fuse=True)
+    with pytest.raises(FsError, match="read-only"):
+        kview.write("/new", size=1)
+    ck, _ = kview.read("/app/f0.py", random=True)
+    cf, _ = fview.read("/app/f0.py", random=True)
+    assert cf > ck
+
+
+def test_squash_image_provenance():
+    tree = FileTree()
+    tree.create_file("/bin/x", size=10)
+    img_root = pack_squash(tree, built_by_uid=0)
+    img_user = pack_squash(tree, built_by_uid=1000)
+    assert not img_root.is_user_manipulable(1000)
+    assert img_user.is_user_manipulable(1000)
+    assert not img_user.is_user_manipulable(1001)
+    img_shared = pack_squash(tree, built_by_uid=0, writable_by=frozenset({1000}))
+    assert img_shared.is_user_manipulable(1000)
+
+
+def test_squash_compression_and_pack_cost():
+    tree = FileTree()
+    tree.create_file("/lib/big", size=1_000_000)
+    img = pack_squash(tree, compression_ratio=0.4)
+    assert img.compressed_size == 400_000
+    assert img.uncompressed_size == 1_000_000
+    assert img.pack_cost() > 0
+    with pytest.raises(ValueError):
+        pack_squash(tree, compression_ratio=0.0)
+
+
+def test_bind_mount_passthrough():
+    tree = layer_with({"/host/lib/libcuda.so": b"driver"})
+    view = mount_bind(tree, PROFILES["nvme"])
+    node = view.lookup("/host/lib/libcuda.so")
+    assert isinstance(node, FileNode)
+    with pytest.raises(FsError):
+        view.write("/host/lib/libcuda.so", data=b"overwrite")
+
+
+def test_load_all_visits_every_visible_file():
+    low = layer_with({"/a": b"1", "/b": b"2"})
+    high = layer_with({"/b": b"override", "/c": b"3"})
+    view = mount_overlay([low, high], PROFILES["nvme"])
+    cost = view.load_all()
+    assert cost > 0
+    assert view.num_files() == 3
+
+
+def test_empty_mount_rejected():
+    with pytest.raises(FsError):
+        from repro.fs.drivers import MountedView, BindDriver
+        MountedView(BindDriver, [], PROFILES["nvme"])

@@ -1,0 +1,68 @@
+"""Property: an overlay mount of layers is observationally equivalent to
+eagerly merging the layers into one tree (modulo whiteouts semantics)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import FileTree, PROFILES
+from repro.fs.drivers import mount_overlay
+from repro.fs.inode import FileNode
+
+PATHS = ["/a", "/b", "/d/x", "/d/y", "/e/f/g"]
+
+layer_strategy = st.lists(
+    st.dictionaries(
+        st.sampled_from(PATHS),
+        st.one_of(st.binary(min_size=0, max_size=6), st.none()),  # None = whiteout
+        min_size=0,
+        max_size=4,
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+def build_layers(specs):
+    layers = []
+    for spec in specs:
+        tree = FileTree()
+        for path, content in spec.items():
+            if content is None:
+                tree.whiteout(path)
+            else:
+                tree.create_file(path, data=content)
+        layers.append(tree)
+    return layers
+
+
+@settings(max_examples=60, deadline=None)
+@given(layer_strategy)
+def test_overlay_equals_eager_merge(specs):
+    layers = build_layers(specs)
+    view = mount_overlay([l.clone() for l in layers], PROFILES["nvme"])
+    merged = FileTree()
+    for layer in layers:
+        merged.merge_from(layer)
+    merged_files = {p: n.data for p, n in merged.files()}
+    for path in PATHS:
+        node = view.lookup(path)
+        if path in merged_files:
+            assert isinstance(node, FileNode)
+            assert node.data == merged_files[path]
+        else:
+            assert not isinstance(node, FileNode)
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer_strategy, st.sampled_from(PATHS), st.binary(min_size=1, max_size=4))
+def test_overlay_write_then_read_is_consistent(specs, path, data):
+    layers = build_layers(specs)
+    view = mount_overlay(layers, PROFILES["nvme"], writable=True)
+    view.write(path, data=data)
+    node = view.lookup(path)
+    assert isinstance(node, FileNode) and node.data == data
+    # lower layers untouched by the write (copy-up semantics)
+    for layer, spec in zip(layers, specs):
+        original = spec.get(path)
+        if original is not None:
+            lower_node = layer.lookup(path, follow_symlinks=False)
+            assert isinstance(lower_node, FileNode) and lower_node.data == original

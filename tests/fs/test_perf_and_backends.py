@@ -1,0 +1,142 @@
+"""Tests for cost models and storage backends (incl. MDS contention)."""
+
+import pytest
+
+from repro.fs import LocalDisk, PROFILES, SharedFS, TmpFS
+from repro.fs.perf import IOCostModel
+from repro.sim import Environment
+
+
+# -- cost model shape invariants (paper §4.1.2 / §3.2) -------------------------
+
+def test_squashfuse_iops_magnitude_below_kernel():
+    kernel = PROFILES["squashfs_kernel"].effective_random_iops()
+    fuse = PROFILES["squashfuse"].effective_random_iops()
+    assert kernel / fuse >= 5, "paper: ~order of magnitude lower IOPS for FUSE"
+    assert kernel / fuse <= 50
+
+
+def test_squashfuse_latency_higher_than_kernel():
+    assert PROFILES["squashfuse"].open_cost() > PROFILES["squashfs_kernel"].open_cost()
+
+
+def test_sharedfs_metadata_dwarfs_local():
+    assert PROFILES["sharedfs_client"].open_cost() > 10 * PROFILES["nvme"].open_cost()
+
+
+def test_decompression_charged_on_squash_reads():
+    plain = PROFILES["nvme"].sequential_read_cost(10_000_000)
+    squash = PROFILES["squashfs_kernel"].sequential_read_cost(10_000_000)
+    assert squash > plain  # CPU decompression tax
+
+
+def test_with_overhead_derivation():
+    base = PROFILES["nvme"]
+    derived = base.with_overhead(1e-3, bandwidth_scale=0.5)
+    assert derived.per_op_overhead == pytest.approx(base.per_op_overhead + 1e-3)
+    assert derived.read_bandwidth == pytest.approx(base.read_bandwidth * 0.5)
+    # base unchanged (frozen dataclass semantics)
+    assert base.per_op_overhead == 0.0
+
+
+def test_random_read_slower_than_sequential():
+    m = PROFILES["nvme"]
+    size = 4096 * 1000
+    assert m.random_read_cost(1000) > m.sequential_read_cost(size)
+
+
+# -- backends -----------------------------------------------------------------
+
+def make_python_app(backend, n_files=50, file_size=2000, prefix="/app"):
+    for i in range(n_files):
+        backend.tree.create_file(f"{prefix}/mod_{i:03}.py", size=file_size)
+
+
+def test_est_open_charges_per_component():
+    disk = LocalDisk()
+    disk.tree.create_file("/a/b/c/d.txt", size=1)
+    shallow = LocalDisk()
+    shallow.tree.create_file("/d.txt", size=1)
+    assert disk.est_open("/a/b/c/d.txt") > shallow.est_open("/d.txt")
+
+
+def test_est_read_missing_file_raises():
+    disk = LocalDisk()
+    with pytest.raises(OSError):
+        disk.est_read_file("/nope")
+
+
+def test_est_load_tree_counts_all_files():
+    disk = LocalDisk()
+    make_python_app(disk, n_files=10)
+    cost = disk.est_load_tree("/app")
+    assert cost > 0
+    assert disk.stats["opens"] == 10
+    assert disk.stats["bytes_read"] == 10 * 2000
+
+
+def test_tmpfs_faster_than_nvme():
+    tmp, disk = TmpFS(), LocalDisk()
+    make_python_app(tmp)
+    make_python_app(disk)
+    assert tmp.est_load_tree("/app") < disk.est_load_tree("/app")
+
+
+def test_proc_requires_env():
+    disk = LocalDisk()
+    disk.tree.create_file("/f", size=10)
+    gen = disk.proc_read_file("/f")
+    with pytest.raises(RuntimeError, match="Environment"):
+        next(gen)
+
+
+def test_proc_read_in_environment():
+    env = Environment()
+    disk = LocalDisk(env=env)
+    disk.tree.create_file("/f", size=2_500_000)
+
+    p = env.process(disk.proc_read_file("/f"))
+    size = env.run(until=p)
+    assert size == 2_500_000
+    assert env.now > 0
+
+
+def test_sharedfs_mds_contention_grows_with_clients():
+    """Many clients doing small-file opens queue at the MDS: per-client
+    startup latency grows with the client count (the §3.2 small-file
+    problem), while a single client sees no queueing."""
+
+    def startup_time(n_clients: int) -> float:
+        env = Environment()
+        fs = SharedFS(env=env, mds_capacity=4)
+        make_python_app(fs, n_files=40)
+        procs = [env.process(fs.proc_load_tree("/app")) for _ in range(n_clients)]
+        env.run()
+        return env.now
+
+    t1, t16 = startup_time(1), startup_time(16)
+    assert t16 > 3 * t1
+
+
+def test_sharedfs_attach_env():
+    fs = SharedFS()
+    assert fs.mds is None
+    env = Environment()
+    fs.attach_env(env)
+    assert fs.mds is not None
+
+
+def test_sharedfs_open_uses_mds_per_component():
+    env = Environment()
+    fs = SharedFS(env=env, mds_capacity=32)
+    fs.tree.create_file("/a/b/c.txt", size=1)
+    p = env.process(fs.proc_open("/a/b/c.txt"))
+    env.run(until=p)
+    three_level = env.now
+
+    env2 = Environment()
+    fs2 = SharedFS(env=env2, mds_capacity=32)
+    fs2.tree.create_file("/c.txt", size=1)
+    p2 = env2.process(fs2.proc_open("/c.txt"))
+    env2.run(until=p2)
+    assert three_level == pytest.approx(3 * env2.now)

@@ -1,0 +1,183 @@
+"""Tests for FileTree path resolution and mutation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs import DirNode, FileNode, FileTree, FsError, SymlinkNode
+from repro.fs.tree import normalize
+
+
+def test_mkdir_and_lookup():
+    t = FileTree()
+    t.mkdir("/a/b/c", parents=True)
+    assert t.is_dir("/a/b/c")
+    assert not t.exists("/a/b/c/d")
+
+
+def test_mkdir_without_parents_fails():
+    t = FileTree()
+    with pytest.raises(FsError):
+        t.mkdir("/a/b/c", parents=False)
+
+
+def test_create_and_read_file():
+    t = FileTree()
+    node = t.create_file("/etc/nsswitch.conf", data=b"passwd: files")
+    assert t.is_file("/etc/nsswitch.conf")
+    assert node.size == len(b"passwd: files")
+    got = t.get("/etc/nsswitch.conf")
+    assert isinstance(got, FileNode) and got.data == b"passwd: files"
+
+
+def test_size_only_file():
+    t = FileTree()
+    node = t.create_file("/usr/lib/libbig.so", size=50_000_000)
+    assert node.size == 50_000_000
+    assert node.data is None
+
+
+def test_size_data_conflict_rejected():
+    with pytest.raises(ValueError):
+        FileNode(data=b"xy", size=5)
+
+
+def test_symlink_resolution():
+    t = FileTree()
+    t.create_file("/usr/lib/libc.so.6", size=100)
+    t.symlink("/lib", "/usr/lib")
+    node = t.get("/lib/libc.so.6")
+    assert isinstance(node, FileNode) and node.size == 100
+
+
+def test_symlink_not_followed_when_asked():
+    t = FileTree()
+    t.create_file("/target", size=1)
+    t.symlink("/link", "/target")
+    node = t.get("/link", follow_symlinks=False)
+    assert isinstance(node, SymlinkNode)
+
+
+def test_symlink_loop_detected():
+    t = FileTree()
+    t.symlink("/a", "/b")
+    t.symlink("/b", "/a")
+    with pytest.raises(FsError, match="symbolic links"):
+        t.get("/a/whatever")
+
+
+def test_remove():
+    t = FileTree()
+    t.create_file("/x/y", size=1)
+    t.remove("/x/y")
+    assert not t.exists("/x/y")
+    with pytest.raises(FsError):
+        t.remove("/x/y")
+
+
+def test_remove_root_rejected():
+    t = FileTree()
+    with pytest.raises(FsError):
+        t.remove("/")
+
+
+def test_walk_is_sorted_and_complete():
+    t = FileTree()
+    for name in ("zeta", "alpha", "mid"):
+        t.create_file(f"/pkg/{name}.py", size=10)
+    paths = [p for p, n in t.walk() if isinstance(n, FileNode)]
+    assert paths == ["/pkg/alpha.py", "/pkg/mid.py", "/pkg/zeta.py"]
+
+
+def test_aggregate_stats():
+    t = FileTree()
+    t.create_file("/a", size=100)
+    t.create_file("/b/c", size=200)
+    assert t.num_files() == 2
+    assert t.total_size() == 300
+
+
+def test_clone_is_deep():
+    t = FileTree()
+    t.create_file("/data/file", data=b"orig")
+    c = t.clone()
+    node = c.get("/data/file")
+    assert isinstance(node, FileNode)
+    node.write(b"changed")
+    orig = t.get("/data/file")
+    assert isinstance(orig, FileNode) and orig.data == b"orig"
+
+
+def test_merge_from_upper_wins():
+    base = FileTree()
+    base.create_file("/etc/conf", data=b"old")
+    base.create_file("/etc/keep", data=b"keep")
+    upper = FileTree()
+    upper.create_file("/etc/conf", data=b"new")
+    base.merge_from(upper)
+    conf = base.get("/etc/conf")
+    keep = base.get("/etc/keep")
+    assert isinstance(conf, FileNode) and conf.data == b"new"
+    assert isinstance(keep, FileNode) and keep.data == b"keep"
+
+
+def test_merge_from_applies_whiteouts():
+    base = FileTree()
+    base.create_file("/etc/secret", data=b"x")
+    upper = FileTree()
+    upper.whiteout("/etc/secret")
+    base.merge_from(upper)
+    assert not base.exists("/etc/secret")
+
+
+def test_attach_subtree():
+    t = FileTree()
+    sub = DirNode()
+    sub.children["inner"] = FileNode(size=5)
+    t.attach("/mnt/image", sub)
+    assert t.is_file("/mnt/image/inner")
+
+
+def test_setuid_bit():
+    t = FileTree()
+    node = t.create_file("/usr/bin/helper", size=10, mode=0o4755)
+    assert node.setuid
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdef", min_size=1, max_size=4),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_created_paths_resolve(parts):
+    t = FileTree()
+    path = "/" + "/".join(parts)
+    t.create_file(path, size=1)
+    assert t.is_file(path)
+    # Every prefix is a directory.
+    for i in range(1, len(parts)):
+        assert t.is_dir("/" + "/".join(parts[:i]))
+
+
+@given(st.text(alphabet="abc/.", min_size=1, max_size=20))
+def test_property_normalize_idempotent(raw):
+    once = normalize(raw)
+    assert normalize(once) == once
+    assert once.startswith("/")
+
+
+@given(
+    st.dictionaries(
+        st.text(alphabet="xyz", min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=1000),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_property_total_size_matches_sum(files):
+    t = FileTree()
+    for name, size in files.items():
+        t.create_file(f"/d/{name}", size=size)
+    assert t.total_size() == sum(files.values())
+    assert t.num_files() == len(files)

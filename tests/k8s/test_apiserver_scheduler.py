@@ -1,0 +1,197 @@
+"""Tests for the API server (CRUD + watch) and the pod scheduler."""
+
+import pytest
+
+from repro.k8s import (
+    APIServer,
+    ContainerSpec,
+    K8sNode,
+    K8sScheduler,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+    ResourceRequests,
+)
+from repro.k8s.apiserver import WatchEventType
+from repro.k8s.objects import NodeCondition
+from repro.sim import Environment
+
+
+def make_pod(name, cpu=1.0, gpu=0, selector=None, namespace="default"):
+    return Pod(
+        metadata=ObjectMeta(name=name, namespace=namespace),
+        spec=PodSpec(
+            containers=[
+                ContainerSpec(
+                    name="main",
+                    image="registry.site.local/pipelines/step:v1",
+                    resources=ResourceRequests(cpu=cpu, gpu=gpu),
+                )
+            ],
+            node_selector=selector or {},
+        ),
+    )
+
+
+def make_node(name, cpu=8, gpu=0, labels=None, ready=True):
+    return K8sNode(
+        metadata=ObjectMeta(name=name, labels=labels or {}),
+        capacity=ResourceRequests(cpu=cpu, memory=64 * 2**30, gpu=gpu),
+        condition=NodeCondition(ready=ready),
+    )
+
+
+# -- API server ---------------------------------------------------------------
+
+def test_crud_roundtrip():
+    api = APIServer()
+    pod = make_pod("p1")
+    api.create("Pod", pod)
+    assert api.get("Pod", "p1") is pod
+    with pytest.raises(KeyError, match="already exists"):
+        api.create("Pod", make_pod("p1"))
+    pod.phase = PodPhase.RUNNING
+    api.update("Pod", pod)
+    assert api.delete("Pod", "p1") is pod
+    assert api.get("Pod", "p1") is None
+    assert api.delete("Pod", "ghost") is None
+
+
+def test_update_unknown_object():
+    api = APIServer()
+    with pytest.raises(KeyError, match="not found"):
+        api.update("Pod", make_pod("nope"))
+
+
+def test_namespaced_listing():
+    api = APIServer()
+    api.create("Pod", make_pod("a", namespace="bio"))
+    api.create("Pod", make_pod("b", namespace="ml"))
+    assert len(api.list("Pod")) == 2
+    assert len(api.list("Pod", namespace="bio")) == 1
+
+
+def test_resource_version_increases():
+    api = APIServer()
+    pod = make_pod("p")
+    api.create("Pod", pod)
+    v1 = pod.metadata.resource_version
+    api.update("Pod", pod)
+    assert pod.metadata.resource_version > v1
+
+
+def test_watch_receives_events_and_replays():
+    api = APIServer()
+    api.create("Pod", make_pod("pre-existing"))
+    events = []
+    api.watch("Pod", lambda ev: events.append((ev.type, ev.obj.metadata.name)))
+    assert events == [(WatchEventType.ADDED, "pre-existing")]
+    pod = make_pod("p2")
+    api.create("Pod", pod)
+    api.update("Pod", pod)
+    api.delete("Pod", "p2")
+    kinds = [t for t, _ in events[1:]]
+    assert kinds == [WatchEventType.ADDED, WatchEventType.MODIFIED, WatchEventType.DELETED]
+
+
+def test_unwatch():
+    api = APIServer()
+    events = []
+    cb = lambda ev: events.append(ev)
+    api.watch("Pod", cb)
+    api.unwatch("Pod", cb)
+    api.create("Pod", make_pod("p"))
+    assert events == []
+
+
+# -- scheduler ----------------------------------------------------------------------
+
+def test_scheduler_binds_pod_to_fitting_node():
+    env = Environment()
+    api = APIServer()
+    K8sScheduler(env, api)
+    api.create("Node", make_node("n1", cpu=8))
+    pod = make_pod("p", cpu=4)
+    api.create("Pod", pod)
+    env.run(until=1)
+    assert pod.node_name == "n1"
+
+
+def test_scheduler_respects_resources():
+    env = Environment()
+    api = APIServer()
+    K8sScheduler(env, api)
+    api.create("Node", make_node("small", cpu=2))
+    big = make_pod("big", cpu=16)
+    api.create("Pod", big)
+    env.run(until=1)
+    assert big.node_name is None  # unschedulable
+
+
+def test_scheduler_least_allocated_spreading():
+    env = Environment()
+    api = APIServer()
+    K8sScheduler(env, api)
+    api.create("Node", make_node("n1", cpu=8))
+    api.create("Node", make_node("n2", cpu=8))
+    pods = [make_pod(f"p{i}", cpu=2) for i in range(4)]
+    for p in pods:
+        api.create("Pod", p)
+    env.run(until=1)
+    placements = sorted(p.node_name for p in pods)
+    assert placements == ["n1", "n1", "n2", "n2"]
+
+
+def test_scheduler_node_selector():
+    env = Environment()
+    api = APIServer()
+    K8sScheduler(env, api)
+    api.create("Node", make_node("cpu-node", cpu=8))
+    api.create("Node", make_node("gpu-node", cpu=8, gpu=4, labels={"accel": "a100"}))
+    pod = make_pod("needs-gpu", cpu=1, gpu=1, selector={"accel": "a100"})
+    api.create("Pod", pod)
+    env.run(until=1)
+    assert pod.node_name == "gpu-node"
+
+
+def test_scheduler_skips_not_ready_nodes():
+    env = Environment()
+    api = APIServer()
+    K8sScheduler(env, api)
+    api.create("Node", make_node("dead", ready=False))
+    pod = make_pod("p")
+    api.create("Pod", pod)
+    env.run(until=1)
+    assert pod.node_name is None
+
+
+def test_scheduler_retries_when_node_appears():
+    env = Environment()
+    api = APIServer()
+    K8sScheduler(env, api)
+    pod = make_pod("p")
+    api.create("Pod", pod)
+
+    def add_node(env, api):
+        yield env.timeout(5)
+        api.create("Node", make_node("late"))
+
+    env.process(add_node(env, api))
+    env.run(until=10)
+    assert pod.node_name == "late"
+
+
+def test_release_pod_returns_resources():
+    env = Environment()
+    api = APIServer()
+    sched = K8sScheduler(env, api)
+    node = make_node("n", cpu=4)
+    api.create("Node", node)
+    pod = make_pod("p", cpu=4)
+    api.create("Pod", pod)
+    env.run(until=1)
+    assert node.allocatable().cpu == 0
+    pod.phase = PodPhase.SUCCEEDED
+    sched.release_pod(pod)
+    assert node.allocatable().cpu == 4

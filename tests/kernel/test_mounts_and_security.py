@@ -1,0 +1,213 @@
+"""Tests for mount security rules, pivot_root/chroot, setuid, ptrace."""
+
+import pytest
+
+from repro.fs import FileTree, PROFILES, pack_squash
+from repro.fs.drivers import mount_bind, mount_overlay, mount_squash
+from repro.kernel import (
+    Capability,
+    EINVAL,
+    ENOENT,
+    EPERM,
+    Kernel,
+    KernelConfig,
+    NamespaceKind,
+)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(KernelConfig.modern_hpc())
+
+
+@pytest.fixture
+def rootless(kernel):
+    """User 1000 inside its own user+mount namespace (the HPC pattern)."""
+    proc = kernel.spawn(uid=1000)
+    kernel.unshare(proc, [NamespaceKind.USER, NamespaceKind.MNT])
+    return proc
+
+
+def squash_image(built_by_uid=0):
+    tree = FileTree()
+    tree.create_file("/app/bin/run", size=1000)
+    return pack_squash(tree, built_by_uid=built_by_uid)
+
+
+# -- the §4.1.2 block-device rule --------------------------------------------------
+
+def test_kernel_squashfs_mount_denied_for_rootless_user(kernel, rootless):
+    """Even with full caps in their own userns, a user may not feed the
+    in-kernel SquashFS driver (unhardened against crafted images)."""
+    view = mount_squash(squash_image(), fuse=False)
+    with pytest.raises(EPERM, match="initial"):
+        kernel.mount(rootless, view, "/mnt/img")
+
+
+def test_kernel_squashfs_mount_allowed_for_initial_root(kernel):
+    view = mount_squash(squash_image(), fuse=False)
+    entry = kernel.mount(kernel.init, view, "/mnt/img")
+    assert entry.driver.name == "squashfs"
+
+
+def test_kernel_squashfs_mount_allowed_via_setuid_helper(kernel):
+    """Shifter/Sarus route: a setuid-root helper mounts on the user's
+    behalf (euid 0 in the initial namespace)."""
+    from repro.fs.inode import FileNode
+
+    user = kernel.spawn(uid=1000)
+    helper_bin = FileNode(size=50_000, uid=0, gid=0, mode=0o4755)
+    helper = kernel.exec_setuid(user, helper_bin, argv=("squashfs-mount",))
+    assert helper.euid == 0 and helper.creds.uid == 1000
+    view = mount_squash(squash_image(), fuse=False)
+    kernel.mount(helper, view, "/mnt/img")
+
+
+def test_squashfuse_mount_allowed_for_rootless_user(kernel, rootless):
+    view = mount_squash(squash_image(built_by_uid=1000), fuse=True)
+    entry = kernel.mount(rootless, view, "/mnt/img")
+    assert entry.driver.is_fuse
+
+
+def test_fuse_unavailable_blocks_squashfuse():
+    kernel = Kernel(KernelConfig.legacy_hpc())  # fuse_available=False
+    view = mount_squash(squash_image(), fuse=True)
+    with pytest.raises(ENOENT, match="fuse"):
+        kernel.mount(kernel.init, view, "/mnt/img")
+
+
+# -- overlay rules -----------------------------------------------------------------
+
+def test_overlay_in_userns_on_modern_kernel(kernel, rootless):
+    layers = [FileTree()]
+    layers[0].create_file("/bin/sh", size=100)
+    view = mount_overlay(layers, PROFILES["nvme"])
+    kernel.mount(rootless, view, "/merged")
+
+
+def test_overlay_in_userns_denied_on_old_kernel():
+    cfg = KernelConfig(version=(5, 4), unprivileged_userns=True)
+    kernel = Kernel(cfg)
+    proc = kernel.spawn(uid=1000)
+    kernel.unshare(proc, [NamespaceKind.USER, NamespaceKind.MNT])
+    view = mount_overlay([FileTree()], PROFILES["nvme"])
+    with pytest.raises(EPERM, match="5.11"):
+        kernel.mount(proc, view, "/merged")
+
+
+def test_fuse_overlay_works_on_old_kernel_with_fuse():
+    """fuse-overlayfs is the workaround Docker/Podman use where kernel
+    overlay-in-userns is unavailable."""
+    cfg = KernelConfig(version=(5, 4), unprivileged_userns=True, fuse_available=True)
+    kernel = Kernel(cfg)
+    proc = kernel.spawn(uid=1000)
+    kernel.unshare(proc, [NamespaceKind.USER, NamespaceKind.MNT])
+    view = mount_overlay([FileTree()], PROFILES["nvme"], fuse=True)
+    kernel.mount(proc, view, "/merged")
+
+
+def test_bind_mount_requires_userns_caps(kernel):
+    plain = kernel.spawn(uid=1000)
+    view = mount_bind(FileTree(), PROFILES["nvme"])
+    with pytest.raises(EPERM):
+        kernel.mount(plain, view, "/target")
+
+
+def test_umount(kernel, rootless):
+    view = mount_bind(FileTree(), PROFILES["nvme"])
+    kernel.mount(rootless, view, "/target")
+    kernel.umount(rootless, "/target")
+    assert not rootless.mount_table.is_mount_point("/target")
+    with pytest.raises(ENOENT):
+        kernel.umount(rootless, "/target")
+
+
+# -- pivot_root / chroot -------------------------------------------------------------
+
+def test_pivot_root_rootless(kernel, rootless):
+    tree = FileTree()
+    tree.create_file("/bin/app", size=10)
+    kernel.mount(rootless, mount_bind(tree, PROFILES["nvme"]), "/newroot")
+    kernel.pivot_root(rootless, "/newroot")
+    assert rootless.root == "/newroot"
+
+
+def test_pivot_root_requires_mount_point(kernel, rootless):
+    with pytest.raises(EINVAL, match="mount point"):
+        kernel.pivot_root(rootless, "/not-mounted")
+
+
+def test_pivot_root_denied_without_userns(kernel):
+    plain = kernel.spawn(uid=1000)
+    with pytest.raises(EPERM):
+        kernel.pivot_root(plain, "/anything")
+
+
+def test_chroot_requires_cap(kernel):
+    plain = kernel.spawn(uid=1000)
+    with pytest.raises(EPERM):
+        kernel.chroot(plain, "/jail")
+    kernel.chroot(kernel.init, "/jail")
+    assert kernel.init.root == "/jail"
+
+
+# -- setuid ---------------------------------------------------------------------------
+
+def test_setuid_denied_by_hardened_policy():
+    kernel = Kernel(KernelConfig.hardened())
+    from repro.fs.inode import FileNode
+
+    user = kernel.spawn(uid=1000)
+    helper = FileNode(size=1, uid=0, mode=0o4755)
+    with pytest.raises(EPERM, match="site policy"):
+        kernel.exec_setuid(user, helper, argv=("helper",))
+
+
+def test_setuid_ignored_outside_initial_userns(kernel, rootless):
+    from repro.fs.inode import FileNode
+
+    helper = FileNode(size=1, uid=0, mode=0o4755)
+    with pytest.raises(EPERM, match="initial user namespace"):
+        kernel.exec_setuid(rootless, helper, argv=("helper",))
+
+
+def test_exec_non_setuid_binary_rejected(kernel):
+    from repro.fs.inode import FileNode
+
+    user = kernel.spawn(uid=1000)
+    plain = FileNode(size=1, uid=0, mode=0o755)
+    with pytest.raises(EINVAL):
+        kernel.exec_setuid(user, plain, argv=("x",))
+
+
+# -- ptrace ----------------------------------------------------------------------------
+
+def test_ptrace_same_uid_allowed(kernel):
+    a = kernel.spawn(uid=1000)
+    b = kernel.spawn(uid=1000)
+    kernel.ptrace_attach(a, b)
+    assert b.ptraced_by == a.pid
+
+
+def test_ptrace_cross_uid_denied(kernel):
+    a = kernel.spawn(uid=1000)
+    b = kernel.spawn(uid=2000)
+    with pytest.raises(EPERM):
+        kernel.ptrace_attach(a, b)
+    kernel.ptrace_attach(kernel.init, b)  # root may
+
+
+# -- devices ----------------------------------------------------------------------------
+
+def test_expose_device_requires_grant(kernel, rootless):
+    kernel.host_devices.add("nvidia0")
+    with pytest.raises(EPERM):
+        kernel.expose_device(rootless, "nvidia0")
+    kernel.grant_device(rootless, "nvidia0")
+    kernel.expose_device(rootless, "nvidia0")
+    assert "nvidia0" in rootless.exposed_devices
+
+
+def test_expose_missing_device(kernel):
+    with pytest.raises(ENOENT):
+        kernel.expose_device(kernel.init, "nvidia0")

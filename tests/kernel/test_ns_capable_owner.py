@@ -1,0 +1,60 @@
+"""Tests for the ns_capable owner rule and setns capability grants."""
+
+import pytest
+
+from repro.kernel import (
+    Capability,
+    EPERM,
+    IdMapping,
+    Kernel,
+    KernelConfig,
+    NamespaceKind,
+)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(KernelConfig.modern_hpc())
+
+
+def test_owner_has_caps_towards_own_namespace_from_outside(kernel):
+    """A second process of the same user holds capabilities towards a
+    userns that user created (the nsenter-your-own-container rule)."""
+    creator = kernel.spawn(uid=1000)
+    kernel.unshare(creator, [NamespaceKind.USER])
+    other = kernel.spawn(uid=1000)
+    assert kernel.has_capability(other, Capability.SYS_ADMIN, creator.userns)
+    stranger = kernel.spawn(uid=2000)
+    assert not kernel.has_capability(stranger, Capability.SYS_ADMIN, creator.userns)
+
+
+def test_owner_rule_never_applies_to_initial_ns(kernel):
+    user = kernel.spawn(uid=1000)
+    assert not kernel.has_capability(user, Capability.SYS_ADMIN, kernel.initial_userns)
+
+
+def test_setns_into_userns_grants_full_caps(kernel):
+    creator = kernel.spawn(uid=1000)
+    kernel.unshare(creator, [NamespaceKind.USER, NamespaceKind.MNT])
+    kernel.write_uid_map(creator.userns, [IdMapping(0, 1000)], writer=creator)
+    joiner = kernel.spawn(uid=1000)
+    assert not joiner.creds.has(Capability.SYS_ADMIN)
+    kernel.setns(joiner, creator.userns)
+    assert joiner.creds.has(Capability.SYS_ADMIN)
+    # and may now join the sibling mount namespace
+    kernel.setns(joiner, creator.ns(NamespaceKind.MNT))
+    assert joiner.ns(NamespaceKind.MNT) is creator.ns(NamespaceKind.MNT)
+
+
+def test_descendant_cannot_reach_sibling_namespace(kernel):
+    a = kernel.spawn(uid=1000)
+    kernel.unshare(a, [NamespaceKind.USER])
+    b = kernel.spawn(uid=1000)
+    kernel.unshare(b, [NamespaceKind.USER])
+    # b's userns is a sibling, not an ancestor, of a's: no capability,
+    # even with the same uid (b's euid matches but b is not an ancestor)
+    assert not b.userns.is_ancestor_of(a.userns)
+    # ...but a same-uid process still in the initial ns can reach both
+    c = kernel.spawn(uid=1000)
+    assert kernel.has_capability(c, Capability.SYS_ADMIN, a.userns)
+    assert kernel.has_capability(c, Capability.SYS_ADMIN, b.userns)

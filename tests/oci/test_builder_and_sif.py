@@ -1,0 +1,251 @@
+"""Tests for the Dockerfile/def builders, build cache, SIF, conversion."""
+
+import pytest
+
+from repro.fs import FileTree
+from repro.oci import Builder, BuildError
+from repro.oci.catalog import BaseImageCatalog
+from repro.oci.shell import ShellError, run_commands
+from repro.oci.squash import oci_to_squash
+from repro.signing import KeyPair, SignatureError, generate_sbom
+
+
+DOCKERFILE = """
+FROM ubuntu:22.04
+ENV APP_HOME=/opt/app
+RUN mkdir -p /opt/app && write /opt/app/solver 5000000
+RUN pip-install numpy 50
+COPY input.dat /opt/app/input.dat
+ENTRYPOINT /opt/app/solver
+LABEL org.example.team=hpc
+USER 1000
+EXPOSE 8080
+"""
+
+
+@pytest.fixture
+def builder():
+    return Builder(BaseImageCatalog())
+
+
+@pytest.fixture
+def context():
+    ctx = FileTree()
+    ctx.create_file("/input.dat", data=b"parameters")
+    return ctx
+
+
+# -- the mini shell ---------------------------------------------------------------
+
+def test_shell_commands():
+    t = FileTree()
+    run_commands(
+        t,
+        """
+        mkdir -p /opt/app/bin
+        write /opt/app/bin/solver 1000
+        echo hello > /opt/app/README
+        chmod 755 /opt/app/bin/solver
+        ln -s /opt/app/bin/solver /usr/local/bin/solver
+        """,
+    )
+    assert t.is_dir("/opt/app/bin")
+    assert t.get("/opt/app/README").data == b"hello"
+    assert t.get("/opt/app/bin/solver").mode == 0o755
+    assert t.get("/usr/local/bin/solver").size == 1000  # through symlink
+
+
+def test_shell_chaining_and_comments():
+    t = FileTree()
+    run_commands(t, "# comment\ntouch /a && touch /b")
+    assert t.exists("/a") and t.exists("/b")
+
+
+def test_shell_pip_install_many_small_files():
+    t = FileTree()
+    run_commands(t, "pip-install scipy 200")
+    assert t.num_files("/usr/lib/python3.11/site-packages/scipy") == 200
+
+
+def test_shell_unknown_command_leaves_marker():
+    t = FileTree()
+    run_commands(t, "apt-get update")
+    assert t.num_files("/.build") == 1
+
+
+def test_shell_errors():
+    t = FileTree()
+    with pytest.raises(ShellError):
+        run_commands(t, "write /x")
+    with pytest.raises(ShellError):
+        run_commands(t, "compile /missing.c /out 100")
+
+
+# -- Dockerfile builds ----------------------------------------------------------------
+
+def test_build_dockerfile_layers_and_config(builder, context):
+    img = builder.build_dockerfile(DOCKERFILE, context=context)
+    # base(1) + 2 RUN + 1 COPY
+    assert len(img.layers) == 4
+    flat = img.flatten()
+    assert flat.exists("/opt/app/solver")
+    assert flat.exists("/opt/app/input.dat")
+    assert flat.num_files("/usr/lib/python3.11/site-packages/numpy") == 50
+    assert img.config.env["APP_HOME"] == "/opt/app"
+    assert img.config.entrypoint == ("/opt/app/solver",)
+    assert img.config.user == "1000"
+    assert img.config.exposed_ports == (8080,)
+    assert img.config.labels["org.example.team"] == "hpc"
+
+
+def test_build_cache_hits_on_rebuild(builder, context):
+    builder.build_dockerfile(DOCKERFILE, context=context)
+    assert builder.last_build_stats["executed_steps"] == 3
+    builder.build_dockerfile(DOCKERFILE, context=context)
+    assert builder.last_build_stats["executed_steps"] == 0
+    assert builder.last_build_stats["cached_steps"] == 3
+
+
+def test_build_cache_invalidated_from_changed_step(builder, context):
+    builder.build_dockerfile(DOCKERFILE, context=context)
+    changed = DOCKERFILE.replace("pip-install numpy 50", "pip-install numpy 60")
+    builder.build_dockerfile(changed, context=context)
+    stats = builder.last_build_stats
+    # first RUN cached; changed RUN and the COPY after it re-execute
+    assert stats["cached_steps"] == 1
+    assert stats["executed_steps"] == 2
+
+
+def test_build_cache_context_change_invalidates_copy(builder, context):
+    builder.build_dockerfile(DOCKERFILE, context=context)
+    context2 = FileTree()
+    context2.create_file("/input.dat", data=b"different")
+    builder.build_dockerfile(DOCKERFILE, context=context2)
+    assert builder.last_build_stats["executed_steps"] == 1  # only COPY
+
+
+def test_identical_builds_share_digest(builder, context):
+    a = builder.build_dockerfile(DOCKERFILE, context=context)
+    b = builder.build_dockerfile(DOCKERFILE, context=context)
+    assert a.digest == b.digest
+
+
+def test_dockerfile_must_start_with_from(builder):
+    with pytest.raises(BuildError, match="FROM"):
+        builder.build_dockerfile("RUN touch /x")
+
+
+def test_dockerfile_unknown_instruction(builder):
+    with pytest.raises(BuildError, match="unknown instruction"):
+        builder.build_dockerfile("FROM alpine\nBOGUS foo")
+
+
+def test_copy_missing_source(builder):
+    with pytest.raises(BuildError, match="not in build context"):
+        builder.build_dockerfile("FROM alpine\nCOPY ghost.txt /x")
+
+
+def test_unknown_base_image(builder):
+    with pytest.raises(KeyError, match="unknown base image"):
+        builder.build_dockerfile("FROM centos:7")
+
+
+def test_catalog_profiles():
+    catalog = BaseImageCatalog()
+    python = catalog.get("python:3.11")
+    mpi = catalog.get("mpi-solver")
+    # interpreter stack: many small files; compiled stack: few large ones
+    assert python.num_files > 10 * mpi.num_files
+    assert mpi.uncompressed_size > python.uncompressed_size
+
+
+# -- Singularity definition files ------------------------------------------------------
+
+DEF_FILE = """
+Bootstrap: docker
+From: ubuntu:22.04
+
+%post
+    mkdir -p /opt/tool
+    write /opt/tool/bin 2000000
+
+%environment
+    export OMP_NUM_THREADS=4
+
+%labels
+    MAINTAINER hpc-team
+
+%runscript
+    /opt/tool/bin
+"""
+
+
+def test_build_definition_flat_sif(builder):
+    sif = builder.build_definition(DEF_FILE, build_uid=1000)
+    assert sif.tree.exists("/opt/tool/bin")
+    assert sif.config.env["OMP_NUM_THREADS"] == "4"
+    assert sif.config.entrypoint == ("/opt/tool/bin",)
+    assert sif.config.labels["MAINTAINER"] == "hpc-team"
+    assert sif.built_by_uid == 1000
+    assert sif.squash.is_user_manipulable(1000)  # user-built => not kernel-mountable
+
+
+def test_definition_requires_from(builder):
+    with pytest.raises(BuildError, match="From"):
+        builder.build_definition("Bootstrap: docker\n%post\n    touch /x")
+
+
+def test_definition_unknown_section(builder):
+    with pytest.raises(BuildError, match="unknown section"):
+        builder.build_definition("Bootstrap: docker\nFrom: alpine\n%bogus\n    x")
+
+
+# -- SIF features ---------------------------------------------------------------------
+
+def test_sif_sign_and_verify(builder):
+    sif = builder.build_definition(DEF_FILE)
+    key = KeyPair("alice")
+    sif.sign(key)
+    assert sif.verify(key)
+    assert not sif.verify(KeyPair("mallory"))
+
+
+def test_sif_encryption_lifecycle(builder):
+    sif = builder.build_definition(DEF_FILE)
+    key = KeyPair("site")
+    sif.encrypt(key)
+    with pytest.raises(SignatureError, match="encrypted"):
+        sif.readable_tree()
+    with pytest.raises(SignatureError, match="wrong"):
+        sif.decrypt(KeyPair("other"))
+    sif.decrypt(key)
+    assert sif.readable_tree().exists("/opt/tool/bin")
+
+
+def test_sif_overlay_partition(builder):
+    sif = builder.build_definition(DEF_FILE)
+    overlay = sif.add_overlay()
+    overlay.create_file("/results/out.dat", size=1_000_000)
+    from repro.oci.sif import SIFPartition
+
+    assert SIFPartition.OVERLAY in sif.partitions()
+    assert sif.file_size > sif.squash.compressed_size
+
+
+# -- conversion & SBOM ---------------------------------------------------------------
+
+def test_oci_to_squash_conversion(builder, context):
+    img = builder.build_dockerfile(DOCKERFILE, context=context)
+    squash, cost = oci_to_squash(img, built_by_uid=0)
+    assert cost > 0
+    assert squash.tree.exists("/opt/app/solver")
+    assert squash.num_inner_files == img.num_files
+    assert not squash.is_user_manipulable(1000)
+
+
+def test_sbom_generation(builder, context):
+    img = builder.build_dockerfile(DOCKERFILE, context=context)
+    sbom = generate_sbom(img.flatten(), img.digest)
+    numpy = sbom.find("numpy")
+    assert numpy is not None and numpy.origin == "pip"
+    assert sbom.digest.startswith("sha256:")

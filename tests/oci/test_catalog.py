@@ -1,0 +1,63 @@
+"""Tests for the base-image catalog."""
+
+import pytest
+
+from repro.oci.catalog import BaseImageCatalog
+from repro.oci import Builder, ImageConfig, Layer, OCIImage
+from repro.fs import FileTree
+
+
+def test_known_names_and_caching():
+    catalog = BaseImageCatalog()
+    assert "ubuntu:22.04" in catalog.names()
+    first = catalog.get("ubuntu")
+    assert catalog.get("ubuntu") is first  # cached
+
+
+def test_unknown_name_lists_known():
+    with pytest.raises(KeyError, match="known"):
+        BaseImageCatalog().get("fedora:39")
+
+
+def test_register_custom_builder():
+    catalog = BaseImageCatalog()
+
+    def custom():
+        t = FileTree()
+        t.create_file("/site/base-marker", data=b"v1")
+        return OCIImage(ImageConfig(), [Layer(t, created_by="site base")])
+
+    catalog.register("site-base", custom)
+    image = catalog.get("site-base")
+    assert image.flatten().exists("/site/base-marker")
+    # usable from a Dockerfile FROM
+    built = Builder(catalog).build_dockerfile("FROM site-base\nRUN touch /x")
+    assert built.flatten().exists("/site/base-marker")
+
+
+def test_register_image_instance():
+    catalog = BaseImageCatalog()
+    t = FileTree()
+    t.create_file("/pinned", size=1)
+    image = OCIImage(ImageConfig(), [Layer(t)])
+    catalog.register_image("pinned:1.0", image)
+    assert catalog.get("pinned:1.0") is image
+
+
+def test_register_invalidates_cache():
+    catalog = BaseImageCatalog()
+    original = catalog.get("alpine")
+
+    def patched():
+        t = FileTree()
+        t.create_file("/patched", size=1)
+        return OCIImage(ImageConfig(), [Layer(t)])
+
+    catalog.register("alpine", patched)
+    assert catalog.get("alpine") is not original
+    assert catalog.get("alpine").flatten().exists("/patched")
+
+
+def test_scratch_is_empty():
+    scratch = BaseImageCatalog().get("scratch")
+    assert scratch.num_files == 0

@@ -1,0 +1,58 @@
+"""Tests for ocicrypt-style OCI image encryption."""
+
+import pytest
+
+from repro.cluster import HostNode
+from repro.engines import DockerEngine, EngineError, PodmanEngine
+from repro.oci import Builder
+from repro.oci.encryption import EncryptedOCIImage, encrypt_image
+from repro.signing import KeyPair, SignatureError
+
+
+@pytest.fixture
+def image():
+    return Builder().build_dockerfile("FROM alpine\nRUN write /secret/model.bin 5000000")
+
+
+def test_encrypt_decrypt_roundtrip(image):
+    key = KeyPair("site")
+    enc = encrypt_image(image, key)
+    assert isinstance(enc, EncryptedOCIImage)
+    assert enc.digest != image.digest
+    plain = enc.decrypt(key)
+    assert plain.digest == image.digest
+    assert plain.flatten().exists("/secret/model.bin")
+
+
+def test_wrong_key_rejected(image):
+    enc = encrypt_image(image, KeyPair("site"))
+    with pytest.raises(SignatureError, match="encrypted for key"):
+        enc.decrypt(KeyPair("mallory"))
+
+
+def test_encryption_adds_envelope_overhead(image):
+    enc = encrypt_image(image, KeyPair("site"))
+    assert enc.compressed_size > image.compressed_size
+
+
+def test_podman_runs_encrypted_oci_with_key(image):
+    node = HostNode()
+    podman = PodmanEngine(node)
+    user = node.kernel.spawn(uid=1000)
+    key = KeyPair("site")
+    enc = encrypt_image(image, key)
+    with pytest.raises(EngineError, match="decryption_key"):
+        podman.run(enc, user)
+    result = podman.run(enc, user, decryption_key=key)
+    assert result.container.state.value == "running"
+    assert result.container.exists("/secret/model.bin")
+
+
+def test_docker_refuses_encrypted_oci(image):
+    """Table 2: Docker encryption 'no, extensions available'."""
+    node = HostNode()
+    docker = DockerEngine(node)
+    docker.start_daemon()
+    enc = encrypt_image(image, KeyPair("site"))
+    with pytest.raises(EngineError, match="plain OCI"):
+        docker.run(enc, node.kernel.spawn(uid=1000))

@@ -1,0 +1,81 @@
+"""Tests for eStargz lazy pulling (§7 outlook feature)."""
+
+import pytest
+
+from repro.fs.tree import FsError
+from repro.oci import Builder
+from repro.oci.catalog import BaseImageCatalog
+from repro.oci.estargz import LazyMountedView, LazyPullTransport, to_estargz
+
+
+@pytest.fixture
+def image():
+    builder = Builder(BaseImageCatalog())
+    return builder.build_dockerfile(
+        "FROM ubuntu:22.04\n"
+        "RUN write /opt/app/solver 20000000\n"
+        "RUN write /opt/app/data/big-model.bin 200000000\n"
+        "ENTRYPOINT /opt/app/solver"
+    )
+
+
+def test_toc_covers_every_file(image):
+    estargz = to_estargz(image)
+    files = {p for p, _ in image.flatten().files()}
+    assert set(estargz.toc) == files
+    assert estargz.total_compressed < image.uncompressed_size
+
+
+def test_mount_is_cheap_reads_fault_in(image):
+    estargz = to_estargz(image)
+    view = LazyMountedView(estargz)
+    mount = view.mount_cost()
+    # mounting fetched only the TOC — a tiny fraction of the image
+    assert view.resident_fraction() < 0.01
+    cost1, size = view.read("/opt/app/solver")
+    assert size == 20000000
+    cost2, _ = view.read("/opt/app/solver")
+    assert cost2 < cost1 / 5  # second read: chunk cache hit
+    assert view.stats["faults"] == 1
+
+
+def test_landmarks_prefetched_at_mount(image):
+    estargz = to_estargz(image, prefetch_landmarks=("/opt/app/solver",))
+    view = LazyMountedView(estargz)
+    view.mount_cost()
+    cost, _ = view.read("/opt/app/solver")
+    assert view.stats["faults"] == 1  # faulted during mount, not on read
+    assert cost < 0.05
+
+
+def test_unknown_landmarks_ignored(image):
+    estargz = to_estargz(image, prefetch_landmarks=("/ghost",))
+    assert estargz.prefetch_landmarks == ()
+
+
+def test_resident_fraction_grows_with_touch(image):
+    estargz = to_estargz(image)
+    view = LazyMountedView(estargz)
+    view.mount_cost()
+    before = view.resident_fraction()
+    view.read("/opt/app/data/big-model.bin")
+    assert view.resident_fraction() > before
+
+
+def test_untouched_bytes_never_fetched(image):
+    """The lazy-pull headline: a run that never touches the big model
+    transfers a tiny fraction of the image."""
+    estargz = to_estargz(image)
+    transport = LazyPullTransport()
+    view = LazyMountedView(estargz, transport)
+    view.mount_cost()
+    view.read("/opt/app/solver")
+    assert transport.stats["bytes_fetched"] < image.compressed_size / 10
+
+
+def test_missing_paths_error(image):
+    view = LazyMountedView(to_estargz(image))
+    with pytest.raises(FsError):
+        view.open("/nope")
+    with pytest.raises(FsError):
+        view.read("/opt/app")  # a directory

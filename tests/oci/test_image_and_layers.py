@@ -1,0 +1,192 @@
+"""Tests for digests, layers, manifests, images, references."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fs import FileTree
+from repro.oci import (
+    ImageConfig,
+    ImageReference,
+    Layer,
+    OCIImage,
+    diff_trees,
+    digest_str,
+    short_digest,
+)
+from repro.oci.digest import is_digest
+
+
+def tree_of(files: dict[str, int]) -> FileTree:
+    t = FileTree()
+    for path, size in files.items():
+        t.create_file(path, size=size)
+    return t
+
+
+# -- digests ------------------------------------------------------------------
+
+def test_digest_stability_and_format():
+    d = digest_str("hello")
+    assert d == digest_str("hello")
+    assert is_digest(d)
+    assert not is_digest("sha256:short")
+    assert len(short_digest(d)) == 12
+
+
+# -- layers -------------------------------------------------------------------
+
+def test_identical_content_same_layer_digest():
+    a = Layer(tree_of({"/bin/x": 100}))
+    b = Layer(tree_of({"/bin/x": 100}))
+    # size-only files hash identity, so build both from data files instead
+    t1, t2 = FileTree(), FileTree()
+    t1.create_file("/etc/c", data=b"same")
+    t2.create_file("/etc/c", data=b"same")
+    assert Layer(t1).digest == Layer(t2).digest
+    assert Layer(t1) == Layer(t2)
+
+
+def test_different_content_different_digest():
+    t1, t2 = FileTree(), FileTree()
+    t1.create_file("/etc/c", data=b"one")
+    t2.create_file("/etc/c", data=b"two")
+    assert Layer(t1).digest != Layer(t2).digest
+
+
+def test_created_by_affects_digest():
+    t = FileTree()
+    t.create_file("/x", data=b"v")
+    assert Layer(t, created_by="A").digest != Layer(t, created_by="B").digest
+
+
+def test_diff_trees_additions_and_modifications():
+    base = FileTree()
+    base.create_file("/etc/keep", data=b"k")
+    base.create_file("/etc/mod", data=b"old")
+    new = base.clone()
+    new.create_file("/etc/mod", data=b"new")
+    new.create_file("/etc/added", data=b"a")
+    layer = diff_trees(base, new)
+    assert layer.tree.exists("/etc/mod")
+    assert layer.tree.exists("/etc/added")
+    assert not layer.tree.exists("/etc/keep")
+
+
+def test_diff_trees_deletion_becomes_whiteout():
+    base = tree_of({"/opt/junk": 10, "/opt/keep": 10})
+    new = base.clone()
+    new.remove("/opt/junk")
+    layer = diff_trees(base, new)
+    rebuilt = base.clone()
+    layer.apply_to(rebuilt)
+    assert not rebuilt.exists("/opt/junk")
+    assert rebuilt.exists("/opt/keep")
+
+
+def test_diff_apply_roundtrip():
+    base = tree_of({"/a/b": 5, "/c": 7})
+    new = base.clone()
+    new.create_file("/a/new", data=b"data")
+    new.remove("/c")
+    layer = diff_trees(base, new)
+    rebuilt = base.clone()
+    layer.apply_to(rebuilt)
+    assert rebuilt.exists("/a/new")
+    assert not rebuilt.exists("/c")
+    assert rebuilt.num_files() == new.num_files()
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["/f1", "/f2", "/d/f3", "/d/f4", "/e/f5"]),
+        st.binary(min_size=0, max_size=8),
+        min_size=0,
+        max_size=5,
+    ),
+    st.dictionaries(
+        st.sampled_from(["/f1", "/f2", "/d/f3", "/d/f4", "/e/f5"]),
+        st.binary(min_size=0, max_size=8),
+        min_size=0,
+        max_size=5,
+    ),
+)
+def test_property_diff_apply_reconstructs(base_files, new_files):
+    base, new = FileTree(), FileTree()
+    for p, d in base_files.items():
+        base.create_file(p, data=d)
+    for p, d in new_files.items():
+        new.create_file(p, data=d)
+    layer = diff_trees(base, new)
+    rebuilt = base.clone()
+    layer.apply_to(rebuilt)
+    rebuilt_files = {p: n.data for p, n in rebuilt.files()}
+    expected_files = {p: n.data for p, n in new.files()}
+    assert rebuilt_files == expected_files
+
+
+# -- images -------------------------------------------------------------------
+
+def test_image_flatten_applies_layers_in_order():
+    l1 = Layer(tree_of({"/bin/tool": 100}))
+    t2 = FileTree()
+    t2.create_file("/bin/tool", data=b"v2")
+    l2 = Layer(t2)
+    img = OCIImage(ImageConfig(), [l1, l2])
+    flat = img.flatten()
+    node = flat.get("/bin/tool")
+    assert node.data == b"v2"
+
+
+def test_image_requires_layers():
+    with pytest.raises(ValueError):
+        OCIImage(ImageConfig(), [])
+
+
+def test_image_sizes_and_digest_stability():
+    img = OCIImage(ImageConfig(), [Layer(tree_of({"/x": 1000}))])
+    assert img.uncompressed_size == 1000
+    assert img.compressed_size == 500
+    assert img.digest == img.manifest.digest
+
+
+def test_manifest_digest_sensitive_to_layer_order():
+    t1, t2 = FileTree(), FileTree()
+    t1.create_file("/a", data=b"a")
+    t2.create_file("/b", data=b"b")
+    la, lb = Layer(t1), Layer(t2)
+    img1 = OCIImage(ImageConfig(), [la, lb])
+    img2 = OCIImage(ImageConfig(), [lb, la])
+    assert img1.digest != img2.digest
+
+
+def test_config_argv_combines_entrypoint_and_cmd():
+    cfg = ImageConfig(entrypoint=("python",), cmd=("-m", "app"))
+    assert cfg.argv() == ("python", "-m", "app")
+
+
+# -- references ------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "ref,expected",
+    [
+        ("ubuntu", ("docker.io", "ubuntu", "latest")),
+        ("ubuntu:22.04", ("docker.io", "ubuntu", "22.04")),
+        ("nersc/podman-hpc:1.0", ("docker.io", "nersc/podman-hpc", "1.0")),
+        ("quay.example.org/hpc/solver:v3", ("quay.example.org", "hpc/solver", "v3")),
+        ("localhost/x", ("localhost", "x", "latest")),
+        ("registry:5000/a/b:t", ("registry:5000", "a/b", "t")),
+    ],
+)
+def test_reference_parsing(ref, expected):
+    parsed = ImageReference.parse(ref)
+    assert (parsed.registry, parsed.repository, parsed.tag) == expected
+
+
+def test_reference_roundtrip_str():
+    parsed = ImageReference.parse("quay.io/org/app:1.2")
+    assert str(parsed) == "quay.io/org/app:1.2"
+
+
+def test_reference_invalid():
+    with pytest.raises(ValueError):
+        ImageReference.parse("quay.io/:tag")

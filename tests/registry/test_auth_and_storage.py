@@ -1,0 +1,74 @@
+"""Tests for auth providers, token scopes, and blob stores."""
+
+import pytest
+
+from repro.registry import (
+    AuthError,
+    AuthService,
+    InternalAuth,
+    LDAPAuth,
+    OIDCAuth,
+    S3BlobStore,
+    FSBlobStore,
+)
+from repro.registry.auth import PAMAuth
+
+
+def test_provider_chain_tries_all():
+    ldap, internal = LDAPAuth(), InternalAuth()
+    ldap.add_user("hpcuser", "dir-secret")
+    internal.add_user("svc-bot", "bot-secret")
+    auth = AuthService([internal, ldap])
+    assert auth.login("hpcuser", "dir-secret").provider == "ldap"
+    assert auth.login("svc-bot", "bot-secret").provider == "internal"
+    with pytest.raises(AuthError):
+        auth.login("hpcuser", "wrong")
+
+
+def test_empty_provider_list_rejected():
+    with pytest.raises(ValueError):
+        AuthService([])
+
+
+def test_oidc_token_flow():
+    oidc = OIDCAuth()
+    idp_token = oidc.issue_idp_token("alice@federation")
+    auth = AuthService([oidc])
+    token = auth.login("alice@federation", idp_token)
+    assert token.provider == "oidc"
+    # passwords don't work against OIDC
+    with pytest.raises(AuthError):
+        auth.login("alice@federation", "a-password")
+
+
+def test_token_scopes_and_revocation():
+    pam = PAMAuth()
+    pam.add_user("bob", "pw")
+    auth = AuthService([pam])
+    token = auth.login("bob", "pw", scopes=("pull",))
+    assert auth.validate(token.value, "pull").username == "bob"
+    with pytest.raises(AuthError, match="scope"):
+        auth.validate(token.value, "push")
+    admin = auth.login("bob", "pw", scopes=("admin",))
+    auth.validate(admin.value, "push")  # admin implies everything
+    auth.revoke(token.value)
+    with pytest.raises(AuthError, match="invalid token"):
+        auth.validate(token.value, "pull")
+
+
+def test_s3_store_slower_requests_than_fs():
+    assert S3BlobStore.request_latency > 10 * FSBlobStore.request_latency
+
+
+def test_blob_refcounting_delete():
+    from repro.registry.storage import StorageError
+
+    store = FSBlobStore()
+    store.put("sha256:" + "a" * 64, 100)
+    store.put("sha256:" + "a" * 64, 100)  # dedup: refcount 2
+    store.delete("sha256:" + "a" * 64)
+    assert store.has("sha256:" + "a" * 64)  # still referenced
+    store.delete("sha256:" + "a" * 64)
+    assert not store.has("sha256:" + "a" * 64)
+    with pytest.raises(StorageError):
+        store.delete("sha256:" + "a" * 64)

@@ -1,0 +1,213 @@
+"""Tests for rate limiting, proxying, mirroring, Library API, products."""
+
+import pytest
+
+from repro.fs import FileTree
+from repro.oci import Builder, ImageConfig, Layer, OCIImage
+from repro.oci.catalog import BaseImageCatalog
+from repro.registry import (
+    ALL_REGISTRIES,
+    Gitea,
+    Harbor,
+    LibraryAPIRegistry,
+    MirrorDirection,
+    OCIDistributionRegistry,
+    PullThroughProxy,
+    Quay,
+    RateLimiter,
+    RateLimitExceeded,
+    RegistryError,
+    Shpc,
+    Zot,
+)
+from repro.registry.library_api import LibraryRef
+
+
+def small_image(tag_content=b"x") -> OCIImage:
+    t = FileTree()
+    t.create_file("/bin/app", data=tag_content)
+    return OCIImage(ImageConfig(), [Layer(t)])
+
+
+# -- rate limiting ------------------------------------------------------------------
+
+def test_rate_limiter_sliding_window():
+    rl = RateLimiter(max_requests=3, window_seconds=100)
+    for t in (0, 10, 20):
+        rl.check("1.2.3.4", now=t)
+    with pytest.raises(RateLimitExceeded) as exc:
+        rl.check("1.2.3.4", now=30)
+    assert exc.value.retry_after == pytest.approx(70)
+    # window slides: the t=0 request expires after 100s
+    rl.check("1.2.3.4", now=101)
+
+
+def test_rate_limiter_per_ip():
+    rl = RateLimiter(max_requests=1, window_seconds=100)
+    rl.check("a", now=0)
+    rl.check("b", now=0)  # different IP unaffected
+    assert rl.remaining("a", now=0) == 0
+    assert rl.remaining("c", now=0) == 1
+
+
+def test_dockerhub_like_cluster_exhausts_limit():
+    """64 nodes behind one NAT IP: the per-IP budget dies immediately."""
+    hub = OCIDistributionRegistry(
+        name="dockerhub", rate_limiter=RateLimiter(max_requests=100, window_seconds=6 * 3600)
+    )
+    hub.push_image("library/python", "3.11", small_image())
+    nat_ip = "198.51.100.1"
+    failures = 0
+    for node in range(128):
+        try:
+            hub.pull_image("library/python", "3.11", ip=nat_ip, now=node * 1.0)
+        except RateLimitExceeded:
+            failures += 1
+    assert failures == 28
+
+
+def test_proxy_absorbs_rate_limit():
+    hub = OCIDistributionRegistry(
+        name="dockerhub", rate_limiter=RateLimiter(max_requests=100, window_seconds=6 * 3600)
+    )
+    hub.push_image("library/python", "3.11", small_image())
+    proxy = PullThroughProxy(hub)
+    for node in range(128):
+        proxy.pull_image("library/python", "3.11", now=node * 1.0)
+    assert proxy.stats["upstream_requests"] == 1
+    assert proxy.hit_rate == pytest.approx(127 / 128)
+
+
+def test_proxy_serves_cached_content_identically():
+    hub = OCIDistributionRegistry(name="hub")
+    img = small_image(b"payload")
+    hub.push_image("org/app", "v1", img)
+    proxy = PullThroughProxy(hub)
+    first, _ = proxy.pull_image("org/app", "v1")
+    second, _ = proxy.pull_image("org/app", "v1")
+    assert first.digest == img.digest == second.digest
+
+
+# -- mirroring ---------------------------------------------------------------------------
+
+def test_push_mirroring():
+    harbor = Harbor()
+    peer = OCIDistributionRegistry(name="peer")
+    harbor.add_mirror(MirrorDirection.PUSH, "hpc/*", peer)
+    assert harbor.oci is not None
+    harbor.oci.create_tenant("hpc")
+    harbor.oci.push_image("hpc/app", "v1", small_image())
+    harbor.replicator.on_push("hpc/app", "v1")
+    assert peer.resolve("hpc/app", "v1")
+
+
+def test_pull_mirroring_sync():
+    quay = Quay()
+    upstream = OCIDistributionRegistry(name="upstream")
+    upstream.push_image("science/tool", "v2", small_image())
+    quay.add_mirror(MirrorDirection.PULL, "science/*", upstream)
+    assert quay.oci is not None
+    quay.oci.create_tenant("science")
+    quay.replicator.sync()
+    assert quay.oci.resolve("science/tool", "v2")
+    # second sync is a no-op (digests match)
+    quay.replicator.sync()
+    assert quay.replicator.stats["pull_syncs"] == 1
+
+
+def test_mirroring_gated_by_traits():
+    gitea = Gitea()
+    peer = OCIDistributionRegistry(name="peer")
+    with pytest.raises(RegistryError, match="mirroring"):
+        gitea.add_mirror(MirrorDirection.PULL, "*", peer)
+    quay = Quay()
+    with pytest.raises(RegistryError, match="mirroring"):
+        quay.add_mirror(MirrorDirection.PUSH, "*", peer)  # Quay: pull only
+
+
+# -- Library API ------------------------------------------------------------------------------
+
+def test_library_api_push_pull():
+    lib = LibraryAPIRegistry()
+    builder = Builder(BaseImageCatalog())
+    sif = builder.build_definition("Bootstrap: docker\nFrom: alpine\n%post\n    touch /x")
+    cost = lib.push_sif("library://lab/tools/analysis:v1", sif)
+    assert cost > 0
+    pulled, _ = lib.pull_sif("library://lab/tools/analysis:v1")
+    assert pulled.digest == sif.digest
+    assert lib.list_containers("lab", "tools") == ["analysis"]
+
+
+def test_library_ref_parsing():
+    ref = LibraryRef.parse("library://e/c/n:v2")
+    assert (ref.entity, ref.collection, ref.container, ref.tag) == ("e", "c", "n", "v2")
+    assert LibraryRef.parse("e/c/n").tag == "latest"
+    with pytest.raises(RegistryError):
+        LibraryRef.parse("only/two")
+
+
+def test_library_pull_missing():
+    lib = LibraryAPIRegistry()
+    with pytest.raises(RegistryError, match="no such image"):
+        lib.pull_sif("library://a/b/c")
+
+
+# -- products ------------------------------------------------------------------------------------
+
+def test_all_products_instantiate_with_declared_protocols():
+    for cls in ALL_REGISTRIES:
+        product = cls()
+        assert (product.oci is not None) == product.traits.supports_oci
+        assert (product.library is not None) == product.traits.supports_library_api
+
+
+def test_shpc_is_library_only():
+    shpc = Shpc()
+    assert shpc.oci is None
+    assert shpc.library is not None
+
+
+def test_hinkskalle_speaks_both_protocols():
+    from repro.registry import Hinkskalle
+
+    h = Hinkskalle()
+    assert h.oci is not None and h.library is not None
+
+
+def test_proxy_gated_by_traits():
+    upstream = OCIDistributionRegistry(name="hub")
+    with pytest.raises(RegistryError, match="proxying"):
+        Zot().create_proxy(upstream)
+    proxy = Quay().create_proxy(upstream)
+    assert isinstance(proxy, PullThroughProxy)
+
+
+def test_signing_gated_by_traits():
+    from repro.registry import GitLabRegistry
+
+    gitlab = GitLabRegistry()
+    with pytest.raises(RegistryError, match="signatures"):
+        gitlab.attach_signature("org/app", "sha256:" + "a" * 64)
+    harbor = Harbor()
+    assert harbor.oci is not None
+    harbor.oci.create_tenant("org")
+    harbor.oci.push_image("org/app", "v1", small_image())
+    digest = harbor.oci.resolve("org/app", "v1")
+    harbor.attach_signature("org/app", digest, payload={"by": "ci"})
+    assert harbor.get_signature("org/app", digest) == {"by": "ci"}
+
+
+def test_quay_squashing_enabled():
+    quay = Quay()
+    assert quay.oci is not None and quay.oci.supports_squashing
+    harbor = Harbor()
+    assert harbor.oci is not None and not harbor.oci.supports_squashing
+
+
+def test_auth_providers_match_traits():
+    for cls in ALL_REGISTRIES:
+        product = cls()
+        if product.auth is not None:
+            names = set(product.auth.provider_names())
+            declared = set(product.traits.auth_provider_names) & set(names)
+            assert declared == names

@@ -1,0 +1,90 @@
+"""GPU pods through the §6.5 path: the WLM's device grants must reach
+containers started by rootless kubelets inside the allocation."""
+
+import pytest
+
+from repro.cluster import GPUDevice, HostNode
+from repro.engines import PodmanEngine
+from repro.k8s import (
+    ContainerSpec,
+    CRIRuntime,
+    K3sServer,
+    Kubelet,
+    ObjectMeta,
+    Pod,
+    PodPhase,
+    PodSpec,
+    ResourceRequests,
+)
+from repro.oci import Builder
+from repro.oci.catalog import BaseImageCatalog
+from repro.registry import OCIDistributionRegistry
+from repro.sim import Environment
+from repro.wlm import JobSpec, SlurmController
+
+
+def test_gpu_pod_in_allocation_gets_devices():
+    env = Environment()
+    host = HostNode(
+        name="gpu0001",
+        gpus=[GPUDevice("nvidia", "a100", 0), GPUDevice("nvidia", "a100", 1)],
+        env=env,
+    )
+    wlm = SlurmController(env, [host])
+    registry = OCIDistributionRegistry(name="site")
+    image = Builder(BaseImageCatalog()).build_dockerfile(
+        "FROM ubuntu:22.04\nRUN write /opt/train 1000000\nENTRYPOINT /opt/train"
+    )
+    registry.push_image("ml/train", "v1", image)
+    server = K3sServer(env)
+    state = {}
+
+    def on_start(node, job, user_proc):
+        cg = f"/slurm/uid_1000/job_{job.job_id}"
+        engine = PodmanEngine(node.host)
+
+        class GPUAwareCRI(CRIRuntime):
+            def run_container(self, pulled, user, command=(), cgroup_path=None):
+                # the kubelet device plugin passes the allocation's GPU
+                # grants down to the engine
+                return self.engine.run(
+                    pulled, user, command=command or None,
+                    cgroup_path=cgroup_path,
+                    devices=tuple(sorted(getattr(user, "granted_devices", set()))),
+                )
+
+        kubelet = Kubelet(
+            env, server.api, node.name, GPUAwareCRI(engine, registry),
+            capacity=ResourceRequests(cpu=64, memory=2**38, gpu=2),
+            user_proc=user_proc, cgroup_path=cg,
+        )
+        kubelet.start()
+        state["kubelet"] = kubelet
+
+    def bring_up(env):
+        yield server.ready
+        wlm.submit(JobSpec(name="gpu-alloc", user_uid=1000, nodes=1,
+                           gpus_per_node=2, duration=None, on_start=on_start))
+
+    env.process(bring_up(env))
+    pod = Pod(
+        metadata=ObjectMeta(name="train"),
+        spec=PodSpec(
+            containers=[ContainerSpec(
+                name="train", image="registry.site.local/ml/train:v1",
+                resources=ResourceRequests(cpu=8, gpu=2),
+            )],
+            duration=30,
+        ),
+    )
+
+    def submit(env):
+        yield env.timeout(20)
+        server.api.create("Pod", pod)
+
+    env.process(submit(env))
+    env.run(until=200)
+    assert pod.phase is PodPhase.SUCCEEDED
+    result = pod.container_results[0]
+    assert result.container.proc.exposed_devices == {"nvidia0", "nvidia1"}
+    assert result.container.proc.host_uid() == 1000

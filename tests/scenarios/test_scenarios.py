@@ -1,0 +1,168 @@
+"""Tests for the §6 integration scenarios and the §6.6 comparison."""
+
+import pytest
+
+from repro.k8s.objects import PodPhase
+from repro.scenarios import (
+    ALL_SCENARIOS,
+    BridgeOperatorScenario,
+    KNoCScenario,
+    KubeletInAllocationScenario,
+    KubernetesInWLMScenario,
+    OnDemandReallocationScenario,
+    WLMInKubernetesScenario,
+    evaluate_all,
+    run_scenario,
+)
+from repro.scenarios.evaluate import summary_rows
+from repro.sim import Environment
+from repro.wlm import JobSpec, JobState, NodeState
+
+
+@pytest.fixture(scope="module")
+def all_metrics():
+    """Run every scenario once (module-scoped: the run is the expensive part)."""
+    return {m.scenario: m for m in evaluate_all(n_nodes=4, n_pods=6)}
+
+
+@pytest.mark.parametrize("scenario_cls", ALL_SCENARIOS)
+def test_every_scenario_completes_all_pods(scenario_cls, all_metrics):
+    m = all_metrics[scenario_cls.name]
+    assert m.pods_completed == m.pods_submitted == 6
+
+
+def test_only_wlm_hosted_scenarios_have_accounting(all_metrics):
+    """§6.6: accounting lives in the WLM only when pods run inside it."""
+    with_acct = {name for name, m in all_metrics.items() if m.wlm_accounting_coverage >= 0.99}
+    assert with_acct == {
+        "kubernetes-in-wlm",
+        "bridge-operator",
+        "knoc-virtual-kubelet",
+        "kubelet-in-allocation",
+    }
+
+
+def test_section66_only_knoc_and_65_satisfy_requirements(all_metrics):
+    """'The only solutions satisfying the requirements are therefore the
+    ones mentioned in section 6.5 and the second part of 6.4.'"""
+    satisfying = {
+        name for name, m in all_metrics.items() if m.satisfies_section6_requirements()
+    }
+    assert satisfying == {"knoc-virtual-kubelet", "kubelet-in-allocation"}
+
+
+def test_65_additionally_standard_environment(all_metrics):
+    """§6.5's advantage over KNoC: 'the use of a fully mainline K3s, and
+    therefore a standard environment for Pods to run'."""
+    assert all_metrics["kubelet-in-allocation"].standard_pod_environment
+    assert not all_metrics["knoc-virtual-kubelet"].standard_pod_environment
+
+
+def test_reallocation_is_slowest_to_first_pod(all_metrics):
+    """§6.6: dynamic re-partitioning is 'cumbersome, slow'."""
+    realloc = all_metrics["on-demand-reallocation"].mean_pod_startup
+    for name, m in all_metrics.items():
+        if name != "on-demand-reallocation":
+            assert realloc > 5 * m.mean_pod_startup
+
+
+def test_k8s_in_wlm_bootstrap_dominates_provision(all_metrics):
+    """§6.3 pays the private-cluster bootstrap per workflow; §6.5's
+    steady-state per-allocation provision is cheaper than a K3s boot."""
+    m63 = all_metrics["kubernetes-in-wlm"]
+    assert m63.provision_time > 8.0  # k3s boot + joins inside the allocation
+
+
+def test_scenario_summary_rows_complete(all_metrics):
+    rows = summary_rows(list(all_metrics.values()))
+    assert len(rows) == 6
+    for row in rows:
+        assert set(row) >= {"scenario", "provision_s", "wlm_accounting", "transparent"}
+
+
+# -- scenario-specific behaviours ------------------------------------------------
+
+def test_reallocation_drains_and_returns_nodes():
+    env = Environment()
+    s = OnDemandReallocationScenario(env, n_nodes=4)
+    ready = s.provision()
+    env.run(until=ready)
+    from repro.workload.generators import PodBatchGenerator
+    from repro.scenarios.base import WORKFLOW_IMAGE
+
+    pods = PodBatchGenerator(WORKFLOW_IMAGE, seed=1).batch(4)
+    s.submit(pods)
+    env.run(until=200)
+    # during the pod run some WLM nodes are drained
+    assert any(n.state in (NodeState.DRAINED, NodeState.DRAINING) for n in s.wlm.nodes)
+    env.run(until=2000)
+    # afterwards they are returned
+    assert all(n.state is NodeState.IDLE for n in s.wlm.nodes)
+    assert any("churn" in note for note in s.metrics().notes)
+
+
+def test_reallocation_disturbs_wlm_backlog():
+    """While nodes are loaned to Kubernetes, WLM jobs queue longer."""
+    env = Environment()
+    s = OnDemandReallocationScenario(env, n_nodes=2)
+    ready = s.provision()
+    env.run(until=ready)
+    from repro.workload.generators import PodBatchGenerator
+    from repro.scenarios.base import WORKFLOW_IMAGE
+
+    s.submit(PodBatchGenerator(WORKFLOW_IMAGE, seed=2, cpu_choices=(64,)).batch(2))
+    env.run(until=100)  # both nodes reconfiguring / in k8s
+    job = s.wlm.submit(JobSpec(name="hpc", user_uid=1, nodes=2, duration=10))
+    env.run(until=3000)
+    assert job.state is JobState.COMPLETED
+    assert job.wait_time > 100  # had to wait for the nodes to come home
+
+
+def test_wlm_in_k8s_supports_classic_jobs_but_not_pod_accounting():
+    env = Environment()
+    s = WLMInKubernetesScenario(env, n_nodes=2)
+    ready = s.provision()
+    env.run(until=ready)
+    job = s.submit_hpc_job(JobSpec(name="mpi", user_uid=7, nodes=2, duration=50))
+    env.run(until=ready.value + 500)
+    assert job.state is JobState.COMPLETED
+    assert s.wlm.accounting.total_cpu_seconds(7) > 0
+    # pod workload contributed nothing to WLM accounting
+    assert s._accounted_cpu_seconds() == 0.0
+    assert any("privileged" in n for n in s.notes)
+
+
+def test_k8s_in_wlm_isolation_and_teardown():
+    env = Environment()
+    s = KubernetesInWLMScenario(env, n_nodes=2)
+    ready = s.provision()
+    env.run(until=ready)
+    assert s.job.state is JobState.RUNNING
+    # the whole allocation belongs to one user: per-user cluster
+    assert all(p.creds.uid == 1000 for p in s.job.node_procs.values())
+    s.teardown()
+    env.run(until=env.now + 100)
+    assert s.job.state is JobState.CANCELLED
+
+
+def test_kubelets_in_allocation_are_rootless_and_labelled():
+    env = Environment()
+    s = KubeletInAllocationScenario(env, n_nodes=3)
+    ready = s.provision()
+    env.run(until=ready)
+    assert len(s.kubelets) == 3
+    assert all(k.rootless for k in s.kubelets)
+    nodes = s.k3s.api.nodes()
+    assert all(n.metadata.labels.get("hpc.allocation") == str(s.job.job_id) for n in nodes)
+    assert s.steady_state_provision_time < 8.0  # cheaper than a K3s boot
+
+
+def test_kubelet_in_allocation_pods_stay_inside_allocation():
+    m = run_scenario(KubeletInAllocationScenario, n_nodes=2, n_pods=4, seed=3)
+    assert m.pods_completed == 4
+    assert m.wlm_accounting_coverage == 1.0
+
+
+def test_bridge_requires_reformulation_flag():
+    assert BridgeOperatorScenario.workflow_transparency is False
+    assert KNoCScenario.workflow_transparency is True

@@ -1,0 +1,33 @@
+"""§6.5's kernel prerequisites, enforced: a legacy site (cgroup v1, no
+unprivileged userns) cannot host rootless kubelets in allocations."""
+
+import pytest
+
+from repro.k8s import KubeletError
+from repro.kernel import KernelConfig
+from repro.scenarios import KubeletInAllocationScenario
+from repro.sim import Environment
+
+
+def test_65_fails_loudly_on_legacy_kernel():
+    env = Environment()
+    scenario = KubeletInAllocationScenario(env, n_nodes=2)
+    # retrofit the hosts with a legacy kernel config (cgroup v1, userns off)
+    legacy = KernelConfig.legacy_hpc()
+    for host in scenario.hosts:
+        host.kernel.config = legacy
+        host.kernel.cgroups.version = 1
+    ready = scenario.provision()
+    with pytest.raises(KubeletError, match="cgroup v2|user namespaces"):
+        env.run(until=ready)
+
+
+def test_65_requires_delegation_even_on_cgroup_v2():
+    env = Environment()
+    scenario = KubeletInAllocationScenario(env, n_nodes=1)
+    no_delegation = KernelConfig(cgroup_version=2, cgroup_delegation=False)
+    for host in scenario.hosts:
+        host.kernel.config = no_delegation
+    ready = scenario.provision()
+    with pytest.raises(KubeletError, match="delegated"):
+        env.run(until=ready)

@@ -1,0 +1,141 @@
+"""Tests for keys, GPG keyring, Notary, cosign/transparency log, SBOM."""
+
+import pytest
+
+from repro.signing import (
+    CosignClient,
+    GPGKeyring,
+    KeyPair,
+    NotaryService,
+    SignatureError,
+    TransparencyLog,
+)
+
+
+# -- keys -----------------------------------------------------------------------
+
+def test_sign_verify_roundtrip():
+    key = KeyPair("alice")
+    sig = key.sign(b"payload")
+    assert key.verify(b"payload", sig)
+    assert not key.verify(b"tampered", sig)
+
+
+def test_wrong_key_rejected():
+    a, b = KeyPair("a"), KeyPair("b")
+    sig = a.sign(b"x")
+    assert not b.verify(b"x", sig)
+
+
+def test_key_ids_unique():
+    assert KeyPair("same").public_id != KeyPair("same").public_id
+
+
+# -- GPG keyring -------------------------------------------------------------------
+
+def test_keyring_verify_known_key():
+    ring = GPGKeyring()
+    key = ring.generate_key("maintainer@site")
+    sig = GPGKeyring.sign_detached(key, b"image-manifest")
+    assert ring.verify_detached(b"image-manifest", sig) == "maintainer@site"
+
+
+def test_keyring_unknown_key_rejected():
+    ring = GPGKeyring()
+    stranger = KeyPair("stranger")
+    sig = stranger.sign(b"data")
+    with pytest.raises(SignatureError, match="unknown key"):
+        ring.verify_detached(b"data", sig)
+    ring.import_key(stranger)
+    assert ring.verify_detached(b"data", sig) == "stranger"
+
+
+def test_keyring_bad_signature():
+    ring = GPGKeyring()
+    key = ring.generate_key("k")
+    sig = key.sign(b"original")
+    with pytest.raises(SignatureError, match="bad signature"):
+        ring.verify_detached(b"altered", sig)
+
+
+def test_keyring_remove_key():
+    ring = GPGKeyring()
+    key = ring.generate_key("k")
+    ring.remove_key(key.public_id)
+    assert not ring.known(key.public_id)
+
+
+# -- Notary -----------------------------------------------------------------------------
+
+def test_notary_sign_and_verify_target():
+    notary = NotaryService()
+    key = notary.init_repository("hpc/solver", owner="hpc-team")
+    notary.sign_target("hpc/solver", "v1", "sha256:" + "a" * 64, key)
+    assert notary.verify_target("hpc/solver", "v1", "sha256:" + "a" * 64)
+    assert not notary.verify_target("hpc/solver", "v1", "sha256:" + "b" * 64)
+    assert notary.trusted_digest("hpc/solver", "v1") == "sha256:" + "a" * 64
+
+
+def test_notary_rejects_non_root_signer():
+    notary = NotaryService()
+    notary.init_repository("repo", owner="owner")
+    imposter = KeyPair("imposter")
+    with pytest.raises(SignatureError, match="root key"):
+        notary.sign_target("repo", "v1", "sha256:" + "c" * 64, imposter)
+
+
+def test_notary_double_init_rejected():
+    notary = NotaryService()
+    notary.init_repository("repo", owner="o")
+    with pytest.raises(SignatureError):
+        notary.init_repository("repo", owner="o2")
+
+
+def test_notary_unsigned_tag_not_trusted():
+    notary = NotaryService()
+    notary.init_repository("repo", owner="o")
+    assert notary.trusted_digest("repo", "ghost") is None
+    assert not notary.verify_target("repo", "ghost", "sha256:" + "d" * 64)
+
+
+# -- cosign / transparency log -------------------------------------------------------------
+
+def test_cosign_sign_logs_entry():
+    log = TransparencyLog()
+    client = CosignClient(log)
+    key = KeyPair("ci-bot")
+    entry = client.sign(key, "sha256:" + "e" * 64)
+    assert len(log) == 1
+    assert entry.index == 0
+    assert client.verify(key, "sha256:" + "e" * 64) == entry
+
+
+def test_cosign_verify_missing_signature():
+    client = CosignClient(TransparencyLog())
+    with pytest.raises(SignatureError, match="no logged signature"):
+        client.verify(KeyPair("k"), "sha256:" + "f" * 64)
+
+
+def test_transparency_log_inclusion_proof():
+    log = TransparencyLog()
+    client = CosignClient(log)
+    keys = [KeyPair(f"k{i}") for i in range(5)]
+    entries = [client.sign(k, f"sha256:{i:064}") for i, k in enumerate(keys)]
+    for entry in entries:
+        assert log.verify_inclusion(entry)
+
+
+def test_transparency_log_detects_fabricated_entry():
+    from repro.signing.cosign import LogEntry
+
+    log = TransparencyLog()
+    client = CosignClient(log)
+    key = KeyPair("k")
+    real = client.sign(key, "sha256:" + "1" * 64)
+    fake = LogEntry(
+        index=0,
+        artifact_digest="sha256:" + "2" * 64,
+        signature=real.signature,
+        entry_hash=real.entry_hash,
+    )
+    assert not log.verify_inclusion(fake)

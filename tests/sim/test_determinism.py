@@ -1,0 +1,42 @@
+"""Determinism: identical configurations produce identical timelines —
+the property every benchmark in this repository leans on."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import HostNode
+from repro.sim import Environment
+from repro.wlm import JobSpec, SlurmController
+
+
+def run_timeline(jobs):
+    env = Environment()
+    hosts = [HostNode(name=f"n{i}") for i in range(2)]
+    ctl = SlurmController(env, hosts)
+    submitted = [
+        ctl.submit(JobSpec(name=f"j{i}", user_uid=1, nodes=n, duration=d, priority=p))
+        for i, (n, d, p) in enumerate(jobs)
+    ]
+    env.run(until=50_000)
+    return [(j.start_time, j.end_time, tuple(j.allocated_nodes)) for j in submitted]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=2),
+        st.floats(min_value=1, max_value=100),
+        st.integers(min_value=0, max_value=10),
+    ),
+    min_size=1, max_size=8,
+))
+def test_identical_runs_identical_timelines(jobs):
+    assert run_timeline(jobs) == run_timeline(jobs)
+
+
+def test_scenario_evaluation_is_deterministic():
+    from repro.scenarios import KNoCScenario, run_scenario
+
+    a = run_scenario(KNoCScenario, n_nodes=2, n_pods=3, seed=11)
+    b = run_scenario(KNoCScenario, n_nodes=2, n_pods=3, seed=11)
+    assert a.pod_startup_latencies == b.pod_startup_latencies
+    assert a.makespan == b.makespan

@@ -1,0 +1,49 @@
+"""Tests for the CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_tables_all(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 5" in out
+    assert "docker" in out and "harbor" in out
+
+
+def test_tables_single(capsys):
+    assert main(["tables", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out and "Table 1" not in out
+
+
+def test_decide(capsys):
+    assert main(["decide", "hardened"]) == 0
+    out = capsys.readouterr().out
+    assert "security-hardened-center" in out
+    assert "apptainer" in out
+
+
+def test_decide_with_tables(capsys):
+    assert main(["decide", "conservative", "--tables"]) == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_scenarios_small(capsys):
+    assert main(["scenarios", "--nodes", "2", "--pods", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "kubelet-in-allocation" in out
+    assert "§6.6" in out
+
+
+def test_startup(capsys):
+    assert main(["startup"]) == 0
+    out = capsys.readouterr().out
+    for engine in ("docker", "sarus", "enroot"):
+        assert engine in out
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

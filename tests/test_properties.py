@@ -1,0 +1,150 @@
+"""Property-based tests on cross-cutting invariants (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import HostNode
+from repro.registry import RateLimiter, RateLimitExceeded
+from repro.sim import Environment
+from repro.wlm import JobSpec, JobState, SlurmController
+
+
+# -- WLM scheduling invariants ------------------------------------------------------
+
+job_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),      # nodes
+        st.floats(min_value=1.0, max_value=200.0),  # duration
+        st.booleans(),                              # exclusive
+        st.integers(min_value=0, max_value=100),    # priority
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(job_strategy)
+def test_wlm_every_job_completes_and_nodes_never_oversubscribed(jobs):
+    env = Environment()
+    hosts = [HostNode(name=f"n{i}") for i in range(3)]
+    ctl = SlurmController(env, hosts)
+    cores = hosts[0].cpu.cores
+
+    submitted = [
+        ctl.submit(JobSpec(
+            name=f"j{i}", user_uid=1000 + i, nodes=n, duration=d,
+            exclusive=ex, priority=prio,
+            cores_per_node=0 if ex else max(1, cores // 4),
+            time_limit=10_000,
+        ))
+        for i, (n, d, ex, prio) in enumerate(jobs)
+    ]
+
+    # Invariant checks sampled while the simulation runs.
+    violations = []
+
+    def watchdog(env):
+        while True:
+            for node in ctl.nodes:
+                used = sum(node.allocations.values())
+                if used > node.total_cores:
+                    violations.append(f"{node.name} oversubscribed: {used}")
+                exclusive_jobs = [
+                    j for j in ctl.running.values()
+                    if j.spec.exclusive and node.name in j.allocated_nodes
+                ]
+                if exclusive_jobs and len(node.allocations) > 1:
+                    violations.append(f"{node.name} shares an exclusive job")
+            yield env.timeout(7.0)
+
+    env.process(watchdog(env))
+    env.run(until=20_000)
+    assert not violations, violations
+    assert all(j.state is JobState.COMPLETED for j in submitted)
+    # conservation: accounted elapsed equals requested durations
+    for job, (n, d, ex, prio) in zip(submitted, jobs):
+        assert job.elapsed is not None
+        assert math.isclose(job.elapsed, min(d, 10_000), rel_tol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(job_strategy)
+def test_wlm_accounting_matches_job_history(jobs):
+    env = Environment()
+    hosts = [HostNode(name=f"n{i}") for i in range(3)]
+    ctl = SlurmController(env, hosts)
+    for i, (n, d, ex, prio) in enumerate(jobs):
+        ctl.submit(JobSpec(name=f"j{i}", user_uid=1, nodes=n, duration=d,
+                           exclusive=ex, priority=prio, time_limit=10_000))
+    env.run(until=30_000)
+    records = ctl.accounting.all()
+    assert len(records) == len(jobs)
+    for record in records:
+        assert record.end_time >= record.start_time >= record.submit_time
+        assert record.cpu_seconds >= 0
+
+
+# -- rate limiter ----------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=80),
+)
+def test_rate_limiter_never_exceeds_budget_in_any_window(max_requests, raw_times):
+    window = 100.0
+    limiter = RateLimiter(max_requests=max_requests, window_seconds=window)
+    admitted = []
+    for t in sorted(raw_times):
+        try:
+            limiter.check("ip", now=t)
+            admitted.append(t)
+        except RateLimitExceeded:
+            pass
+    # in every sliding window, at most max_requests were admitted
+    for t in admitted:
+        in_window = [a for a in admitted if t - window < a <= t]
+        assert len(in_window) <= max_requests
+
+
+# -- mount table resolution ---------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from(["/a", "/a/b", "/a/b/c", "/d", "/d/e"]),
+                min_size=1, max_size=6, unique=True))
+def test_mount_table_resolves_to_longest_prefix(targets):
+    from repro.fs import FileTree, PROFILES
+    from repro.fs.drivers import mount_bind
+    from repro.kernel.mounts import MountTable
+
+    table = MountTable(ns_id=1)
+    for target in targets:
+        table.add(target, mount_bind(FileTree(), PROFILES["nvme"]))
+    for target in targets:
+        probe = target + "/leaf"
+        hit = table.resolve(probe)
+        assert hit is not None
+        entry, inner = hit
+        # the chosen mount is the longest target that prefixes the probe
+        candidates = [t for t in targets if probe == t or probe.startswith(t + "/")]
+        assert entry.target == max(candidates, key=len)
+        assert inner.startswith("/")
+
+
+# -- blob store dedup ------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=20))
+def test_blob_store_dedup_by_digest(payloads):
+    from repro.oci.digest import digest_bytes
+    from repro.registry.storage import FSBlobStore
+
+    store = FSBlobStore()
+    for payload in payloads:
+        store.put(digest_bytes(payload), len(payload))
+    assert len(store) == len({digest_bytes(p) for p in payloads})
+    # used bytes counts each unique blob once
+    unique = {digest_bytes(p): len(p) for p in payloads}
+    assert store.used_bytes == sum(unique.values())

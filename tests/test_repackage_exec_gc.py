@@ -1,0 +1,172 @@
+"""Tests for the §4.1.3 repackager, exec-into (§4.1.6), and registry GC."""
+
+import pytest
+
+from repro.cluster import HostNode
+from repro.core.repackage import repackage_for_hpc
+from repro.engines import DockerEngine, EngineError, PodmanEngine, SarusEngine
+from repro.kernel.errors import EPERM
+from repro.oci import Builder, ImageConfig, Layer, OCIImage
+from repro.oci.runtime import ContainerState
+from repro.registry import OCIDistributionRegistry, RegistryError
+
+
+# -- repackaging --------------------------------------------------------------------
+
+def service_image():
+    builder = Builder()
+    image = builder.build_dockerfile(
+        "FROM ubuntu:22.04\nRUN write /srv/webapp 2000000\nEXPOSE 8443\nUSER 33"
+    )
+    image.config.required_uids = (33, 101)
+    # give some files the www-data uid
+    flat = image.flatten()
+    return image
+
+
+def test_repackage_fixes_ports_uids_identity():
+    image = service_image()
+    report = repackage_for_hpc(image, SarusEngine, invoking_uid=1000)
+    assert report.clean
+    repacked = report.repackaged
+    assert repacked.config.exposed_ports == ()
+    assert repacked.config.required_uids == ()
+    assert repacked.config.user == "1000"
+    assert any("EXPOSE" in f for f in report.fixes)
+    assert any("single-uid" in f for f in report.fixes)
+    # repackaged image actually runs on the HPC engine
+    node = HostNode()
+    sarus = SarusEngine(node)
+    user = node.kernel.spawn(uid=1000)
+    result = sarus.run(repacked, user)
+    assert result.container.state is ContainerState.RUNNING
+    assert sarus.oci_compat_gaps(repacked) == []
+
+
+def test_repackage_noop_for_full_namespace_engines():
+    image = service_image()
+    report = repackage_for_hpc(image, DockerEngine)
+    assert report.repackaged is image
+    assert report.fixes == ["no changes needed"]
+
+
+def test_repackage_reports_unfixable():
+    image = service_image()
+    image.config.labels["com.repro.needs-privileged"] = "true"
+    report = repackage_for_hpc(image, SarusEngine)
+    assert not report.clean
+    assert any("privileged" in u for u in report.unfixable)
+
+
+def test_repackage_injects_identity_stubs():
+    from repro.fs import FileTree
+
+    bare = FileTree()
+    bare.create_file("/bin/app", size=10)
+    image = OCIImage(ImageConfig(), [Layer(bare)])
+    report = repackage_for_hpc(image, SarusEngine, invoking_uid=1234)
+    flat = report.repackaged.flatten()
+    assert b"1234" in flat.get("/etc/passwd").data
+    assert flat.exists("/etc/nsswitch.conf")
+
+
+# -- exec into running containers ---------------------------------------------------------
+
+@pytest.fixture
+def registry():
+    reg = OCIDistributionRegistry(name="exec-tests")
+    img = Builder().build_dockerfile(
+        "FROM ubuntu:22.04\nRUN write /opt/solver 1000000\nENTRYPOINT /opt/solver"
+    )
+    reg.push_image("hpc/solver", "v1", img)
+    return reg
+
+
+@pytest.fixture
+def running(registry):
+    node = HostNode()
+    engine = PodmanEngine(node)
+    user = node.kernel.spawn(uid=1000)
+    pulled = engine.pull("hpc/solver", "v1", registry)
+    result = engine.run(pulled, user)
+    return node, engine, user, result.container
+
+
+def test_owner_can_exec_into_rootless_container(running):
+    node, engine, user, container = running
+    shell = engine.exec_into(container, user, argv=("bash",))
+    assert shell.userns is container.proc.userns
+    assert shell.root == container.proc.root
+    assert shell.mount_table is container.proc.mount_table
+    assert shell.creds.uid == 1000
+
+
+def test_other_user_cannot_exec_into_container(running):
+    node, engine, user, container = running
+    intruder = node.kernel.spawn(uid=2000)
+    with pytest.raises(EPERM):
+        engine.exec_into(container, intruder)
+
+
+def test_root_can_exec_into_any_container(running):
+    node, engine, user, container = running
+    admin_shell = engine.exec_into(container, node.kernel.init)
+    assert admin_shell.userns is container.proc.userns
+
+
+def test_exec_requires_running_container(running):
+    node, engine, user, container = running
+    engine.runtime.finish(container)
+    with pytest.raises(EngineError, match="not running"):
+        engine.exec_into(container, user)
+
+
+def test_user_cannot_exec_into_docker_container(registry):
+    """The daemon model: the container's userns belongs to root, so the
+    user must go through the daemon API (§4.1.6 indirection)."""
+    node = HostNode()
+    docker = DockerEngine(node)
+    docker.start_daemon()
+    user = node.kernel.spawn(uid=1000)
+    pulled = docker.pull("hpc/solver", "v1", registry)
+    container = docker.run(pulled, user).container
+    with pytest.raises(EPERM):
+        docker.exec_into(container, user)
+    # the daemon (root) can, which is what `docker exec` actually does
+    docker.exec_into(container, node.kernel.init)
+
+
+# -- registry GC ---------------------------------------------------------------------------------
+
+def test_delete_tag_and_garbage_collect():
+    reg = OCIDistributionRegistry(name="gc")
+    builder = Builder()
+    shared_base = "FROM alpine\nRUN touch /shared"
+    a = builder.build_dockerfile(shared_base + "\nRUN write /a 1000")
+    b = builder.build_dockerfile(shared_base + "\nRUN write /b 1000")
+    reg.push_image("r/app", "a", a)
+    reg.push_image("r/app", "b", b)
+    blobs_before = len(reg.store)
+    reg.delete_tag("r/app", "a")
+    with pytest.raises(RegistryError):
+        reg.resolve("r/app", "a")
+    purged = reg.garbage_collect()
+    assert purged > 0
+    # b is intact, including the shared base layer
+    pulled, _ = reg.pull_image("r/app", "b")
+    assert pulled.digest == b.digest
+    assert len(reg.store) < blobs_before
+
+
+def test_gc_with_no_garbage_is_noop():
+    reg = OCIDistributionRegistry(name="gc2")
+    img = Builder().build_dockerfile("FROM alpine\nRUN touch /x")
+    reg.push_image("r/app", "v1", img)
+    assert reg.garbage_collect() == 0
+    reg.pull_image("r/app", "v1")
+
+
+def test_delete_missing_tag():
+    reg = OCIDistributionRegistry(name="gc3")
+    with pytest.raises(RegistryError):
+        reg.delete_tag("ghost", "v1")

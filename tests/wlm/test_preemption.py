@@ -1,0 +1,74 @@
+"""Tests for PreemptMode=REQUEUE preemption (§6 feature)."""
+
+import pytest
+
+from repro.cluster import HostNode
+from repro.sim import Environment
+from repro.wlm import JobSpec, JobState, SlurmController
+
+
+def make(env, n=2, preemption=True):
+    hosts = [HostNode(name=f"n{i}") for i in range(n)]
+    return SlurmController(env, hosts, preemption=preemption)
+
+
+def test_high_priority_preempts_and_victim_requeues():
+    env = Environment()
+    ctl = make(env, n=1)
+    low = ctl.submit(JobSpec(name="low", user_uid=1, duration=500, priority=0))
+    env.run(until=50)
+    assert low.state is JobState.RUNNING
+    high = ctl.submit(JobSpec(name="high", user_uid=2, duration=100, priority=100))
+    env.run()
+    assert high.state is JobState.COMPLETED
+    assert low.state is JobState.COMPLETED
+    # high ran before low finished; low was requeued and restarted
+    assert high.start_time < low.end_time
+    assert low.preempt_count == 1
+    assert high.end_time <= low.start_time or low.start_time > high.start_time
+
+
+def test_no_preemption_when_disabled():
+    env = Environment()
+    ctl = make(env, n=1, preemption=False)
+    low = ctl.submit(JobSpec(name="low", user_uid=1, duration=500, priority=0))
+    env.run(until=50)
+    high = ctl.submit(JobSpec(name="high", user_uid=2, duration=100, priority=100))
+    env.run()
+    assert high.start_time >= low.end_time  # FIFO honored
+    assert not hasattr(low, "preempt_count") or low.preempt_count == 0
+
+
+def test_equal_priority_never_preempts():
+    env = Environment()
+    ctl = make(env, n=1, preemption=True)
+    first = ctl.submit(JobSpec(name="a", user_uid=1, duration=200, priority=50))
+    env.run(until=20)
+    second = ctl.submit(JobSpec(name="b", user_uid=2, duration=50, priority=50))
+    env.run()
+    assert second.start_time >= first.end_time
+
+
+def test_preemption_only_when_sufficient():
+    """Preempting must actually free enough nodes, or nobody is harmed."""
+    env = Environment()
+    ctl = make(env, n=3, preemption=True)
+    small = ctl.submit(JobSpec(name="small", user_uid=1, nodes=1, duration=300, priority=0))
+    env.run(until=20)
+    # wide high-priority job needs 3 nodes; 2 idle + 1 preemptable => go
+    wide = ctl.submit(JobSpec(name="wide", user_uid=2, nodes=3, duration=50, priority=100))
+    env.run()
+    assert wide.state is JobState.COMPLETED
+    assert small.preempt_count == 1
+
+
+def test_preempted_accounting_counts_final_run_only():
+    env = Environment()
+    ctl = make(env, n=1)
+    low = ctl.submit(JobSpec(name="low", user_uid=1, duration=100, priority=0))
+    env.run(until=30)
+    ctl.submit(JobSpec(name="high", user_uid=2, duration=50, priority=99))
+    env.run()
+    records = [r for r in ctl.accounting.all() if r.job_name == "low"]
+    assert len(records) == 1
+    assert records[0].elapsed == pytest.approx(100, abs=1)

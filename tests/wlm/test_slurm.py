@@ -1,0 +1,209 @@
+"""Tests for the Slurm-like controller: scheduling, allocation effects,
+accounting, drain/resume, service jobs."""
+
+import pytest
+
+from repro.cluster import GPUDevice, HostNode
+from repro.kernel import KernelConfig
+from repro.sim import Environment
+from repro.wlm import JobSpec, JobState, NodeState, SlurmController, WLMError
+
+
+def make_cluster(env, n=4, gpus=0, kernel_config=None):
+    hosts = [
+        HostNode(
+            name=f"nid{i:04}",
+            kernel_config=kernel_config or KernelConfig.modern_hpc(),
+            gpus=[GPUDevice(vendor="nvidia", model="a100", index=j) for j in range(gpus)],
+        )
+        for i in range(n)
+    ]
+    return SlurmController(env, hosts), hosts
+
+
+def test_job_runs_and_completes():
+    env = Environment()
+    ctl, _ = make_cluster(env)
+    job = ctl.submit(JobSpec(name="solver", user_uid=1000, nodes=2, duration=100))
+    env.run()
+    assert job.state is JobState.COMPLETED
+    assert len(job.allocated_nodes) == 2
+    assert job.elapsed == pytest.approx(100)
+    assert job.wait_time > 0  # sched latency + setup
+
+
+def test_fifo_order_on_scarce_nodes():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1)
+    a = ctl.submit(JobSpec(name="a", user_uid=1, duration=50))
+    b = ctl.submit(JobSpec(name="b", user_uid=2, duration=50))
+    env.run()
+    assert a.start_time < b.start_time
+    assert b.start_time >= a.end_time
+
+
+def test_backfill_lets_small_job_jump():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=2)
+    # long job takes both nodes' worth? no: takes 1 node, long
+    long1 = ctl.submit(JobSpec(name="long", user_uid=1, nodes=1, duration=1000, time_limit=1000))
+    # wide job needs 2 nodes -> blocked until long1 ends
+    wide = ctl.submit(JobSpec(name="wide", user_uid=1, nodes=2, duration=10, time_limit=100))
+    # small short job fits on the free node and ends before the shadow time
+    small = ctl.submit(JobSpec(name="small", user_uid=1, nodes=1, duration=10, time_limit=20))
+    env.run()
+    assert small.start_time < wide.start_time  # backfilled
+    assert wide.start_time >= long1.end_time
+
+
+def test_no_backfill_when_disabled():
+    env = Environment()
+    hosts = [HostNode(name=f"n{i}") for i in range(2)]
+    ctl = SlurmController(env, hosts, backfill=False)
+    ctl.submit(JobSpec(name="long", user_uid=1, nodes=1, duration=1000, time_limit=1000))
+    wide = ctl.submit(JobSpec(name="wide", user_uid=1, nodes=2, duration=10, time_limit=100))
+    small = ctl.submit(JobSpec(name="small", user_uid=1, nodes=1, duration=10, time_limit=20))
+    env.run()
+    assert small.start_time > wide.start_time or small.start_time >= 1000
+
+
+def test_exclusive_allocation_default():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1)
+    a = ctl.submit(JobSpec(name="a", user_uid=1, duration=100, cores_per_node=1))
+    b = ctl.submit(JobSpec(name="b", user_uid=2, duration=100, cores_per_node=1))
+    env.run()
+    # both ask for 1 core but exclusive=True keeps them serialized
+    assert b.start_time >= a.end_time
+
+
+def test_shared_allocation_when_not_exclusive():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1)
+    a = ctl.submit(JobSpec(name="a", user_uid=1, duration=100, cores_per_node=8, exclusive=False))
+    b = ctl.submit(JobSpec(name="b", user_uid=2, duration=100, cores_per_node=8, exclusive=False))
+    env.run()
+    assert a.start_time == b.start_time  # both fit on the 64-core node
+
+
+def test_allocation_sets_up_cgroup_devices_delegation():
+    env = Environment()
+    ctl, hosts = make_cluster(env, n=1, gpus=2)
+    seen = {}
+
+    def on_start(node, job, user_proc):
+        seen["proc"] = user_proc
+        seen["kernel"] = node.host.kernel
+
+    job = ctl.submit(
+        JobSpec(name="gpu-job", user_uid=1000, gpus_per_node=2, duration=10, on_start=on_start)
+    )
+    env.run()
+    kernel = seen["kernel"]
+    proc = seen["proc"]
+    assert proc.creds.uid == 1000
+    assert proc.granted_devices == {"nvidia0", "nvidia1"}
+    cg = kernel.cgroups.cgroup_of(proc.pid)
+    assert cg is not None and f"job_{job.job_id}" in cg.path
+    assert cg.delegated_uid() == 1000  # cgroup v2 delegation for rootless payloads
+
+
+def test_no_delegation_on_cgroup_v1_site():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1, kernel_config=KernelConfig.legacy_hpc())
+    seen = {}
+    ctl.submit(
+        JobSpec(name="j", user_uid=1000, duration=5,
+                on_start=lambda n, j, p: seen.update(kernel=n.host.kernel, proc=p))
+    )
+    env.run()
+    cg = seen["kernel"].cgroups.cgroup_of(seen["proc"].pid)
+    assert cg.delegated_uid() is None
+
+
+def test_accounting_records():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=2)
+    ctl.submit(JobSpec(name="a", user_uid=1000, nodes=2, duration=100))
+    ctl.submit(JobSpec(name="b", user_uid=2000, nodes=1, duration=50, gpus_per_node=0))
+    env.run()
+    acct = ctl.accounting
+    assert len(acct) == 2
+    assert acct.total_cpu_seconds(1000) == pytest.approx(100 * 64 * 2)
+    assert acct.for_user(2000)[0].elapsed == pytest.approx(50)
+
+
+def test_service_job_runs_until_cancelled():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1)
+    svc = ctl.submit(JobSpec(name="kubelet", user_uid=1000, duration=None, time_limit=10_000))
+
+    def canceller(env, ctl, job):
+        yield env.timeout(500)
+        ctl.cancel(job)
+
+    env.process(canceller(env, ctl, svc))
+    env.run()
+    assert svc.state is JobState.CANCELLED
+    assert svc.end_time == pytest.approx(500)
+
+
+def test_service_job_hits_time_limit():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1)
+    svc = ctl.submit(JobSpec(name="svc", user_uid=1, duration=None, time_limit=100))
+    env.run()
+    assert svc.state is JobState.TIMEOUT
+
+
+def test_cancel_pending_job():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1)
+    a = ctl.submit(JobSpec(name="a", user_uid=1, duration=100))
+    b = ctl.submit(JobSpec(name="b", user_uid=1, duration=100))
+    ctl.cancel(b)
+    env.run()
+    assert b.state is JobState.CANCELLED
+    assert b.start_time is None
+
+
+def test_drain_and_resume():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=2)
+    ctl.drain_nodes(["nid0000"], reason="k8s reallocation")
+    job = ctl.submit(JobSpec(name="wide", user_uid=1, nodes=2, duration=10))
+
+    def resumer(env, ctl):
+        yield env.timeout(100)
+        ctl.resume_nodes(["nid0000"])
+
+    env.process(resumer(env, ctl))
+    env.run()
+    assert job.state is JobState.COMPLETED
+    assert job.start_time >= 100  # had to wait for the drained node
+
+
+def test_oversized_job_rejected():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=2)
+    with pytest.raises(WLMError, match="nodes"):
+        ctl.submit(JobSpec(name="huge", user_uid=1, nodes=5))
+
+
+def test_utilization_tracking():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=2)
+    ctl.submit(JobSpec(name="half", user_uid=1, nodes=1, duration=100))
+    env.run(until=200)
+    util = ctl.utilization()
+    assert 0.2 < util < 0.35  # one of two nodes busy for ~half the window
+
+
+def test_priority_beats_fifo():
+    env = Environment()
+    ctl, _ = make_cluster(env, n=1)
+    low = ctl.submit(JobSpec(name="low", user_uid=1, duration=10, priority=0))
+    high = ctl.submit(JobSpec(name="high", user_uid=1, duration=10, priority=100))
+    env.run()
+    # both were pending at the first scheduling pass; high goes first
+    assert high.start_time <= low.start_time

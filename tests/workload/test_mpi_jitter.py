@@ -1,0 +1,41 @@
+"""Unit tests for the BSP jitter model."""
+
+import pytest
+
+from repro.workload.mpi import BSPJob, ConmonNoise, DaemonNoise, NoiseSource
+
+
+def test_clean_run_is_exact():
+    job = BSPJob(n_ranks=64, n_steps=100, step_seconds=0.01)
+    assert job.run() == pytest.approx(1.0)
+
+
+def test_deterministic_given_seed():
+    job = BSPJob(n_ranks=128, n_steps=50)
+    a = job.run(DaemonNoise(), seed=4)
+    b = job.run(DaemonNoise(), seed=4)
+    assert a == b
+    c = job.run(DaemonNoise(), seed=5)
+    assert a != c
+
+
+def test_daemon_slowdown_grows_with_ranks():
+    small = BSPJob(n_ranks=8, n_steps=100).slowdown(DaemonNoise(), seed=2)
+    large = BSPJob(n_ranks=512, n_steps=100).slowdown(DaemonNoise(), seed=2)
+    assert large > small >= 1.0
+
+
+def test_conmon_negligible():
+    job = BSPJob(n_ranks=512, n_steps=100)
+    assert job.slowdown(ConmonNoise(), seed=2) < 1.01
+
+
+def test_background_fraction_applied_even_without_spikes():
+    quiet = DaemonNoise(spike_probability=0.0)
+    job = BSPJob(n_ranks=4, n_steps=100)
+    assert job.slowdown(quiet, seed=0) == pytest.approx(1.002)
+
+
+def test_base_noise_source_is_silent():
+    job = BSPJob(n_ranks=16, n_steps=10)
+    assert job.run(NoiseSource(), seed=0) == pytest.approx(job.run())

@@ -1,0 +1,94 @@
+"""Tests for application IO models and workload generators."""
+
+import pytest
+
+from repro.fs import FileTree, PROFILES, pack_squash
+from repro.fs.drivers import mount_overlay, mount_squash
+from repro.sim.rng import DeterministicRNG
+from repro.workload import (
+    CompiledMPIApp,
+    PodBatchGenerator,
+    PythonPipelineApp,
+    poisson_arrivals,
+)
+
+
+def python_tree(n=100):
+    t = FileTree()
+    t.create_file("/usr/bin/python3.11", size=6_000_000)
+    for i in range(n):
+        t.create_file(f"/usr/lib/python3.11/m{i:03}.py", size=3_000)
+    return t
+
+
+def mpi_tree():
+    t = FileTree()
+    t.create_file("/opt/app/bin/solver", size=45_000_000)
+    t.create_file("/opt/app/share/params.dat", size=120_000_000)
+    return t
+
+
+def test_python_app_cost_scales_with_file_count():
+    small = mount_overlay([python_tree(50)], PROFILES["nvme"])
+    large = mount_overlay([python_tree(500)], PROFILES["nvme"])
+    app = PythonPipelineApp()
+    assert app.startup_cost(large) > 5 * app.startup_cost(small)
+
+
+def test_python_app_requires_python_content():
+    empty = mount_overlay([mpi_tree()], PROFILES["nvme"])
+    with pytest.raises(ValueError, match="no python files"):
+        PythonPipelineApp().startup_cost(empty)
+
+
+def test_mpi_app_bandwidth_bound():
+    view = mount_overlay([mpi_tree()], PROFILES["nvme"])
+    app = CompiledMPIApp()
+    cost = app.startup_cost(view)
+    # ~165 MB at 2.5 GB/s: dominated by streaming, not metadata
+    assert 0.05 < cost < 1.0
+
+
+def test_mpi_app_missing_data_files_tolerated():
+    t = FileTree()
+    t.create_file("/opt/app/bin/solver", size=1_000_000)
+    view = mount_overlay([t], PROFILES["nvme"])
+    assert CompiledMPIApp().startup_cost(view) > 0
+
+
+def test_apps_feel_fuse_penalty_differently():
+    py_img = pack_squash(python_tree(300))
+    mpi_img = pack_squash(mpi_tree())
+    py_pen = (PythonPipelineApp().startup_cost(mount_squash(py_img, fuse=True))
+              / PythonPipelineApp().startup_cost(mount_squash(py_img, fuse=False)))
+    mpi_pen = (CompiledMPIApp().startup_cost(mount_squash(mpi_img, fuse=True))
+               / CompiledMPIApp().startup_cost(mount_squash(mpi_img, fuse=False)))
+    assert py_pen > mpi_pen  # §4.1.2: interpreted stacks suffer more
+
+
+def test_poisson_arrivals_monotone_and_rate():
+    rng = DeterministicRNG(3)
+    times = poisson_arrivals(rng, rate_per_second=2.0, count=500)
+    assert times == sorted(times)
+    mean_gap = times[-1] / len(times)
+    assert 0.3 < mean_gap < 0.8  # ~0.5s at rate 2/s
+
+
+def test_pod_batch_generator_deterministic():
+    a = PodBatchGenerator("r.x/img:v1", seed=9).batch(5)
+    b = PodBatchGenerator("r.x/img:v1", seed=9).batch(5)
+    assert [p.spec.duration for p in a] == [p.spec.duration for p in b]
+    assert [p.spec.total_requests().cpu for p in a] == [
+        p.spec.total_requests().cpu for p in b
+    ]
+    c = PodBatchGenerator("r.x/img:v1", seed=10).batch(5)
+    assert [p.spec.duration for p in a] != [p.spec.duration for p in c]
+
+
+def test_pod_batch_respects_ranges():
+    gen = PodBatchGenerator("r.x/img:v1", seed=1, cpu_choices=(2,),
+                            duration_range=(10, 20))
+    pods = gen.batch(20)
+    assert all(p.spec.total_requests().cpu == 2 for p in pods)
+    assert all(10 <= p.spec.duration <= 20 for p in pods)
+    assert len({p.metadata.name for p in pods}) == 20
