@@ -1,0 +1,154 @@
+"""Wall-clock macro-benchmark of the discrete-event core.
+
+Times the three heaviest existing sweeps end to end — the 64-node
+small-file startup sweep (§3.2), the §6.5 scaling ablation, and the §6.6
+scenario matrix — and records, for each, wall-clock seconds plus the
+sim-core event counters from :mod:`repro.sim.profile`.  Results are
+written as a ``BENCH_*.json`` file at the repo root, the repo's perf
+trajectory: each PR that touches the hot path leaves its numbers behind
+so the next one can't silently regress them.
+
+Environment knobs (all optional):
+
+- ``SIMCORE_BENCH_OUT``      output filename (default ``BENCH_PR1.json``)
+- ``SIMCORE_BENCH_BASELINE`` a committed ``BENCH_*.json`` to compare
+  against; the test fails if any sweep's *normalized* wall-clock
+  regresses beyond the tolerance
+- ``SIMCORE_BENCH_TOLERANCE`` allowed relative regression (default 0.25)
+
+Wall-clock comparisons across machines are normalized by a calibration
+microloop (a fixed 60k-event ping workload timed on the same host), so a
+slower CI runner doesn't read as a regression.  Event *counters* are
+machine-independent and are additionally checked strictly: sweeps must
+not process more than ``1 + tolerance`` times the baseline's events.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro.sim import Environment
+from repro.sim import profile
+
+import bench_scenario_scaling
+import bench_scenarios
+import bench_smallfile_startup
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: (name, zero-arg callable) — the three heaviest sim-bound sweeps.
+SWEEPS = [
+    ("smallfile_startup_sweep", bench_smallfile_startup.sweep),
+    ("scenario65_scaling_sweep", bench_scenario_scaling.sweep),
+    ("section66_scenario_matrix", bench_scenarios.run_matrix),
+]
+
+
+def _calibration_workload() -> None:
+    """A fixed sim-core microloop: ~60k events of pure bookkeeping."""
+    env = Environment()
+
+    def ping(env):
+        for _ in range(200):
+            yield env.timeout(1)
+
+    for _ in range(100):
+        env.process(ping(env))
+    env.run()
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds this host takes for the calibration microloop (best of N)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _calibration_workload()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_suite() -> dict:
+    """Time each sweep (counters off), then re-run it for counters."""
+    calibration_s = calibrate()
+    benchmarks = {}
+    for name, fn in SWEEPS:
+        t0 = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - t0
+        prof = profile.enable()
+        fn()
+        profile.disable()
+        benchmarks[name] = {
+            "wall_clock_s": round(wall, 4),
+            "normalized_wall": round(wall / calibration_s, 2),
+            "sim_counters": prof.snapshot(),
+        }
+    return {
+        "schema": "simcore-wallclock/1",
+        "calibration_s": round(calibration_s, 5),
+        "benchmarks": benchmarks,
+    }
+
+
+def check_regression(result: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Compare a fresh run against a committed baseline; returns failures."""
+    failures = []
+    for name, fresh in result["benchmarks"].items():
+        base = baseline.get("benchmarks", {}).get(name)
+        if base is None:
+            continue
+        allowed = base["normalized_wall"] * (1.0 + tolerance)
+        if fresh["normalized_wall"] > allowed:
+            failures.append(
+                f"{name}: normalized wall-clock {fresh['normalized_wall']:.2f} "
+                f"exceeds baseline {base['normalized_wall']:.2f} by more than "
+                f"{tolerance:.0%}"
+            )
+        base_events = base["sim_counters"]["events_processed"]
+        fresh_events = fresh["sim_counters"]["events_processed"]
+        if fresh_events > base_events * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {fresh_events} events processed vs baseline "
+                f"{base_events} (> {tolerance:.0%} more simulator bookkeeping)"
+            )
+    return failures
+
+
+def test_simcore_wallclock(benchmark):
+    result = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    out_name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_PR1.json")
+    out_path = REPO_ROOT / out_name
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+
+    # The whole point of the batched/slotted core: even the heaviest sweep
+    # is a bounded amount of simulator bookkeeping.  This bound is
+    # machine-independent (the pre-optimization core processed >1M events
+    # for the small-file sweep alone).
+    smallfile = result["benchmarks"]["smallfile_startup_sweep"]["sim_counters"]
+    assert smallfile["events_processed"] < 200_000
+
+    baseline_name = os.environ.get("SIMCORE_BENCH_BASELINE")
+    if baseline_name:
+        tolerance = float(os.environ.get("SIMCORE_BENCH_TOLERANCE", "0.25"))
+        baseline = json.loads((REPO_ROOT / baseline_name).read_text())
+        failures = check_regression(result, baseline, tolerance)
+        assert not failures, "; ".join(failures)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual/CI smoke entry point
+    outcome = run_suite()
+    print(json.dumps(outcome, indent=2))
+    name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_PR1.json")
+    (REPO_ROOT / name).write_text(json.dumps(outcome, indent=2) + "\n")
+    baseline_name = os.environ.get("SIMCORE_BENCH_BASELINE")
+    if baseline_name:
+        tol = float(os.environ.get("SIMCORE_BENCH_TOLERANCE", "0.25"))
+        baseline = json.loads((REPO_ROOT / baseline_name).read_text())
+        problems = check_regression(outcome, baseline, tol)
+        if problems:
+            raise SystemExit("PERF REGRESSION: " + "; ".join(problems))
+    print("wall-clock within tolerance")

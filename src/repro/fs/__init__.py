@@ -19,7 +19,7 @@ cost *shapes* (ratios, crossovers), never absolute values.
 
 from repro.fs.inode import DirNode, FileNode, SymlinkNode
 from repro.fs.tree import FileTree, FsError
-from repro.fs.perf import IOCostModel, PROFILES
+from repro.fs.perf import IOCostModel, PROFILES, ReadOnlyFilesystemError
 from repro.fs.backends import LocalDisk, SharedFS, StorageBackend, TmpFS
 from repro.fs.images import SquashImage, pack_squash
 from repro.fs.drivers import (
@@ -48,6 +48,7 @@ __all__ = [
     "MountedView",
     "OverlayKernelDriver",
     "PROFILES",
+    "ReadOnlyFilesystemError",
     "SharedFS",
     "SquashFuseDriver",
     "SquashImage",

@@ -226,6 +226,18 @@ class MountedView:
     def load_all(self, top: str = "/") -> float:
         """Cost of walking and reading every file (cold application start)."""
         total = 0.0
+        if self.upper is None and len(self.layers) == 1:
+            # Single read-only layer (the squash-mount case): every file in
+            # the layer is authoritative, so skip the per-path union lookup
+            # and charge the same open+read costs directly.
+            model = self.cost_model
+            for path, node in self.layers[0].files(top):
+                self.stats["opens"] += 1
+                self.stats["bytes_read"] += node.size
+                depth = max(1, len([p for p in path.split("/") if p]))
+                total += model.metadata_cost(depth)
+                total += model.sequential_read_cost(node.size)
+            return total
         seen: set[str] = set()
         for tree in self._all_trees_top_down():
             for path, node in tree.files(top):

@@ -15,6 +15,17 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.fs.tree import FsError
+
+
+class ReadOnlyFilesystemError(FsError):
+    """Write cost requested from a read-only filesystem (e.g. squashfs).
+
+    Historically these profiles carried a ``write_bandwidth=1.0`` sentinel
+    (1 byte/s), which silently produced absurd multi-hour write times
+    instead of an error; now the cost model refuses outright.
+    """
+
 
 @dataclasses.dataclass(frozen=True)
 class IOCostModel:
@@ -34,6 +45,9 @@ class IOCostModel:
     decompress_bandwidth:
         If not None, content must be decompressed at this rate (CPU cost
         traded for disk IO, per §3.2 of the paper).
+    read_only:
+        True for filesystems whose driver rejects writes (squashfs);
+        :meth:`write_cost` raises :class:`ReadOnlyFilesystemError`.
     """
 
     name: str
@@ -43,6 +57,7 @@ class IOCostModel:
     random_iops: float
     per_op_overhead: float = 0.0
     decompress_bandwidth: float | None = None
+    read_only: bool = False
 
     # -- derived costs ------------------------------------------------------
     def open_cost(self) -> float:
@@ -65,6 +80,10 @@ class IOCostModel:
         return cost
 
     def write_cost(self, size: int) -> float:
+        if self.read_only:
+            raise ReadOnlyFilesystemError(
+                f"filesystem {self.name!r} is read-only; writes rejected by driver"
+            )
         return self.per_op_overhead + size / self.write_bandwidth
 
     def effective_random_iops(self) -> float:
@@ -117,18 +136,20 @@ PROFILES: dict[str, IOCostModel] = {
         name="squashfs_kernel",
         open_latency=25e-6,
         read_bandwidth=2.2e9,
-        write_bandwidth=1.0,  # read-only filesystem; writes rejected by driver
+        write_bandwidth=0.0,
         random_iops=150_000,
         decompress_bandwidth=900e6,
+        read_only=True,
     ),
     "squashfuse": IOCostModel(
         name="squashfuse",
         open_latency=25e-6,
         read_bandwidth=1.6e9,
-        write_bandwidth=1.0,  # read-only filesystem; writes rejected by driver
+        write_bandwidth=0.0,
         random_iops=150_000,
         per_op_overhead=60e-6,  # FUSE user/kernel round trip per op
         decompress_bandwidth=500e6,  # decompression in userspace, no readahead
+        read_only=True,
     ),
 }
 

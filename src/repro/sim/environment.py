@@ -1,14 +1,53 @@
-"""The simulation environment: event queue, virtual clock, processes."""
+"""The simulation environment: event queue, virtual clock, processes.
+
+The queue is split into two structures sharing one sequence counter:
+
+- a binary heap for events scheduled with a positive delay (true
+  timeouts) or non-normal priority (interrupts), ordered by
+  ``(time, priority, sequence)``;
+- a FIFO deque for zero-delay normal events — by far the most common
+  kind (``succeed``/``fail``, resource grants, process resumes).  These
+  always fire at the *current* time, so FIFO order over the shared
+  sequence counter reproduces the heap's total order exactly while
+  skipping ``heapq`` cost entirely.
+
+``step()`` merges the two by comparing the heap head's
+``(time, priority, sequence)`` key against the deque front, so the
+observable event order — and therefore every virtual-time result — is
+bit-identical to a single-heap implementation.
+
+Process resumes additionally bypass event allocation: instead of a
+throwaway carrier :class:`Event` per resume, the queue carries a slotted
+:class:`_Resume` record that invokes the generator directly.
+"""
 
 from __future__ import annotations
 
-import heapq
 import itertools
 import typing as _t
+from collections import deque
+from heapq import heappop, heappush
 
 from repro.sim.events import Event, Interrupt, SimulationError, Timeout
+from repro.sim.profile import counters as _counters
 
 ProcessGenerator = _t.Generator[Event, object, object]
+
+
+class _Resume:
+    """A queued process resume: cheaper than a carrier Event.
+
+    ``process`` is set to ``None`` to cancel the resume in place (used by
+    :meth:`Process.interrupt` so a stale resume cannot fire after the
+    interrupt already restarted the generator).
+    """
+
+    __slots__ = ("process", "value", "exception")
+
+    def __init__(self, process: "Process", value: object, exception: BaseException | None):
+        self.process = process
+        self.value = value
+        self.exception = exception
 
 
 class Environment:
@@ -26,9 +65,13 @@ class Environment:
 
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        #: delayed / urgent events: heap of (time, priority, seq, item)
+        self._queue: list[tuple[float, int, int, Event | _Resume]] = []
+        #: zero-delay normal events at the current time: FIFO of (seq, item)
+        self._immediate: deque[tuple[int, Event | _Resume]] = deque()
         self._counter = itertools.count()
         self._active_process: Process | None = None
+        self._profile = _counters
 
     @property
     def now(self) -> float:
@@ -50,18 +93,93 @@ class Environment:
 
     # -- scheduling --------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._counter), event))
+        if delay == 0.0 and priority == 1:
+            immediate = True
+            self._immediate.append((next(self._counter), event))
+        else:
+            immediate = False
+            heappush(self._queue, (self._now + delay, priority, next(self._counter), event))
+        prof = self._profile
+        if prof.enabled:
+            self._count_push(prof, immediate)
+
+    def _schedule_resume(
+        self,
+        process: "Process",
+        value: object,
+        exception: BaseException | None,
+        priority: int = NORMAL,
+    ) -> _Resume:
+        """Queue a direct process resume without allocating a carrier Event."""
+        resume = _Resume(process, value, exception)
+        if priority == 1:
+            immediate = True
+            self._immediate.append((next(self._counter), resume))
+        else:
+            immediate = False
+            heappush(self._queue, (self._now, priority, next(self._counter), resume))
+        prof = self._profile
+        if prof.enabled:
+            prof.direct_resumes += 1
+            self._count_push(prof, immediate)
+        return resume
+
+    def _count_push(self, prof, immediate: bool) -> None:
+        prof.events_scheduled += 1
+        if immediate:
+            prof.immediate_pushes += 1
+        else:
+            prof.heap_pushes += 1
+        depth = len(self._queue) + len(self._immediate)
+        if depth > prof.peak_queue_depth:
+            prof.peak_queue_depth = depth
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if queue is empty."""
+        if self._immediate:
+            return self._now
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
+        immediate = self._immediate
+        queue = self._queue
+        from_heap = True
+        if immediate:
+            # Merge point: a heap entry wins only if its (time, priority,
+            # sequence) key sorts before the deque front, which sits at
+            # (self._now, NORMAL, front_seq).
+            use_heap = False
+            if queue:
+                head = queue[0]
+                if head[0] == self._now:
+                    prio = head[1]
+                    use_heap = prio < 1 or (prio == 1 and head[2] < immediate[0][0])
+            if use_heap:
+                when, _prio, _seq, item = heappop(queue)
+                self._now = when
+            else:
+                from_heap = False
+                item = immediate.popleft()[1]
+        elif queue:
+            when, _prio, _seq, item = heappop(queue)
+            self._now = when
+        else:
             raise SimulationError("step() on empty event queue")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        prof = self._profile
+        if prof.enabled:
+            prof.events_processed += 1
+            if from_heap:
+                prof.heap_pops += 1
+            else:
+                prof.immediate_pops += 1
+
+        if item.__class__ is _Resume:
+            process = item.process
+            if process is not None:  # None == cancelled by interrupt()
+                process._do_resume(item.value, item.exception)
+            return
+        event = _t.cast(Event, item)
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None
         for callback in callbacks:
@@ -76,6 +194,8 @@ class Environment:
         time), or an :class:`Event` (run until it is processed, returning
         its value).
         """
+        immediate = self._immediate
+        queue = self._queue
         if isinstance(until, Event):
             stop = until
             if stop.processed:
@@ -86,7 +206,7 @@ class Environment:
             stop.callbacks.append(lambda _ev: sentinel.append(True))
             # A failed `until` event must surface its exception to the
             # caller even if a waiter defused it inside the simulation.
-            while self._queue and not sentinel:
+            while (immediate or queue) and not sentinel:
                 self.step()
             if not sentinel:
                 raise SimulationError("event queue drained before `until` event fired")
@@ -94,7 +214,9 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self._now:
             raise ValueError(f"until={deadline} is in the past (now={self._now})")
-        while self._queue and self._queue[0][0] <= deadline:
+        while immediate or queue:
+            if not immediate and queue[0][0] > deadline:
+                break
             self.step()
         if deadline != float("inf"):
             self._now = deadline
@@ -109,6 +231,8 @@ class Process(Event):
     each other by yielding the target process.
     """
 
+    __slots__ = ("_generator", "name", "_target", "_pending_resume")
+
     def __init__(self, env: Environment, generator: ProcessGenerator, name: str | None = None):
         super().__init__(env)
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -116,10 +240,10 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Event | None = None
+        if env._profile.enabled:
+            env._profile.processes_spawned += 1
         # Bootstrap: resume the generator at the current simulation time.
-        boot = Event(env)
-        boot.callbacks.append(self._resume)  # type: ignore[union-attr]
-        boot.succeed()
+        self._pending_resume: _Resume | None = env._schedule_resume(self, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -139,53 +263,63 @@ class Process(Event):
             except ValueError:
                 pass
         self._target = None
-        carrier = Event(self.env)
-        carrier.callbacks.append(self._resume)  # type: ignore[union-attr]
-        carrier._exception = Interrupt(cause)
-        carrier._value = None
-        carrier.defused = True
-        self.env._schedule(carrier, priority=Environment.URGENT)
+        if self._pending_resume is not None:
+            self._pending_resume.process = None
+            self._pending_resume = None
+        self.env._schedule_resume(self, None, Interrupt(cause), priority=Environment.URGENT)
 
     # -- internals ----------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
-        self.env._active_process = self
+        """Callback form: resume with a real event's value/exception."""
+        if trigger._exception is not None:
+            trigger.defused = True
+        self._do_resume(trigger._value, trigger._exception)
+
+    def _do_resume(self, value: object, exception: BaseException | None) -> None:
+        self._pending_resume = None
+        target = self._target
+        if target is not None:
+            # Normally `target` is the event now being processed (its
+            # callbacks are already detached).  But a second interrupt
+            # queued while the first was in flight fires *after* the
+            # process re-attached to a new event — detach that stale
+            # callback or the process would later be resumed twice.
+            self._target = None
+            if target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        env = self.env
+        env._active_process = self
         try:
-            if trigger._exception is not None:
-                trigger.defused = True
-                target = self._generator.throw(trigger._exception)
+            if exception is not None:
+                target = self._generator.throw(exception)
             else:
-                target = self._generator.send(trigger._value if trigger._value is not None else None)
+                target = self._generator.send(value)
         except StopIteration as stop:
-            self.env._active_process = None
+            env._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
+            env._active_process = None
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield Events"
             )
-        if target.env is not self.env:
+        if target.env is not env:
             raise SimulationError("process yielded an event from a different environment")
         self._target = target
-        if target.processed:
-            # Already processed: resume immediately (next queue slot).
-            carrier = Event(self.env)
-            carrier.callbacks.append(self._resume)  # type: ignore[union-attr]
-            carrier._value = target._value
-            carrier._exception = target._exception
-            if carrier._exception is not None:
-                carrier.defused = True
-            if not carrier.triggered:
-                carrier.succeed(target._value)
-            else:
-                self.env._schedule(carrier)
+        if target.callbacks is None:
+            # Already processed: resume immediately (next queue slot)
+            # without a carrier Event.  The exception, if any, was already
+            # defused when the target itself was processed.
+            self._pending_resume = env._schedule_resume(self, target._value, target._exception)
         else:
-            assert target.callbacks is not None
             target.callbacks.append(self._resume)
 
     def __repr__(self) -> str:

@@ -43,6 +43,8 @@ class Event:
     pending event to triggered.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_exception", "defused")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: list[_t.Callable[["Event"], None]] | None = []
@@ -103,6 +105,8 @@ class Event:
 class Timeout(Event):
     """An event that triggers after a fixed virtual-time delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: object = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -117,6 +121,8 @@ class Timeout(Event):
 
 class _Condition(Event):
     """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_outstanding")
 
     def __init__(self, env: "Environment", events: _t.Sequence[Event]):
         super().__init__(env)
@@ -146,6 +152,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Triggers once every constituent event has triggered successfully."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -160,6 +168,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Triggers as soon as any constituent event triggers."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:

@@ -1,0 +1,88 @@
+"""Lightweight counters for the simulator hot path.
+
+The discrete-event core increments a handful of plain-integer counters as
+it schedules and processes events.  They cost a few attribute increments
+per event — cheap enough to stay always-on — and give benchmarks and the
+perf harness (``benchmarks/bench_simcore_wallclock.py``) a stable way to
+report *how much* simulator bookkeeping a sweep performed, independent of
+wall-clock noise:
+
+- ``events_scheduled`` / ``events_processed``: total queue traffic;
+- ``heap_pushes`` / ``heap_pops``: events that paid ``heapq`` cost (true
+  timeouts and urgent interrupts);
+- ``immediate_pushes`` / ``immediate_pops``: zero-delay events served from
+  the FIFO fast path;
+- ``direct_resumes``: process resumes that skipped carrier-event
+  allocation entirely;
+- ``processes_spawned``: generator processes created;
+- ``peak_queue_depth``: high-water mark of heap + immediate queue.
+
+Counters are global (aggregated across all :class:`Environment` instances)
+so a benchmark that builds many environments still gets one roll-up.
+Counting is **off by default** — the hot path pays only a single boolean
+check per event — and is switched on explicitly::
+
+    from repro.sim import profile
+    profile.enable()      # resets and starts counting
+    ...                   # run simulations
+    print(profile.counters.snapshot())
+    profile.disable()
+"""
+
+from __future__ import annotations
+
+_FIELDS = (
+    "events_scheduled",
+    "events_processed",
+    "heap_pushes",
+    "heap_pops",
+    "immediate_pushes",
+    "immediate_pops",
+    "direct_resumes",
+    "processes_spawned",
+    "peak_queue_depth",
+)
+
+
+class SimCounters:
+    """Mutable counter block updated by the simulator core.
+
+    ``enabled`` gates all counting: the simulator reads it once per
+    scheduled/processed event and skips every increment while False.
+    """
+
+    __slots__ = _FIELDS + ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.reset()
+
+    def reset(self) -> None:
+        for field in _FIELDS:
+            setattr(self, field, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of the current counter values."""
+        return {field: getattr(self, field) for field in _FIELDS}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{f}={getattr(self, f)}" for f in _FIELDS)
+        return f"SimCounters({body})"
+
+
+#: The global counter block every Environment feeds.
+counters = SimCounters()
+
+
+def enable(reset: bool = True) -> SimCounters:
+    """Start counting (resetting first by default); returns the block."""
+    if reset:
+        counters.reset()
+    counters.enabled = True
+    return counters
+
+
+def disable() -> SimCounters:
+    """Stop counting; the accumulated values stay readable."""
+    counters.enabled = False
+    return counters

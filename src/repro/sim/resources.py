@@ -21,6 +21,8 @@ if _t.TYPE_CHECKING:  # pragma: no cover
 class Request(Event):
     """Event returned by :meth:`Resource.request`; triggers on grant."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, env: "Environment", resource: "Resource"):
         super().__init__(env)
         self.resource = resource

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.fs import LocalDisk, PROFILES, SharedFS, TmpFS
+from repro.fs import LocalDisk, PROFILES, ReadOnlyFilesystemError, SharedFS, TmpFS
 from repro.fs.perf import IOCostModel
 from repro.sim import Environment
 
@@ -43,6 +43,36 @@ def test_random_read_slower_than_sequential():
     m = PROFILES["nvme"]
     size = 4096 * 1000
     assert m.random_read_cost(1000) > m.sequential_read_cost(size)
+
+
+# -- read-only filesystems (squash mounts) -------------------------------------
+
+@pytest.mark.parametrize("profile", ["squashfs_kernel", "squashfuse"])
+def test_squash_profiles_reject_writes(profile):
+    model = PROFILES[profile]
+    assert model.read_only
+    with pytest.raises(ReadOnlyFilesystemError, match="read-only"):
+        model.write_cost(4096)
+
+
+def test_read_only_error_is_an_fs_error():
+    from repro.fs.tree import FsError
+
+    assert issubclass(ReadOnlyFilesystemError, FsError)
+
+
+def test_with_overhead_preserves_read_only():
+    derived = PROFILES["squashfuse"].with_overhead(1e-3, bandwidth_scale=0.5)
+    assert derived.read_only
+    with pytest.raises(ReadOnlyFilesystemError):
+        derived.write_cost(1)
+
+
+def test_writable_profiles_still_priced():
+    for name, model in PROFILES.items():
+        if model.read_only:
+            continue
+        assert model.write_cost(1_000_000) > 0, name
 
 
 # -- backends -----------------------------------------------------------------
@@ -124,6 +154,40 @@ def test_sharedfs_attach_env():
     env = Environment()
     fs.attach_env(env)
     assert fs.mds is not None
+
+
+def _sharedfs_startup_time(n_clients: int, batch: int, mds_capacity: int = 4) -> float:
+    env = Environment()
+    fs = SharedFS(env=env, mds_capacity=mds_capacity)
+    fs.io_batch = batch
+    make_python_app(fs, n_files=40)
+    for _ in range(n_clients):
+        env.process(fs.proc_load_tree("/app"))
+    env.run()
+    return env.now
+
+
+@pytest.mark.parametrize("n_clients", [1, 4, 8, 12])
+def test_sharedfs_load_tree_invariant_under_batch_size(n_clients):
+    """The chunked MDS fan-out must not change virtual-time results in
+    the benchmarks' regime: clients fitting within ``mds_capacity`` or
+    saturating it in full waves (count a multiple of capacity)."""
+    fine = _sharedfs_startup_time(n_clients, batch=5)
+    coarse = _sharedfs_startup_time(n_clients, batch=1000)
+    assert fine == pytest.approx(coarse, rel=1e-3)
+    assert fine > 0
+
+
+def test_sharedfs_batch_granularity_with_partial_wave():
+    """With a partial last wave (6 clients over capacity 4), coarse
+    chunks hold whole-tree MDS slots and cannot load-balance the idle
+    capacity, so they finish no earlier than fine-grained RPCs — a
+    documented granularity effect, bounded by the wave occupancy."""
+    fine = _sharedfs_startup_time(6, batch=5)
+    coarse = _sharedfs_startup_time(6, batch=1000)
+    assert coarse >= fine
+    # two full-capacity waves is the worst case for 6 clients over 4 slots
+    assert coarse <= _sharedfs_startup_time(8, batch=1000) * 1.001
 
 
 def test_sharedfs_open_uses_mds_per_component():
