@@ -10,7 +10,9 @@ so the next one can't silently regress them.
 
 Environment knobs (all optional):
 
-- ``SIMCORE_BENCH_OUT``      output filename (default ``BENCH_PR1.json``)
+- ``SIMCORE_BENCH_OUT``      output filename (default ``BENCH_LOCAL.json``;
+  committed trajectory files like ``BENCH_PR2.json`` are written only
+  when named explicitly, so a stray local run can't clobber history)
 - ``SIMCORE_BENCH_BASELINE`` a committed ``BENCH_*.json`` to compare
   against; the test fails if any sweep's *normalized* wall-clock
   regresses beyond the tolerance
@@ -120,7 +122,7 @@ def check_regression(result: dict, baseline: dict, tolerance: float) -> list[str
 def test_simcore_wallclock(benchmark):
     result = benchmark.pedantic(run_suite, rounds=1, iterations=1)
 
-    out_name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_PR1.json")
+    out_name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_LOCAL.json")
     out_path = REPO_ROOT / out_name
     out_path.write_text(json.dumps(result, indent=2) + "\n")
 
@@ -142,7 +144,14 @@ def test_simcore_wallclock(benchmark):
 if __name__ == "__main__":  # pragma: no cover - manual/CI smoke entry point
     outcome = run_suite()
     print(json.dumps(outcome, indent=2))
-    name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_PR1.json")
+    for sweep_name, data in outcome["benchmarks"].items():
+        c = data["sim_counters"]
+        print(
+            f"{sweep_name}: {c['events_processed']} events processed; tickless "
+            f"parked {c['parked_processes']} times, {c['wakeups_fired']} wakeups, "
+            f"{c['poll_ticks_skipped']} idle poll ticks skipped"
+        )
+    name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_LOCAL.json")
     (REPO_ROOT / name).write_text(json.dumps(outcome, indent=2) + "\n")
     baseline_name = os.environ.get("SIMCORE_BENCH_BASELINE")
     if baseline_name:

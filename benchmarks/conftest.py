@@ -17,7 +17,7 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 @pytest.fixture(scope="session")
 def out_dir() -> pathlib.Path:
-    OUT_DIR.mkdir(exist_ok=True)
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     return OUT_DIR
 
 

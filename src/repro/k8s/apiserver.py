@@ -8,6 +8,7 @@ import itertools
 import typing as _t
 
 from repro.k8s.objects import K8sNode, ObjectMeta, Pod
+from repro.sim.signal import Signal
 
 
 class WatchEventType(enum.Enum):
@@ -111,7 +112,39 @@ class APIServer:
         except ValueError:
             pass
 
+    def watch_signal(
+        self,
+        kind: str,
+        signal: Signal,
+        predicate: _t.Callable[[WatchEvent], bool] | None = None,
+        replay_existing: bool = False,
+    ) -> WatchCallback:
+        """Fire ``signal`` on every matching watch event.
+
+        The bridge between the watch fan-out and tickless control loops:
+        instead of a bespoke callback juggling bell events, a loop parks
+        on a :class:`~repro.sim.signal.Signal` and producers reach it
+        through the ordinary watch path.  Returns the registered callback
+        so callers can :meth:`unwatch` it.
+        """
+
+        def callback(event: WatchEvent) -> None:
+            if predicate is None or predicate(event):
+                signal.fire(event)
+
+        self.watch(kind, callback, replay_existing=replay_existing)
+        return callback
+
     # -- typed conveniences ------------------------------------------------------------
+    def peek(self, kind: str) -> list[object]:
+        """List objects without billing a request.
+
+        Simulation-internal: tickless loops use this to decide whether to
+        park, a check the real system gets for free from its informer
+        caches — it must not distort the modelled request load.
+        """
+        return list(self._store.get(kind, {}).values())
+
     def pods(self, namespace: str | None = None) -> list[Pod]:
         return [p for p in self.list("Pod", namespace) if isinstance(p, Pod)]
 

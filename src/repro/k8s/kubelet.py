@@ -22,7 +22,8 @@ from repro.k8s.objects import (
     ResourceRequests,
 )
 from repro.kernel.process import SimProcess
-from repro.sim import Environment, Interrupt
+from repro.sim import Environment, Interrupt, Signal
+from repro.sim.signal import count_skipped_ticks, next_tick
 
 
 class KubeletError(RuntimeError):
@@ -64,6 +65,8 @@ class Kubelet:
         self._proc = None
         self._running = False
         self._active_pods: dict[str, object] = {}
+        #: fired by the apiserver watch when a pod lands on this node
+        self._wakeup = Signal(env)
         self.stats = {"pods_started": 0, "pods_finished": 0, "sync_loops": 0}
 
     @property
@@ -126,9 +129,34 @@ class Kubelet:
             self.api.update("Node", node)
         self.k8s_node = node
         last_heartbeat = self.env.now
+        wakeup = self._wakeup
+        watch_cb = self.api.watch_signal("Pod", wakeup, predicate=self._wants_pod_event)
         try:
+            # Tickless sync loop.  With pending pods it polls on the same
+            # 0.5 s grid as before; idle, it parks until either a pod
+            # lands on this node (watch fires `wakeup`) or the grid tick
+            # that is due for a heartbeat.  A signal-woken loop re-aligns
+            # to the next grid boundary, so every observable virtual time
+            # matches the polling version bit for bit.
             while self._running:
-                yield self.env.timeout(self.sync_interval)
+                epoch = self.env.now
+                if self._pending_pods():
+                    yield self.env.timeout(self.sync_interval)
+                else:
+                    tick = epoch + self.sync_interval
+                    skipped = 0
+                    while tick - last_heartbeat < self.heartbeat_interval:
+                        tick += self.sync_interval
+                        skipped += 1
+                    token = wakeup.park(tick)
+                    cause = yield token
+                    wakeup.unpark(token)
+                    if cause is Signal.FIRED:
+                        tick, skipped = next_tick(epoch, self.sync_interval, self.env.now)
+                        count_skipped_ticks(skipped)
+                        yield self.env.timeout_until(tick)
+                    else:
+                        count_skipped_ticks(skipped)
                 self.stats["sync_loops"] += 1
                 yield from self._sync()
                 if self.env.now - last_heartbeat >= self.heartbeat_interval:
@@ -138,8 +166,28 @@ class Kubelet:
                     last_heartbeat = self.env.now
         except Interrupt:
             pass
+        self.api.unwatch("Pod", watch_cb)
         node.condition.ready = False
         self.api.update("Node", node)
+
+    def _wants_pod_event(self, event) -> bool:
+        obj = event.obj
+        return (
+            isinstance(obj, Pod)
+            and obj.node_name == self.node_name
+            and obj.phase is PodPhase.PENDING
+        )
+
+    def _pending_pods(self) -> bool:
+        for pod in self.api.peek("Pod"):
+            if (
+                isinstance(pod, Pod)
+                and pod.node_name == self.node_name
+                and pod.phase is PodPhase.PENDING
+                and pod.metadata.uid not in self._active_pods
+            ):
+                return True
+        return False
 
     # -- pod sync --------------------------------------------------------------------
     def _sync(self):

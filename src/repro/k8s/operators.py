@@ -13,7 +13,7 @@ import dataclasses
 
 from repro.k8s.apiserver import APIServer, WatchEvent, WatchEventType
 from repro.k8s.objects import ObjectMeta
-from repro.sim import Environment
+from repro.sim import Environment, Signal
 from repro.wlm.jobs import JobSpec
 from repro.wlm.slurm import SlurmController
 
@@ -48,6 +48,9 @@ class BridgeOperator:
         self.engines = engines or {}
         self.registry = registry
         self.stats = {"submitted": 0, "completed": 0}
+        #: fired whenever a request progresses (submitted, completed) so
+        #: status mirrors can park on it instead of polling the CRD
+        self.request_events = Signal(env)
         apiserver.watch(self.KIND, self._on_event, replay_existing=True)
 
     def _on_event(self, event: WatchEvent) -> None:
@@ -78,6 +81,7 @@ class BridgeOperator:
             request.status = job.state.value.capitalize()
             self.api.update(self.KIND, request)
             self.stats["completed"] += 1
+            self.request_events.fire(request)
 
         job = self.wlm.submit(
             JobSpec(
@@ -96,3 +100,4 @@ class BridgeOperator:
         request.wlm_job_id = job.job_id
         request.status = "Submitted"
         self.stats["submitted"] += 1
+        self.request_events.fire(request)

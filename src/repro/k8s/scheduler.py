@@ -6,7 +6,7 @@ import typing as _t
 
 from repro.k8s.apiserver import APIServer, WatchEvent, WatchEventType
 from repro.k8s.objects import K8sNode, Pod, PodPhase
-from repro.sim import Environment
+from repro.sim import Environment, Signal
 
 
 class K8sScheduler:
@@ -18,7 +18,9 @@ class K8sScheduler:
     def __init__(self, env: Environment, apiserver: APIServer):
         self.env = env
         self.api = apiserver
-        self._bell = env.event()
+        # Latching signal == the recreate-an-event "bell" pattern: rings
+        # while a pass is in flight coalesce into the next wait().
+        self._bell = Signal(env, latch=True)
         self.stats = {"scheduled": 0, "unschedulable_events": 0}
         apiserver.watch("Pod", self._on_pod_event, replay_existing=True)
         apiserver.watch("Node", self._on_node_event, replay_existing=False)
@@ -32,13 +34,11 @@ class K8sScheduler:
         self._ring()
 
     def _ring(self) -> None:
-        if not self._bell.triggered:
-            self._bell.succeed()
+        self._bell.fire()
 
     def _loop(self):
         while True:
-            yield self._bell
-            self._bell = self.env.event()
+            yield self._bell.wait()
             yield self.env.timeout(self.pass_latency)
             self._schedule_pass()
 

@@ -22,7 +22,7 @@ from repro.k8s.objects import (
 )
 from repro.oci.image import ImageReference
 from repro.registry.distribution import OCIDistributionRegistry
-from repro.sim import Environment
+from repro.sim import Environment, Signal
 from repro.wlm.jobs import JobSpec
 from repro.wlm.slurm import SlurmController
 
@@ -49,6 +49,9 @@ class VirtualKubelet:
         self.registry = registry
         self.node_name = node_name
         self.stats = {"pods_translated": 0, "pods_finished": 0}
+        #: fired on every pod the VK touches (translated, finished) so
+        #: observers can park instead of polling pod phases
+        self.activity = Signal(env)
         self._started = False
 
     def start(self):
@@ -99,6 +102,7 @@ class VirtualKubelet:
             pod.end_time = self.env.now
             self.api.update("Pod", pod)
             self.stats["pods_finished"] += 1
+            self.activity.fire(pod)
 
         spec = JobSpec(
             name=f"k8s-pod-{pod.metadata.name}",
@@ -114,3 +118,4 @@ class VirtualKubelet:
         job = self.wlm.submit(spec)
         job.comment = f"kubernetes-pod:{pod.metadata.namespace}/{pod.metadata.name}"
         self.stats["pods_translated"] += 1
+        self.activity.fire(pod)

@@ -15,6 +15,7 @@ from repro.k8s.objects import ObjectMeta, Pod
 from repro.k8s.operators import BridgeOperator, WLMJobRequest
 from repro.scenarios.base import WORKFLOW_IMAGE, IntegrationScenario
 from repro.sim import Environment
+from repro.sim.signal import count_skipped_ticks, next_tick
 from repro.wlm.slurm import SlurmController
 
 
@@ -64,18 +65,47 @@ class BridgeOperatorScenario(IntegrationScenario):
             self.env.process(self._mirror_status(request, pod))
 
     def _mirror_status(self, request: WLMJobRequest, pod: Pod):
-        """Reflect job progress back onto the pod record for comparison."""
+        """Reflect job progress back onto the pod record for comparison.
+
+        Tickless: instead of polling the CRD and squeue on fixed grids,
+        the mirror parks on the operator's `request_events` and the WLM's
+        `job_state` signals.  The mirrored values are exact copies of job
+        fields (never poll-tick times), so going event-driven changes no
+        observable result — only the thousands of idle polls, tallied in
+        ``poll_ticks_skipped`` against the grids the spinner would have
+        walked.
+        """
         from repro.k8s.objects import PodPhase
 
+        assert self.operator is not None
+        request_events = self.operator.request_events
         while request.wlm_job_id is None:
-            yield self.env.timeout(0.5)
+            token = request_events.park()
+            yield token
+            request_events.unpark(token)
         job = self.wlm.job(request.wlm_job_id)
+        job_state = self.wlm.job_state
+        epoch = self.env.now
+        waited = False
         while job.start_time is None:
-            yield self.env.timeout(0.5)
+            waited = True
+            token = job_state.park()
+            yield token
+            job_state.unpark(token)
+        if waited:
+            epoch, skipped = next_tick(epoch, 0.5, self.env.now)
+            count_skipped_ticks(skipped + 1)
         pod.phase = PodPhase.RUNNING
         pod.start_time = job.start_time
+        waited = False
         while not job.state.is_terminal:
-            yield self.env.timeout(1.0)
+            waited = True
+            token = job_state.park()
+            yield token
+            job_state.unpark(token)
+        if waited:
+            _, skipped = next_tick(epoch, 1.0, self.env.now)
+            count_skipped_ticks(skipped + 1)
         pod.end_time = job.end_time
         pod.phase = PodPhase.SUCCEEDED if job.exit_code == 0 else PodPhase.FAILED
 

@@ -19,7 +19,8 @@ from repro.k8s.k3s import FullK8sServer
 from repro.k8s.kubelet import Kubelet
 from repro.k8s.objects import Pod, PodPhase, ResourceRequests
 from repro.scenarios.base import WORKFLOW_IMAGE, IntegrationScenario
-from repro.sim import Environment
+from repro.sim import Environment, Signal
+from repro.sim.signal import count_skipped_ticks
 from repro.wlm.slurm import SlurmController
 
 
@@ -88,11 +89,27 @@ class OnDemandReallocationScenario(IntegrationScenario):
         self.env.process(self._return_nodes_when_idle(names), name="return-nodes")
 
     def _return_nodes_when_idle(self, names: list[str]):
-        # Poll for completion, wait the idle timeout, then give back.
-        while True:
-            yield self.env.timeout(10.0)
-            if all(p.phase in (PodPhase.SUCCEEDED, PodPhase.FAILED) for p in self.pods):
-                break
+        # Tickless: park on pod watch events instead of the 10 s poll,
+        # then resume at the grid tick the poll would have noticed the
+        # last completion (>= now: pod-finish events carry older sequence
+        # numbers than a same-time poll tick, so the poll saw them).
+        epoch = self.env.now
+        signal = Signal(self.env)
+        watch_cb = self.k8s.api.watch_signal("Pod", signal)
+        while not all(
+            p.phase in (PodPhase.SUCCEEDED, PodPhase.FAILED) for p in self.pods
+        ):
+            token = signal.park()
+            yield token
+            signal.unpark(token)
+        self.k8s.api.unwatch("Pod", watch_cb)
+        tick = epoch + 10.0
+        skipped = 0
+        while tick < self.env.now:
+            tick += 10.0
+            skipped += 1
+        count_skipped_ticks(skipped)
+        yield self.env.timeout_until(tick)
         yield self.env.timeout(self.return_after_idle)
         for name in names:
             kubelet = self.kubelets.pop(name, None)

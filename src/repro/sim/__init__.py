@@ -16,6 +16,7 @@ from repro.sim.events import AllOf, AnyOf, Event, Interrupt, SimulationError, Ti
 from repro.sim.environment import Environment, Process
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.rng import DeterministicRNG
+from repro.sim.signal import Signal, next_tick
 
 __all__ = [
     "AllOf",
@@ -27,7 +28,9 @@ __all__ = [
     "Interrupt",
     "Process",
     "Resource",
+    "Signal",
     "SimulationError",
     "Store",
     "Timeout",
+    "next_tick",
 ]

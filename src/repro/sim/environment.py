@@ -88,6 +88,23 @@ class Environment:
     def timeout(self, delay: float, value: object = None) -> Timeout:
         return Timeout(self, delay, value)
 
+    def timeout_until(self, when: float, value: object = None) -> Event:
+        """An event at the **absolute** virtual time ``when``.
+
+        Unlike ``timeout(when - now)``, the event fires at exactly
+        ``when`` — no float round-trip through a delay — which tickless
+        loops rely on to land precisely on a poll-grid boundary another
+        process (or a previous incarnation of the same loop) computed by
+        sequential addition.
+        """
+        when = float(when)
+        if when < self._now:
+            raise ValueError(f"until={when} is in the past (now={self._now})")
+        event = Event(self)
+        event._value = value
+        self._schedule_at(event, when)
+        return event
+
     def process(self, generator: ProcessGenerator, name: str | None = None) -> "Process":
         return Process(self, generator, name=name)
 
@@ -99,6 +116,18 @@ class Environment:
         else:
             immediate = False
             heappush(self._queue, (self._now + delay, priority, next(self._counter), event))
+        prof = self._profile
+        if prof.enabled:
+            self._count_push(prof, immediate)
+
+    def _schedule_at(self, event: Event, when: float, priority: int = NORMAL) -> None:
+        """Schedule ``event`` at the absolute virtual time ``when``."""
+        if when == self._now and priority == 1:
+            immediate = True
+            self._immediate.append((next(self._counter), event))
+        else:
+            immediate = False
+            heappush(self._queue, (when, priority, next(self._counter), event))
         prof = self._profile
         if prof.enabled:
             self._count_push(prof, immediate)

@@ -15,7 +15,12 @@ wall-clock noise:
 - ``direct_resumes``: process resumes that skipped carrier-event
   allocation entirely;
 - ``processes_spawned``: generator processes created;
-- ``peak_queue_depth``: high-water mark of heap + immediate queue.
+- ``peak_queue_depth``: high-water mark of heap + immediate queue;
+- ``parked_processes``: times a tickless control loop parked on a
+  :class:`~repro.sim.signal.Signal` instead of scheduling a poll;
+- ``wakeups_fired``: waiters woken by ``Signal.fire()``;
+- ``poll_ticks_skipped``: idle polling ticks that event-driven parking
+  avoided scheduling (each one a heap push in the pre-tickless core).
 
 Counters are global (aggregated across all :class:`Environment` instances)
 so a benchmark that builds many environments still gets one roll-up.
@@ -41,6 +46,9 @@ _FIELDS = (
     "direct_resumes",
     "processes_spawned",
     "peak_queue_depth",
+    "parked_processes",
+    "wakeups_fired",
+    "poll_ticks_skipped",
 )
 
 

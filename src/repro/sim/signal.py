@@ -1,0 +1,214 @@
+"""Tickless wakeups: the :class:`Signal` primitive and tick alignment.
+
+PR 1 made every *processed* event cheap; the remaining cost was that
+periodic control loops (kubelet syncs, controller reconciles, scenario
+provisioning pollers) *generate* events at a fixed rate whether or not
+there is work — the simulated version of the "wasteful per-node daemon"
+pattern the paper's §3.2 criticizes.  A :class:`Signal` lets such a loop
+go **tickless**: when it observes no pending work it parks, and the
+producers that create work (pod binds, API object writes, job state
+changes) fire the signal to wake it.
+
+Two waiting styles are supported:
+
+``wait()``
+    Returns a fresh :class:`~repro.sim.events.Event` that the next
+    :meth:`fire` succeeds through the environment's zero-delay FIFO fast
+    path.  With ``latch=True`` a fire that finds no waiter is remembered
+    and delivered to the next ``wait()`` — the semantics of the
+    recreate-an-event "bell" pattern the schedulers used, including its
+    coalescing behaviour (fires while a woken waiter has not yet resumed
+    are absorbed, exactly like ringing an already-triggered bell).
+
+``park(deadline)``
+    Registers the *active process* for a **direct resume**: ``fire()``
+    detaches the process from its pending deadline event and queues a
+    slotted ``_Resume`` record — no carrier event, no extra queue hop —
+    so a signal-woken process resumes in exactly the queue slot a
+    hand-rolled wakeup event would have used.  The returned token must be
+    yielded immediately; it delivers :data:`Signal.FIRED` when the signal
+    woke the process and the deadline event's value (``None``) when the
+    deadline passed first.  ``deadline`` is an **absolute** virtual time
+    (scheduled exactly, without float re-derivation) or ``None`` to park
+    until fired.
+
+Tick alignment
+--------------
+
+A converted loop must keep every observable virtual time bit-identical
+to the polling version it replaces.  :func:`next_tick` computes where a
+``yield timeout(interval)`` spinner starting at ``epoch`` would next wake
+after an event at time ``after`` — by replaying the same sequential
+float additions the spinner would have performed, so the result is
+bit-identical even where ``epoch + k*interval`` is not.  The woken loop
+then sleeps until that boundary (``Environment.timeout_until``) and runs
+its body there, indistinguishable from a loop that never stopped
+polling — except for the thousands of idle heap events it no longer
+schedules (counted in ``profile.counters.poll_ticks_skipped``).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.sim.environment import Environment, Process
+from repro.sim.events import Event, SimulationError
+from repro.sim.profile import counters as _counters
+
+
+class _Fired:
+    """Sentinel delivered to a parked process woken by ``fire()``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<Signal.FIRED>"
+
+
+def next_tick(epoch: float, interval: float, after: float) -> tuple[float, int]:
+    """First tick boundary strictly after ``after`` on the grid a
+    ``yield timeout(interval)`` loop starting at ``epoch`` would produce.
+
+    Replays the spinner's sequential additions (``t += interval``) so the
+    boundary is bit-identical to the polling loop's wake time even when
+    float rounding makes ``epoch + k*interval`` differ.  Returns
+    ``(boundary, skipped)`` where ``skipped`` counts the idle polls the
+    spinner would have executed in ``(epoch, after]``.
+
+    "Strictly after" mirrors event-queue sequence order: a state change
+    landing exactly on a boundary was produced by an event scheduled
+    *later* than the spinner's tick for that boundary, so the spinner
+    would only have observed it one interval later.
+    """
+    if interval <= 0:
+        raise ValueError(f"interval must be positive, got {interval}")
+    t = epoch + interval
+    skipped = 0
+    while t <= after:
+        t += interval
+        skipped += 1
+    return t, skipped
+
+
+def count_skipped_ticks(n: int) -> None:
+    """Record ``n`` avoided idle polls in the profiling counters."""
+    if _counters.enabled and n:
+        _counters.poll_ticks_skipped += n
+
+
+class Signal:
+    """A cancellable, multi-waiter wakeup for tickless control loops."""
+
+    #: value delivered to a parked process woken by :meth:`fire`
+    FIRED: _t.ClassVar[_Fired] = _Fired()
+
+    __slots__ = ("env", "latch", "_waiters", "_parked", "_pending", "_pending_value",
+                 "_last_fired")
+
+    def __init__(self, env: Environment, latch: bool = False):
+        self.env = env
+        self.latch = latch
+        self._waiters: list[Event] = []
+        #: token event -> parked process, for direct resumes
+        self._parked: dict[Event, Process] = {}
+        self._pending = False
+        self._pending_value: object = None
+        #: events succeeded by the most recent fire; while any is still
+        #: unprocessed, further fires coalesce into it (bell semantics)
+        self._last_fired: list[Event] = []
+
+    @property
+    def waiting(self) -> int:
+        """Number of registered waiters (events and parked processes)."""
+        return len(self._waiters) + len(self._parked)
+
+    # -- event-style waiting ------------------------------------------------
+    def wait(self) -> Event:
+        """An event the next :meth:`fire` triggers (or, with ``latch``,
+        one already triggered by a fire nobody was around to hear)."""
+        event = Event(self.env)
+        if self._pending:
+            self._pending = False
+            event.succeed(self._pending_value)
+            self._pending_value = None
+        else:
+            self._waiters.append(event)
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Deregister a :meth:`wait` event; returns False if it already
+        fired (or was never a waiter)."""
+        try:
+            self._waiters.remove(event)
+            return True
+        except ValueError:
+            return False
+
+    # -- direct-resume parking ----------------------------------------------
+    def park(self, deadline: float | None = None) -> Event:
+        """Park the active process until :meth:`fire` or ``deadline``.
+
+        The caller **must immediately yield the returned token**.  The
+        yield delivers :data:`Signal.FIRED` if the signal woke the
+        process and ``None`` if the (absolute virtual time) deadline
+        passed.  Call :meth:`unpark` with the token after waking.
+        """
+        process = self.env.active_process
+        if process is None:
+            raise SimulationError("park() must be called from a running process")
+        if deadline is None:
+            token = Event(self.env)
+        else:
+            token = self.env.timeout_until(deadline)
+        self._parked[token] = process
+        if _counters.enabled:
+            _counters.parked_processes += 1
+        return token
+
+    def unpark(self, token: Event) -> bool:
+        """Drop a park registration (idempotent); call after waking."""
+        return self._parked.pop(token, None) is not None
+
+    # -- producers ----------------------------------------------------------
+    def fire(self, value: object = None) -> int:
+        """Wake every current waiter; returns how many were woken.
+
+        ``wait()`` waiters are succeeded with ``value`` through the
+        zero-delay FIFO; parked processes are resumed directly with
+        :data:`Signal.FIRED`.  With ``latch=True`` an unheard fire is
+        remembered for the next ``wait()`` — unless a just-fired waiter
+        has not resumed yet, in which case the fire coalesces with it.
+        """
+        woken = 0
+        if self._waiters:
+            waiters, self._waiters = self._waiters, []
+            self._last_fired = waiters
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed(value)
+                    woken += 1
+        if self._parked:
+            parked, self._parked = self._parked, {}
+            env = self.env
+            for token, process in parked.items():
+                # Stale registrations (deadline already fired, process
+                # interrupted away) no longer target their token.
+                if process._target is not token or token.callbacks is None:
+                    continue
+                try:
+                    token.callbacks.remove(process._resume)
+                except ValueError:
+                    continue
+                process._pending_resume = env._schedule_resume(process, Signal.FIRED, None)
+                woken += 1
+        if woken:
+            if _counters.enabled:
+                _counters.wakeups_fired += woken
+        elif self.latch and not any(not ev.processed for ev in self._last_fired):
+            self._pending = True
+            self._pending_value = value
+        return woken
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Signal waiting={self.waiting} pending={self._pending}"
+                f"{' latch' if self.latch else ''}>")

@@ -15,7 +15,7 @@ import typing as _t
 from repro.cluster.node import HostNode
 from repro.kernel.cgroups import Controller
 from repro.kernel.process import SimProcess
-from repro.sim import Environment, Interrupt
+from repro.sim import Environment, Interrupt, Signal
 from repro.wlm.accounting import AccountingDB
 from repro.wlm.jobs import Job, JobSpec, JobState, JobStep
 from repro.wlm.nodes import NodeState, WLMNode
@@ -57,7 +57,12 @@ class SlurmController:
         self._jobs: dict[int, Job] = {}
         self._job_counter = itertools.count(1)
         self._step_counter = itertools.count(0)
-        self._bell = env.event()
+        # Latching signal == the recreate-an-event "bell" pattern: rings
+        # while a pass is in flight coalesce into the next wait().
+        self._bell = Signal(env, latch=True)
+        #: fired on every job state transition (tickless status mirrors
+        #: park on this instead of polling squeue)
+        self.job_state = Signal(env)
         self._busy_integral = 0.0
         self._busy_nodes = 0
         self._last_change = env.now
@@ -75,12 +80,14 @@ class SlurmController:
         self._jobs[job.job_id] = job
         self.queue.append(job)
         self._ring()
+        self.job_state.fire(job)
         return job
 
     def cancel(self, job: Job) -> None:
         if job.state is JobState.PENDING:
             self.queue.remove(job)
             job.set_state(JobState.CANCELLED, self.env.now)
+            self.job_state.fire(job)
         elif job.state is JobState.RUNNING:
             proc = getattr(job, "_sim_process", None)
             if proc is not None and proc.is_alive:
@@ -92,13 +99,11 @@ class SlurmController:
 
     # ------------------------------------------------------------- scheduling
     def _ring(self) -> None:
-        if not self._bell.triggered:
-            self._bell.succeed()
+        self._bell.fire()
 
     def _scheduler_loop(self):
         while True:
-            yield self._bell
-            self._bell = self.env.event()
+            yield self._bell.wait()
             yield self.env.timeout(self.sched_latency)
             decisions = self.scheduler.schedule(
                 self.queue, self.nodes, self.env.now, running=list(self.running.values())
@@ -172,6 +177,7 @@ class SlurmController:
         if spec.on_start is not None:
             for node in placement:
                 spec.on_start(node, job, job.node_procs[node.name])
+        self.job_state.fire(job)
 
         # Payload.
         final_state = JobState.COMPLETED
@@ -205,6 +211,7 @@ class SlurmController:
             job.set_state(JobState.PENDING, self.env.now)
             self.queue.append(job)
             self._ring()
+            self.job_state.fire(job)
             return
 
         # Teardown.
@@ -221,6 +228,7 @@ class SlurmController:
         if spec.on_end is not None:
             spec.on_end(job)
         self._ring()
+        self.job_state.fire(job)
 
     # ------------------------------------------------------------- job steps
     def srun(self, job: Job, argv: tuple[str, ...], options: dict[str, str] | None = None) -> JobStep:
