@@ -13,9 +13,11 @@ Environment knobs (all optional):
 - ``SIMCORE_BENCH_OUT``      output filename (default ``BENCH_LOCAL.json``;
   committed trajectory files like ``BENCH_PR2.json`` are written only
   when named explicitly, so a stray local run can't clobber history)
-- ``SIMCORE_BENCH_BASELINE`` a committed ``BENCH_*.json`` to compare
-  against; the test fails if any sweep's *normalized* wall-clock
-  regresses beyond the tolerance
+- ``SIMCORE_BENCH_BASELINE`` committed ``BENCH_*.json`` file(s) to
+  compare against (comma-separated for several — e.g. an old floor plus
+  the newest trajectory point); the test fails if any sweep's
+  *normalized* wall-clock regresses beyond the tolerance against *any*
+  of them
 - ``SIMCORE_BENCH_TOLERANCE`` allowed relative regression (default 0.25)
 
 Wall-clock comparisons across machines are normalized by a calibration
@@ -95,9 +97,12 @@ def run_suite() -> dict:
     }
 
 
-def check_regression(result: dict, baseline: dict, tolerance: float) -> list[str]:
+def check_regression(
+    result: dict, baseline: dict, tolerance: float, label: str = ""
+) -> list[str]:
     """Compare a fresh run against a committed baseline; returns failures."""
     failures = []
+    tag = f" [{label}]" if label else ""
     for name, fresh in result["benchmarks"].items():
         base = baseline.get("benchmarks", {}).get(name)
         if base is None:
@@ -105,7 +110,7 @@ def check_regression(result: dict, baseline: dict, tolerance: float) -> list[str
         allowed = base["normalized_wall"] * (1.0 + tolerance)
         if fresh["normalized_wall"] > allowed:
             failures.append(
-                f"{name}: normalized wall-clock {fresh['normalized_wall']:.2f} "
+                f"{name}{tag}: normalized wall-clock {fresh['normalized_wall']:.2f} "
                 f"exceeds baseline {base['normalized_wall']:.2f} by more than "
                 f"{tolerance:.0%}"
             )
@@ -113,9 +118,18 @@ def check_regression(result: dict, baseline: dict, tolerance: float) -> list[str
         fresh_events = fresh["sim_counters"]["events_processed"]
         if fresh_events > base_events * (1.0 + tolerance):
             failures.append(
-                f"{name}: {fresh_events} events processed vs baseline "
+                f"{name}{tag}: {fresh_events} events processed vs baseline "
                 f"{base_events} (> {tolerance:.0%} more simulator bookkeeping)"
             )
+    return failures
+
+
+def check_baselines(result: dict, baseline_env: str, tolerance: float) -> list[str]:
+    """Run :func:`check_regression` against every comma-separated baseline."""
+    failures: list[str] = []
+    for name in filter(None, (n.strip() for n in baseline_env.split(","))):
+        baseline = json.loads((REPO_ROOT / name).read_text())
+        failures.extend(check_regression(result, baseline, tolerance, label=name))
     return failures
 
 
@@ -133,11 +147,10 @@ def test_simcore_wallclock(benchmark):
     smallfile = result["benchmarks"]["smallfile_startup_sweep"]["sim_counters"]
     assert smallfile["events_processed"] < 200_000
 
-    baseline_name = os.environ.get("SIMCORE_BENCH_BASELINE")
-    if baseline_name:
+    baseline_env = os.environ.get("SIMCORE_BENCH_BASELINE")
+    if baseline_env:
         tolerance = float(os.environ.get("SIMCORE_BENCH_TOLERANCE", "0.25"))
-        baseline = json.loads((REPO_ROOT / baseline_name).read_text())
-        failures = check_regression(result, baseline, tolerance)
+        failures = check_baselines(result, baseline_env, tolerance)
         assert not failures, "; ".join(failures)
 
 
@@ -151,13 +164,17 @@ if __name__ == "__main__":  # pragma: no cover - manual/CI smoke entry point
             f"parked {c['parked_processes']} times, {c['wakeups_fired']} wakeups, "
             f"{c['poll_ticks_skipped']} idle poll ticks skipped"
         )
+        print(
+            f"  rootfs CoW: {c['cow_clones']} O(1) clones, "
+            f"{c['cow_copy_ups']} copy-ups, {c['digest_cache_hits']} digest "
+            f"memo hits, {c['flatten_cache_hits']} flatten/convert cache hits"
+        )
     name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_LOCAL.json")
     (REPO_ROOT / name).write_text(json.dumps(outcome, indent=2) + "\n")
-    baseline_name = os.environ.get("SIMCORE_BENCH_BASELINE")
-    if baseline_name:
+    baseline_env = os.environ.get("SIMCORE_BENCH_BASELINE")
+    if baseline_env:
         tol = float(os.environ.get("SIMCORE_BENCH_TOLERANCE", "0.25"))
-        baseline = json.loads((REPO_ROOT / baseline_name).read_text())
-        problems = check_regression(outcome, baseline, tol)
+        problems = check_baselines(outcome, baseline_env, tol)
         if problems:
             raise SystemExit("PERF REGRESSION: " + "; ".join(problems))
     print("wall-clock within tolerance")

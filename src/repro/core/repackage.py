@@ -65,9 +65,12 @@ def repackage_for_hpc(
     # 2. multi-uid expectations: only the invoking uid is mapped
     if config.required_uids:
         for uid in config.required_uids:
-            for path, node in tree.files():
-                if node.uid == uid:
-                    node.chown(invoking_uid, invoking_uid)
+            # Snapshot first: the tree-level chown copies up shared nodes
+            # (the flatten result is a CoW clone), which would otherwise
+            # race the listing we are iterating.
+            to_rewrite = [path for path, node in tree.files() if node.uid == uid]
+            for path in to_rewrite:
+                tree.chown(path, invoking_uid, invoking_uid)
         fixes.append(
             f"rewrote ownership of uids {list(config.required_uids)} to the "
             f"invoking uid {invoking_uid} (single-uid mapping, §3.2)"

@@ -63,12 +63,31 @@ class StorageBackend:
 
     def est_load_tree(self, top: str = "/") -> float:
         """Cost of opening+reading every file under ``top`` (e.g. an
-        interpreter importing its standard library at startup)."""
-        total = 0.0
-        for path, node in self.tree.files(top):
-            total += self.est_open(path)
-            total += self.cost_model.sequential_read_cost(node.size)
-            self.stats["bytes_read"] += node.size
+        interpreter importing its standard library at startup).
+
+        The per-file cost sum is memoized in the tree's scan cache (it
+        is a pure function of the subtree and the cost model), so many
+        nodes loading the same image pay the walk once; the running
+        ``stats`` totals are replayed identically from cached counts.
+        """
+        cache = self.tree.scan_cache(top)
+        key = ("est_load", top, self.cost_model)
+        entry = cache.get(key)
+        if entry is None:
+            model = self.cost_model
+            files = self.tree.files_list(top)
+            total = 0.0
+            n_bytes = 0
+            for path, node in files:
+                depth = max(1, len([p for p in path.split("/") if p]))
+                total += model.metadata_cost(depth)
+                total += model.sequential_read_cost(node.size)
+                n_bytes += node.size
+            entry = (total, len(files), n_bytes)
+            cache[key] = entry
+        total, n_files, n_bytes = entry
+        self.stats["opens"] += n_files
+        self.stats["bytes_read"] += n_bytes
         return total
 
     # -- process-style API ------------------------------------------------------
@@ -92,14 +111,29 @@ class StorageBackend:
 
     def proc_load_tree(self, top: str = "/") -> _t.Generator:
         env = self._require_env()
-        files = list(self.tree.files(top))
         batch = max(1, self.io_batch)
-        for start in range(0, len(files), batch):
-            cost = 0.0
-            for path, node in files[start : start + batch]:
-                cost += self.est_open(path)
-                cost += self.cost_model.sequential_read_cost(node.size)
-                self.stats["bytes_read"] += node.size
+        cache = self.tree.scan_cache(top)
+        key = ("load_batches", top, batch, self.cost_model)
+        batches = cache.get(key)
+        if batches is None:
+            model = self.cost_model
+            files = self.tree.files_list(top)
+            batches = []
+            for start in range(0, len(files), batch):
+                cost = 0.0
+                n_files = 0
+                n_bytes = 0
+                for path, node in files[start : start + batch]:
+                    depth = max(1, len([p for p in path.split("/") if p]))
+                    cost += model.metadata_cost(depth)
+                    cost += model.sequential_read_cost(node.size)
+                    n_files += 1
+                    n_bytes += node.size
+                batches.append((cost, n_files, n_bytes))
+            cache[key] = batches
+        for cost, n_files, n_bytes in batches:
+            self.stats["opens"] += n_files
+            self.stats["bytes_read"] += n_bytes
             yield env.timeout(cost)
         return self.tree.total_size(top)
 
@@ -193,24 +227,41 @@ class SharedFS(StorageBackend):
         that fine-grained RPCs would have load-balanced, so end-to-end
         times can differ between batch sizes by up to the last wave's
         occupancy deficit.
+
+        The per-batch (meta, read) cost pairs are memoized in the tree's
+        scan cache — a 64-node open storm of the same directory computes
+        them once and replays identical timeouts (and ``stats`` deltas)
+        for every client.
         """
         env = self._require_env()
         assert self.mds is not None
-        open_cost = self.cost_model.open_cost()
-        read_cost = self.cost_model.sequential_read_cost
-        files = list(self.tree.files(top))
         batch = max(1, self.io_batch)
+        cache = self.tree.scan_cache(top)
+        key = ("mds_batches", top, batch, self.cost_model)
+        batches = cache.get(key)
+        if batches is None:
+            open_cost = self.cost_model.open_cost()
+            read_cost = self.cost_model.sequential_read_cost
+            files = self.tree.files_list(top)
+            batches = []
+            for start in range(0, len(files), batch):
+                meta = 0.0
+                read = 0.0
+                n_files = 0
+                n_bytes = 0
+                for path, node in files[start : start + batch]:
+                    depth = max(1, len([p for p in path.split("/") if p]))
+                    meta += open_cost * depth
+                    read += read_cost(node.size)
+                    n_files += 1
+                    n_bytes += node.size
+                batches.append((meta, read, n_files, n_bytes))
+            cache[key] = batches
         total = 0
-        for start in range(0, len(files), batch):
-            meta = 0.0
-            read = 0.0
-            for path, node in files[start : start + batch]:
-                depth = max(1, len([p for p in path.split("/") if p]))
-                meta += open_cost * depth
-                read += read_cost(node.size)
-                self.stats["opens"] += 1
-                self.stats["bytes_read"] += node.size
-                total += node.size
+        for meta, read, n_files, n_bytes in batches:
+            self.stats["opens"] += n_files
+            self.stats["bytes_read"] += n_bytes
+            total += n_bytes
             req = self.mds.request()
             yield req
             yield env.timeout(meta)

@@ -40,6 +40,7 @@ from repro.fs.perf import (
 )
 from repro.fs.tree import FileTree, FsError
 from repro.fs.images import SquashImage
+from repro.sim import profile as _profile
 
 
 @dataclasses.dataclass(frozen=True)
@@ -201,10 +202,16 @@ class MountedView:
         existing = self.lookup(path)
         if isinstance(existing, FileNode) and self.upper.lookup(path) is None:
             # Copy-up: the overlay must pull the lower file into the upper
-            # layer before modifying it.
+            # layer before modifying it.  Feed the profile counter too, so
+            # view-level ``stats["copy_ups"]`` and the global
+            # ``cow_copy_ups`` roll-up agree on what a copy-up is: any
+            # write that had to duplicate shared lower content first.
             cost += self.cost_model.sequential_read_cost(existing.size)
             cost += self.cost_model.write_cost(existing.size)
             self.stats["copy_ups"] += 1
+            counters = _profile.counters
+            if counters.enabled:
+                counters.cow_copy_ups += 1
         n = len(data) if data is not None else int(size or 0)
         self.upper.create_file(path, data=data, size=size)
         self.stats["bytes_written"] += n
@@ -229,14 +236,28 @@ class MountedView:
         if self.upper is None and len(self.layers) == 1:
             # Single read-only layer (the squash-mount case): every file in
             # the layer is authoritative, so skip the per-path union lookup
-            # and charge the same open+read costs directly.
-            model = self.cost_model
-            for path, node in self.layers[0].files(top):
-                self.stats["opens"] += 1
-                self.stats["bytes_read"] += node.size
-                depth = max(1, len([p for p in path.split("/") if p]))
-                total += model.metadata_cost(depth)
-                total += model.sequential_read_cost(node.size)
+            # and charge the same open+read costs directly.  The cost sum is
+            # memoized in the layer tree's scan cache — for a frozen image
+            # tree the memo lives on the shared node, so every mount of the
+            # same image (across nodes and runs) walks it exactly once.
+            layer = self.layers[0]
+            cache = layer.scan_cache(top)
+            key = ("load_all", top, self.cost_model)
+            entry = cache.get(key)
+            if entry is None:
+                model = self.cost_model
+                files = layer.files_list(top)
+                n_bytes = 0
+                for path, node in files:
+                    n_bytes += node.size
+                    depth = max(1, len([p for p in path.split("/") if p]))
+                    total += model.metadata_cost(depth)
+                    total += model.sequential_read_cost(node.size)
+                entry = (total, len(files), n_bytes)
+                cache[key] = entry
+            total, n_files, n_bytes = entry
+            self.stats["opens"] += n_files
+            self.stats["bytes_read"] += n_bytes
             return total
         seen: set[str] = set()
         for tree in self._all_trees_top_down():

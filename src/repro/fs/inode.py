@@ -4,6 +4,22 @@ Files may carry literal ``data`` (small config files the simulation
 inspects) or only a ``size`` (bulk content such as libraries, where only
 the byte count matters for IO costs).  Every node carries POSIX ownership
 and a mode so the kernel model can enforce permission rules.
+
+Copy-on-write sharing
+---------------------
+Cloning a tree no longer deep-copies it.  Instead nodes carry a
+``shared`` flag: :meth:`FileTree.clone` freezes the subtree (marks every
+node shared, an O(n) walk the *first* time, O(1) once already frozen)
+and the clone aliases the same nodes.  A shared node is immutable — the
+in-place mutators (:meth:`Node.chown`, :meth:`Node.chmod`,
+:meth:`FileNode.write`) raise :class:`FsError` on it — and any mutation
+through :class:`~repro.fs.tree.FileTree` first *copies up* the spine
+from the root to the touched node via :meth:`Node.copy_shallow`.
+
+Invariant: a shared directory only has shared children (``_freeze`` is
+recursive), so freezing can stop at the first already-shared node.  The
+converse does not hold: an unshared directory may hold shared children
+(that is exactly what a copy-up produces).
 """
 
 from __future__ import annotations
@@ -12,7 +28,13 @@ import hashlib
 import itertools
 import typing as _t
 
+from repro.sim import profile as _profile
+
 _inode_counter = itertools.count(1)
+
+
+class FsError(OSError):
+    """Filesystem-level error (missing path, wrong node type, ...)."""
 
 
 class Node:
@@ -29,17 +51,42 @@ class Node:
         #: set-uid bit shortcut (mode & 0o4000); modelled explicitly because
         #: setuid helpers are central to the engine comparison.
         self.xattrs: dict[str, str] = {}
+        #: copy-on-write flag: once True the node is aliased by several
+        #: trees and must never be mutated in place again.
+        self.shared = False
 
     @property
     def setuid(self) -> bool:
         return bool(self.mode & 0o4000)
 
+    def _assert_mutable(self) -> None:
+        if self.shared:
+            raise FsError(
+                f"cannot mutate a CoW-shared {self.kind} node in place; "
+                "mutate through FileTree (chmod/chown/write) so the spine "
+                "is copied up first"
+            )
+
     def chown(self, uid: int, gid: int) -> None:
+        self._assert_mutable()
         self.uid = uid
         self.gid = gid
 
     def chmod(self, mode: int) -> None:
+        self._assert_mutable()
         self.mode = mode
+
+    def _freeze(self) -> None:
+        self.shared = True
+
+    def _copy_base(self, node: "Node") -> "Node":
+        """Carry the POSIX attributes over to a fresh (unshared) copy."""
+        node.uid = self.uid
+        node.gid = self.gid
+        node.mode = self.mode
+        node.mtime = self.mtime
+        node.xattrs = dict(self.xattrs)
+        return node
 
 
 class FileNode(Node):
@@ -60,27 +107,60 @@ class FileNode(Node):
             raise ValueError("size conflicts with len(data)")
         self.data = data
         self._size = len(data) if data is not None else int(size or 0)
+        self._digest_memo: str | None = None
 
     @property
     def size(self) -> int:
         return self._size
 
     def write(self, data: bytes) -> None:
+        self._assert_mutable()
         self.data = data
         self._size = len(data)
+        self._digest_memo = None
+
+    def chown(self, uid: int, gid: int) -> None:
+        super().chown(uid, gid)
+        self._digest_memo = None
+
+    def chmod(self, mode: int) -> None:
+        super().chmod(mode)
+        self._digest_memo = None
 
     def digest(self) -> str:
-        """Content digest; size-only files hash their identity + size."""
+        """Content digest; size-only files hash their identity + size.
+
+        Memoized: content only changes through :meth:`write` (and the
+        identity of a size-only file never changes), both of which drop
+        the memo.  ``chmod``/``chown`` also invalidate, although they do
+        not feed the hash, so the memo never outlives *any* in-place
+        mutation of the node.
+        """
+        if self._digest_memo is not None:
+            counters = _profile.counters
+            if counters.enabled:
+                counters.digest_cache_hits += 1
+            return self._digest_memo
         h = hashlib.sha256()
         if self.data is not None:
             h.update(self.data)
         else:
             h.update(f"bulk:{self.ino}:{self._size}".encode())
-        return h.hexdigest()
+        self._digest_memo = h.hexdigest()
+        return self._digest_memo
 
     def clone(self) -> "FileNode":
-        node = FileNode(data=self.data, size=self._size, uid=self.uid, gid=self.gid, mode=self.mode)
-        node.xattrs = dict(self.xattrs)
+        self._freeze()
+        return self
+
+    def copy_shallow(self) -> "FileNode":
+        node = FileNode(data=self.data, size=None if self.data is not None else self._size)
+        self._copy_base(node)
+        if self.data is not None:
+            # Content digests are a pure function of the bytes, so the
+            # memo survives the copy; bulk digests hash the inode number
+            # and must be recomputed for the fresh node.
+            node._digest_memo = self._digest_memo
         return node
 
     def __repr__(self) -> str:
@@ -96,10 +176,21 @@ class DirNode(Node):
         super().__init__(uid=uid, gid=gid, mode=mode)
         self.children: dict[str, Node] = {}
 
+    def _freeze(self) -> None:
+        if self.shared:
+            return
+        self.shared = True
+        for child in self.children.values():
+            child._freeze()
+
     def clone(self) -> "DirNode":
-        node = DirNode(uid=self.uid, gid=self.gid, mode=self.mode)
-        for name, child in self.children.items():
-            node.children[name] = child.clone()  # type: ignore[attr-defined]
+        self._freeze()
+        return self
+
+    def copy_shallow(self) -> "DirNode":
+        node = DirNode()
+        self._copy_base(node)
+        node.children = dict(self.children)
         return node
 
     def __repr__(self) -> str:
@@ -116,7 +207,13 @@ class SymlinkNode(Node):
         self.target = target
 
     def clone(self) -> "SymlinkNode":
-        return SymlinkNode(self.target, uid=self.uid, gid=self.gid)
+        self._freeze()
+        return self
+
+    def copy_shallow(self) -> "SymlinkNode":
+        node = SymlinkNode(self.target)
+        self._copy_base(node)
+        return node
 
     def __repr__(self) -> str:
         return f"<SymlinkNode -> {self.target}>"
@@ -128,7 +225,13 @@ class WhiteoutNode(Node):
     kind = "whiteout"
 
     def clone(self) -> "WhiteoutNode":
-        return WhiteoutNode(uid=self.uid, gid=self.gid)
+        self._freeze()
+        return self
+
+    def copy_shallow(self) -> "WhiteoutNode":
+        node = WhiteoutNode()
+        self._copy_base(node)
+        return node
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         return "<WhiteoutNode>"

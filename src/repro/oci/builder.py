@@ -115,7 +115,7 @@ class Builder:
     ) -> OCIImage:
         instructions = DockerfileParser.parse(text)
         context = context or FileTree()
-        context_digest = Layer(context.clone(), created_by="context").digest
+        context_digest = self._context_digest(context)
 
         base = self.catalog.get(instructions[0].argument.strip())
         layers: list[Layer] = list(base.layers)
@@ -160,6 +160,22 @@ class Builder:
             "build_cost_s": cost,
         }
         return OCIImage(config, layers)
+
+    @staticmethod
+    def _context_digest(context: FileTree) -> str:
+        """Layer digest of the build context, memoized in its scan cache.
+
+        Rebuilds with an unchanged context used to re-walk and re-hash it
+        every time; the memo lives with the tree content (invalidated by
+        any mutation, shared once the context is frozen), so only the
+        first build of a given context pays the hash.
+        """
+        cache = context.scan_cache("/")
+        digest = cache.get("context_layer_digest")
+        if digest is None:
+            digest = Layer(context.clone(), created_by="context").digest
+            cache["context_layer_digest"] = digest
+        return digest
 
     @staticmethod
     def _copy(context: FileTree, tree: FileTree, argument: str, uid: int) -> None:

@@ -9,6 +9,7 @@ import typing as _t
 from repro.fs.tree import FileTree
 from repro.oci.digest import digest_str
 from repro.oci.layer import Layer
+from repro.sim import profile as _profile
 
 
 @dataclasses.dataclass
@@ -76,6 +77,7 @@ class OCIImage:
             config_digest=config.digest,
             layer_digests=tuple(layer.digest for layer in self.layers),
         )
+        self._flat: FileTree | None = None
 
     @property
     def digest(self) -> str:
@@ -94,11 +96,25 @@ class OCIImage:
         return self.flatten().num_files()
 
     def flatten(self) -> FileTree:
-        """Apply all layers bottom-up into a single root filesystem."""
-        tree = FileTree()
-        for layer in self.layers:
-            layer.apply_to(tree)
-        return tree
+        """Apply all layers bottom-up into a single root filesystem.
+
+        The first call materializes a master tree and memoizes it; every
+        call returns an O(1) copy-on-write clone, so callers may mutate
+        their copy freely while repeated flattens of the same image stay
+        free.  (Clones are distinct trees: diffing one against another
+        keeps the historical "bulk files always differ" semantics of
+        :func:`repro.oci.layer.diff_trees`.)
+        """
+        if self._flat is None:
+            tree = FileTree()
+            for layer in self.layers:
+                layer.apply_to(tree)
+            self._flat = tree
+        else:
+            counters = _profile.counters
+            if counters.enabled:
+                counters.flatten_cache_hits += 1
+        return self._flat.clone()
 
     def __repr__(self) -> str:
         return f"<OCIImage {self.digest[:19]} layers={len(self.layers)}>"

@@ -23,6 +23,10 @@ class Layer:
 
     def __init__(self, tree: FileTree, created_by: str = ""):
         self.tree = tree
+        # Layers are the unit of content-addressed sharing: freeze the
+        # tree so applying the layer aliases its nodes instead of copying
+        # them, and nothing can mutate layer content in place afterwards.
+        tree.root._freeze()
         self.created_by = created_by
         self.uncompressed_size = tree.total_size()
         self.compressed_size = int(self.uncompressed_size * LAYER_COMPRESSION_RATIO)
@@ -74,13 +78,25 @@ def diff_trees(base: FileTree, new: FileTree, created_by: str = "") -> Layer:
 
     new_nodes: dict[str, Node] = dict(new.walk())
     base_nodes: dict[str, Node] = dict(base.walk())
+    same_tree = new is base
+
+    def _file_unchanged(old: FileNode, node: FileNode) -> bool:
+        if old.data is not None or node.data is not None:
+            return old.digest() == node.digest()
+        # Size-only (bulk) files hash their inode identity.  A deep clone
+        # used to reallocate inodes, so bulk files in two distinct trees
+        # *never* compared equal — committed layer sizes and build costs
+        # depend on that inflation.  CoW clones now share the node object,
+        # so preserve the historical semantics explicitly: a bulk file
+        # only counts as unchanged when diffing a tree against itself.
+        return same_tree and old is node
 
     for path, node in new_nodes.items():
         if path == "/":
             continue
         old = base_nodes.get(path)
         if isinstance(node, FileNode):
-            if not isinstance(old, FileNode) or old.digest() != node.digest() or old.mode != node.mode:
+            if not isinstance(old, FileNode) or not _file_unchanged(old, node) or old.mode != node.mode:
                 delta.create_file(
                     path, data=node.data, size=None if node.data is not None else node.size,
                     uid=node.uid, gid=node.gid, mode=node.mode,

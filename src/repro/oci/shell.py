@@ -97,7 +97,7 @@ def _run_one(tree: FileTree, command: str, uid: int) -> None:
     elif cmd == "chmod":
         if len(args) != 2:
             raise ShellError("chmod: expected MODE PATH")
-        tree.get(args[1]).chmod(int(args[0], 8))
+        tree.chmod(args[1], int(args[0], 8))
     elif cmd == "ln":
         if len(args) != 3 or args[0] != "-s":
             raise ShellError("ln: only 'ln -s TARGET PATH' is supported")

@@ -20,7 +20,16 @@ wall-clock noise:
   :class:`~repro.sim.signal.Signal` instead of scheduling a poll;
 - ``wakeups_fired``: waiters woken by ``Signal.fire()``;
 - ``poll_ticks_skipped``: idle polling ticks that event-driven parking
-  avoided scheduling (each one a heap push in the pre-tickless core).
+  avoided scheduling (each one a heap push in the pre-tickless core);
+- ``cow_clones``: :meth:`FileTree.clone` calls served by copy-on-write
+  structural sharing (aliasing the frozen root instead of deep-copying);
+- ``cow_copy_ups``: nodes shallow-copied to unshare a mutation spine —
+  the *total* tree work a mutation against a shared tree actually paid;
+- ``digest_cache_hits``: :meth:`FileNode.digest` calls answered from the
+  per-node memo instead of rehashing content;
+- ``flatten_cache_hits``: image flatten/convert requests served from a
+  content-addressed cache (each hit is one whole rootfs materialization
+  that used to be rebuilt layer by layer).
 
 Counters are global (aggregated across all :class:`Environment` instances)
 so a benchmark that builds many environments still gets one roll-up.
@@ -49,6 +58,10 @@ _FIELDS = (
     "parked_processes",
     "wakeups_fired",
     "poll_ticks_skipped",
+    "cow_clones",
+    "cow_copy_ups",
+    "digest_cache_hits",
+    "flatten_cache_hits",
 )
 
 

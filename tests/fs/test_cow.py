@@ -1,0 +1,264 @@
+"""Copy-on-write aliasing semantics of FileTree.
+
+clone() freezes the tree and aliases it; every mutating operation must
+copy up the touched spine so that no change ever leaks between a tree
+and its clones (in either direction), while reads — walk(), files(),
+aggregates — observe shared subtrees transparently.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fs import FileTree, FsError
+from repro.fs.inode import DirNode, FileNode, SymlinkNode, WhiteoutNode
+from repro.sim import profile
+
+
+def snapshot(tree):
+    """Walk listing with enough node state to detect any leak."""
+    out = []
+    for path, node in tree.walk():
+        entry = (path, node.kind, node.uid, node.gid, node.mode)
+        if isinstance(node, FileNode):
+            entry += (node.size, node.data)
+        elif isinstance(node, SymlinkNode):
+            entry += (node.target,)
+        out.append(entry)
+    return out
+
+
+def app_tree():
+    t = FileTree()
+    t.create_file("/app/bin/tool", size=4_000, mode=0o755)
+    t.create_file("/app/etc/conf", data=b"key=1")
+    t.create_file("/app/lib/libm.so", size=9_000)
+    t.symlink("/app/latest", "/app/bin/tool")
+    return t
+
+
+# -- clone-then-mutate isolation, both directions ---------------------------
+
+def test_mutating_clone_does_not_leak_into_original():
+    t = app_tree()
+    before = snapshot(t)
+    c = t.clone()
+    c.create_file("/app/etc/extra", data=b"new")
+    c.write("/app/etc/conf", b"key=2")
+    c.chmod("/app/bin/tool", 0o700)
+    c.chown("/app/lib/libm.so", 7, 7)
+    c.remove("/app/latest")
+    c.mkdir("/scratch", parents=True)
+    assert snapshot(t) == before
+
+
+def test_mutating_original_does_not_leak_into_clone():
+    t = app_tree()
+    c = t.clone()
+    before = snapshot(c)
+    t.write("/app/etc/conf", b"key=3")
+    t.remove("/app/lib/libm.so")
+    t.create_file("/app/bin/tool2", size=1)
+    t.chmod("/app/etc/conf", 0o600)
+    assert snapshot(c) == before
+
+
+def test_sibling_clones_are_mutually_isolated():
+    t = app_tree()
+    a, b = t.clone(), t.clone()
+    a.write("/app/etc/conf", b"a")
+    b.write("/app/etc/conf", b"b")
+    assert t.get("/app/etc/conf").data == b"key=1"
+    assert a.get("/app/etc/conf").data == b"a"
+    assert b.get("/app/etc/conf").data == b"b"
+
+
+def test_in_place_mutation_of_shared_node_raises():
+    t = app_tree()
+    t.clone()
+    node = t.get("/app/etc/conf")
+    with pytest.raises(FsError):
+        node.write(b"boom")
+    with pytest.raises(FsError):
+        node.chmod(0o600)
+    with pytest.raises(FsError):
+        node.chown(1, 1)
+    # ...while the tree-level ops still work (they copy up first)
+    t.write("/app/etc/conf", b"fine")
+    assert t.get("/app/etc/conf").data == b"fine"
+
+
+# -- whiteouts over shared subtrees -----------------------------------------
+
+def test_whiteout_over_shared_subtree():
+    t = app_tree()
+    c = t.clone()
+    c.whiteout("/app/lib/libm.so")
+    assert isinstance(c.get("/app/lib/libm.so", follow_symlinks=False), WhiteoutNode)
+    # the source still sees the real file
+    assert isinstance(t.get("/app/lib/libm.so"), FileNode)
+
+
+def test_merge_with_whiteouts_into_clone_leaves_source_intact():
+    base = app_tree()
+    c = base.clone()
+    upper = FileTree()
+    upper.whiteout("/app/etc/conf")
+    upper.create_file("/app/etc/conf2", data=b"v2")
+    c.merge_from(upper)
+    assert not c.exists("/app/etc/conf")
+    assert c.get("/app/etc/conf2").data == b"v2"
+    # neither the clone's source nor the merged layer changed
+    assert base.get("/app/etc/conf").data == b"key=1"
+    assert not base.exists("/app/etc/conf2")
+    assert upper.get("/app/etc/conf2").data == b"v2"
+
+
+# -- merge_from shares instead of copying (satellite regression) ------------
+
+def test_merge_from_shares_source_nodes():
+    dst = FileTree()
+    src = FileTree()
+    src.create_file("/opt/pkg/lib.so", size=5_000)
+    dst.merge_from(src)
+    assert dst.get("/opt/pkg/lib.so") is src.get("/opt/pkg/lib.so")
+
+
+def test_mutating_merged_into_tree_never_leaks_into_source_layer():
+    layer = FileTree()
+    layer.create_file("/opt/pkg/lib.so", size=5_000)
+    layer.create_file("/opt/pkg/conf", data=b"orig")
+    before = snapshot(layer)
+
+    merged = FileTree()
+    merged.create_file("/etc/os-release", data=b"base")
+    merged.merge_from(layer)
+    merged.write("/opt/pkg/conf", b"patched")
+    merged.chown("/opt/pkg/lib.so", 42, 42)
+    merged.remove("/opt/pkg/lib.so")
+    merged.create_file("/opt/pkg/new", size=1)
+
+    assert snapshot(layer) == before
+    assert layer.get("/opt/pkg/conf").data == b"orig"
+
+
+# -- reads over shared trees -------------------------------------------------
+
+def test_walk_and_aggregates_on_shared_trees():
+    t = app_tree()
+    c = t.clone()
+    assert snapshot(c) == snapshot(t)
+    assert c.num_files() == t.num_files() == 3
+    assert c.total_size() == t.total_size() == 4_000 + 5 + 9_000
+    # aggregates track divergence after CoW mutations
+    c.create_file("/app/etc/extra", size=100)
+    assert c.num_files() == 4 and t.num_files() == 3
+    assert c.total_size() == t.total_size() + 100
+
+
+def test_deep_clone_reallocates_nodes():
+    t = app_tree()
+    d = t.deep_clone()
+    assert snapshot(d) == snapshot(t)
+    a, b = t.get("/app/etc/conf"), d.get("/app/etc/conf")
+    assert a is not b and a.ino != b.ino
+    # deep clones allow in-place node mutation (nothing is shared)
+    b.write(b"independent")
+    assert t.get("/app/etc/conf").data == b"key=1"
+
+
+# -- property: CoW clone tracks a deep clone through random mutations --------
+
+PATHS = ["/a", "/b/x", "/b/y", "/c/d/e", "/c/f"]
+
+op_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["create", "write", "remove", "chmod", "chown", "mkdir", "whiteout"]),
+        st.sampled_from(PATHS),
+        st.binary(min_size=0, max_size=4),
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+def apply_op(tree, op, path, payload):
+    try:
+        if op == "create":
+            tree.create_file(path, data=payload)
+        elif op == "write":
+            tree.write(path, payload)
+        elif op == "remove":
+            tree.remove(path)
+        elif op == "chmod":
+            tree.chmod(path, 0o700)
+        elif op == "chown":
+            tree.chown(path, 5, 5)
+        elif op == "mkdir":
+            tree.mkdir(path, parents=True)
+        elif op == "whiteout":
+            tree.whiteout(path)
+    except FsError:
+        pass  # missing path / wrong node type: must fail identically on both
+
+
+@settings(max_examples=80, deadline=None)
+@given(op_strategy, op_strategy)
+def test_cow_clone_walks_like_deep_clone(setup_ops, mutate_ops):
+    base = FileTree()
+    for op, path, payload in setup_ops:
+        apply_op(base, op, path, payload)
+    baseline = snapshot(base)
+
+    cow = base.clone()
+    deep = base.deep_clone()
+    for op, path, payload in mutate_ops:
+        apply_op(cow, op, path, payload)
+        apply_op(deep, op, path, payload)
+
+    assert snapshot(cow) == snapshot(deep)
+    # and none of it leaked back into the source
+    assert snapshot(base) == baseline
+
+
+# -- digest memoization and profile counters ---------------------------------
+
+def test_digest_memo_invalidated_by_write_chmod_chown():
+    t = FileTree()
+    node = t.create_file("/f", data=b"v1")
+    d1 = node.digest()
+    assert node.digest() == d1  # memo hit, same value
+    node.write(b"v2")
+    assert node.digest() != d1
+    # chmod/chown do not feed the hash but must still drop the memo
+    d2 = node.digest()
+    node.chmod(0o755)
+    assert node.digest() == d2
+    node.chown(3, 3)
+    assert node.digest() == d2
+
+
+def test_bulk_digest_not_carried_across_copy_up():
+    t = FileTree()
+    t.create_file("/lib.so", size=500)
+    c = t.clone()
+    old = t.get("/lib.so")
+    new = c.chown("/lib.so", 9, 9)
+    # the copy-up allocated a fresh inode; identity-keyed bulk digests
+    # must not be shared between the two nodes
+    assert old.digest() != new.digest()
+
+
+def test_cow_profile_counters():
+    prof = profile.enable()
+    try:
+        t = app_tree()
+        c = t.clone()
+        c.write("/app/etc/conf", b"key=9")
+        n = t.get("/app/etc/conf")
+        n.digest()
+        n.digest()
+        assert prof.cow_clones == 1
+        assert prof.cow_copy_ups > 0  # spine: root, app, etc, conf
+        assert prof.digest_cache_hits >= 1
+    finally:
+        profile.disable()

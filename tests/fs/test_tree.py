@@ -96,13 +96,14 @@ def test_aggregate_stats():
     assert t.total_size() == 300
 
 
-def test_clone_is_deep():
+def test_clone_isolates_mutations():
     t = FileTree()
     t.create_file("/data/file", data=b"orig")
     c = t.clone()
-    node = c.get("/data/file")
-    assert isinstance(node, FileNode)
-    node.write(b"changed")
+    # clones share frozen nodes, so the write goes through the tree API
+    # (which copies up) rather than mutating the shared node in place
+    node = c.write("/data/file", b"changed")
+    assert isinstance(node, FileNode) and node.data == b"changed"
     orig = t.get("/data/file")
     assert isinstance(orig, FileNode) and orig.data == b"orig"
 
