@@ -6,6 +6,8 @@
     python -m repro decide hardened    # decision document for a site profile
     python -m repro scenarios          # run the §6.6 comparison
     python -m repro startup            # cross-engine startup comparison
+    python -m repro trace kubelet_in_allocation --out trace.json
+                                       # Perfetto timeline of one scenario
 """
 
 from __future__ import annotations
@@ -53,12 +55,20 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.scenarios import evaluate_all
     from repro.scenarios.evaluate import summary_rows
 
+    if args.metrics:
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.enable()
     metrics = evaluate_all(n_nodes=args.nodes, n_pods=args.pods)
     print(render_table(summary_rows(metrics),
                        f"§6.6 comparison ({args.pods} pods on {args.nodes} nodes)"))
     for m in metrics:
         for note in m.notes:
             print(f"  [{m.scenario}] {note}")
+    if args.metrics:
+        print()
+        print(obs_metrics.registry.render_table())
+        obs_metrics.disable()
     return 0
 
 
@@ -69,6 +79,10 @@ def _cmd_startup(args: argparse.Namespace) -> int:
     from repro.oci.catalog import BaseImageCatalog
     from repro.registry import OCIDistributionRegistry
 
+    if args.metrics:
+        from repro.obs import metrics as obs_metrics
+
+        obs_metrics.enable()
     registry = OCIDistributionRegistry(name="cli")
     image = Builder(BaseImageCatalog()).build_dockerfile(
         "FROM ubuntu:22.04\nRUN write /opt/app 50000000\nENTRYPOINT /opt/app"
@@ -88,6 +102,60 @@ def _cmd_startup(args: argparse.Namespace) -> int:
         warm = engine.run(engine.pull("cli/app", "v1", registry), user)
         print(f"{engine.info.name:>15} {cold.startup_seconds:8.3f}s "
               f"{warm.startup_seconds:8.3f}s  {cold.container.rootfs.driver.name}")
+    if args.metrics:
+        print()
+        print(obs_metrics.registry.render_table())
+        obs_metrics.disable()
+    return 0
+
+
+def _scenario_classes() -> dict[str, type]:
+    """Scenario lookup accepting both hyphen and underscore spellings."""
+    from repro.scenarios.evaluate import ALL_SCENARIOS
+
+    table: dict[str, type] = {}
+    for cls in ALL_SCENARIOS:
+        table[cls.name] = cls
+        table[cls.name.replace("-", "_")] = cls
+    return table
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import validate_chrome_trace
+    from repro.scenarios.evaluate import run_scenario
+    import json as _json
+
+    scenarios = _scenario_classes()
+    scenario_cls = scenarios.get(args.scenario)
+    if scenario_cls is None:
+        names = ", ".join(sorted(c.name for c in set(scenarios.values())))
+        print(f"unknown scenario {args.scenario!r}; one of: {names}", file=sys.stderr)
+        return 2
+    obs_trace.enable(wall_clock=args.wall)
+    obs_metrics.enable()
+    try:
+        metrics = run_scenario(scenario_cls, n_nodes=args.nodes, n_pods=args.pods)
+        doc = obs_trace.export_json(args.out, indent=2 if args.pretty else None)
+    finally:
+        obs_metrics.disable()
+        obs_trace.disable()
+    problems = validate_chrome_trace(_json.loads(doc))
+    tracer = obs_trace.tracer
+    cats = ", ".join(sorted(tracer.categories()))
+    print(f"{args.out}: {len(tracer)} span records across "
+          f"{len(tracer.categories())} subsystems ({cats})")
+    print(f"  scenario={metrics.scenario} pods={metrics.pods_completed}/"
+          f"{metrics.pods_submitted} provision={metrics.provision_time:.1f}s")
+    if args.metrics:
+        print()
+        print(obs_metrics.registry.render_table())
+    if problems:
+        for p in problems:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        return 1
+    print("  open in https://ui.perfetto.dev (or chrome://tracing)")
     return 0
 
 
@@ -110,10 +178,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen = sub.add_parser("scenarios", help="run the §6.6 scenario comparison")
     p_scen.add_argument("--nodes", type=int, default=4)
     p_scen.add_argument("--pods", type=int, default=8)
+    p_scen.add_argument("--metrics", action="store_true",
+                        help="print the labeled metrics registry afterwards")
     p_scen.set_defaults(fn=_cmd_scenarios)
 
     p_start = sub.add_parser("startup", help="cross-engine startup comparison")
+    p_start.add_argument("--metrics", action="store_true",
+                         help="print the labeled metrics registry afterwards")
     p_start.set_defaults(fn=_cmd_startup)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one scenario and export a Perfetto timeline"
+    )
+    p_trace.add_argument("scenario", metavar="scenario",
+                         help="scenario name (hyphens or underscores)")
+    p_trace.add_argument("--out", default="trace.json",
+                         help="output path for the Chrome trace JSON")
+    p_trace.add_argument("--nodes", type=int, default=4)
+    p_trace.add_argument("--pods", type=int, default=8)
+    p_trace.add_argument("--wall", action="store_true",
+                         help="also record wall-clock span durations "
+                              "(non-deterministic args; off by default)")
+    p_trace.add_argument("--pretty", action="store_true",
+                         help="indent the JSON output")
+    p_trace.add_argument("--metrics", action="store_true",
+                         help="print the labeled metrics registry afterwards")
+    p_trace.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -8,6 +8,8 @@ import typing as _t
 
 from repro.cluster.node import HostNode
 from repro.fs.drivers import MountedView
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.kernel.process import SimProcess
 from repro.oci.bundle import Bundle, NamespaceRequest, RuntimeSpec
 from repro.oci.hooks import HookRegistry
@@ -154,6 +156,13 @@ class ContainerEngine:
         )
         for layer in image.layers:
             self.layer_cache[layer.digest] = layer
+        if _trace.tracer.enabled:
+            _trace.complete(
+                "engine.pull", cost, engine=self.info.name, ref=f"{repository}:{tag}"
+            )
+        if _metrics.registry.enabled:
+            _metrics.inc("engine.pulls", engine=self.info.name)
+            _metrics.observe("engine.pull_seconds", cost, engine=self.info.name)
         return PulledImage(source_ref=f"{repository}:{tag}", image=image, pull_cost=cost)
 
     # ------------------------------------------------------------------- cache
@@ -170,6 +179,8 @@ class ContainerEngine:
         if owner_uid != user_uid and not self.capabilities.native_sharing and owner_uid != 0:
             return None
         self.stats["cache_hits"] += 1
+        if _metrics.registry.enabled:
+            _metrics.inc("engine.cache_hits", engine=self.info.name)
         return converted
 
     def _cache_store(self, digest: str, converted: object, owner_uid: int) -> None:
@@ -189,6 +200,44 @@ class ContainerEngine:
         """Create and start a container (the engine's ``run`` verb)."""
         if not isinstance(pulled, PulledImage):
             pulled = PulledImage(source_ref="local", image=pulled)
+        tracer = _trace.tracer
+        if not tracer.enabled and not _metrics.registry.enabled:
+            return self._run(pulled, user, command, devices, extra_hooks, cgroup_path)
+        with tracer.span("engine.run", engine=self.info.name, ref=pulled.source_ref):
+            start = tracer.now()
+            result = self._run(pulled, user, command, devices, extra_hooks, cgroup_path)
+            if tracer.enabled:
+                # Phase breakdown: the analytic timing dict replayed as
+                # sequential slices from the span start (pull → convert →
+                # mount → monitor → runtime), so Perfetto shows where the
+                # startup's virtual time goes.
+                at = start
+                for phase, cost in result.timings.items():
+                    if cost:
+                        tracer.complete_at(
+                            f"engine.phase.{phase}", at, cost, engine=self.info.name
+                        )
+                        at += cost
+        if _metrics.registry.enabled:
+            _metrics.inc("engine.runs", engine=self.info.name)
+            _metrics.observe(
+                "engine.startup_seconds", result.startup_seconds, engine=self.info.name
+            )
+            for phase, cost in result.timings.items():
+                _metrics.inc(
+                    "engine.phase_seconds", cost, engine=self.info.name, phase=phase
+                )
+        return result
+
+    def _run(
+        self,
+        pulled: PulledImage,
+        user: SimProcess,
+        command: tuple[str, ...] | None = None,
+        devices: tuple[str, ...] = (),
+        extra_hooks: HookRegistry | None = None,
+        cgroup_path: str | None = None,
+    ) -> RunResult:
         self.stats["runs"] += 1
         result = RunResult(container=None, engine_name=self.info.name)  # type: ignore[arg-type]
         result.timings["pull"] = pulled.pull_cost

@@ -19,6 +19,8 @@ import typing as _t
 from repro.fs.inode import DirNode, FileNode
 from repro.fs.perf import IOCostModel, PROFILES
 from repro.fs.tree import FileTree, FsError
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Environment, Resource
 
 
@@ -88,7 +90,17 @@ class StorageBackend:
         total, n_files, n_bytes = entry
         self.stats["opens"] += n_files
         self.stats["bytes_read"] += n_bytes
+        if _trace.tracer.enabled:
+            _trace.complete(
+                "fs.load_tree", total, backend=self.name, files=n_files, bytes=n_bytes
+            )
+        if _metrics.registry.enabled:
+            self._io_metrics(n_files, n_bytes)
         return total
+
+    def _io_metrics(self, n_files: int, n_bytes: int) -> None:
+        _metrics.inc("fs.io.files", n_files, backend=self.name, op="read")
+        _metrics.inc("fs.io.bytes", n_bytes, backend=self.name, op="read")
 
     # -- process-style API ------------------------------------------------------
     def _require_env(self) -> Environment:
@@ -131,10 +143,14 @@ class StorageBackend:
                     n_bytes += node.size
                 batches.append((cost, n_files, n_bytes))
             cache[key] = batches
-        for cost, n_files, n_bytes in batches:
-            self.stats["opens"] += n_files
-            self.stats["bytes_read"] += n_bytes
-            yield env.timeout(cost)
+        with _trace.span("fs.load_tree", backend=self.name, top=top):
+            for cost, n_files, n_bytes in batches:
+                self.stats["opens"] += n_files
+                self.stats["bytes_read"] += n_bytes
+                if _metrics.registry.enabled:
+                    self._io_metrics(n_files, n_bytes)
+                    _metrics.observe("fs.io.latency", cost, backend=self.name, op="read")
+                yield env.timeout(cost)
         return self.tree.total_size(top)
 
 
@@ -189,8 +205,12 @@ class SharedFS(StorageBackend):
         depth = max(1, len([p for p in path.split("/") if p]))
         self.tree.get(path)
         self.stats["opens"] += 1
+        queued_at = env.now
         req = self.mds.request()
         yield req
+        if _metrics.registry.enabled:
+            _metrics.inc("fs.mds.rpcs", depth, backend=self.name)
+            _metrics.observe("fs.mds.wait", env.now - queued_at, backend=self.name)
         yield env.timeout(self.cost_model.open_cost() * depth)
         self.mds.release(req)
         return path
@@ -258,13 +278,20 @@ class SharedFS(StorageBackend):
                 batches.append((meta, read, n_files, n_bytes))
             cache[key] = batches
         total = 0
-        for meta, read, n_files, n_bytes in batches:
-            self.stats["opens"] += n_files
-            self.stats["bytes_read"] += n_bytes
-            total += n_bytes
-            req = self.mds.request()
-            yield req
-            yield env.timeout(meta)
-            self.mds.release(req)
-            yield env.timeout(read)
+        with _trace.span("fs.load_tree", backend=self.name, top=top):
+            for meta, read, n_files, n_bytes in batches:
+                self.stats["opens"] += n_files
+                self.stats["bytes_read"] += n_bytes
+                total += n_bytes
+                queued_at = env.now
+                req = self.mds.request()
+                yield req
+                if _metrics.registry.enabled:
+                    self._io_metrics(n_files, n_bytes)
+                    _metrics.inc("fs.mds.batches", backend=self.name)
+                    _metrics.observe("fs.mds.wait", env.now - queued_at, backend=self.name)
+                with _trace.tracer.span("fs.mds.batch", backend=self.name, files=n_files):
+                    yield env.timeout(meta)
+                self.mds.release(req)
+                yield env.timeout(read)
         return total

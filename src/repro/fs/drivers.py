@@ -40,6 +40,8 @@ from repro.fs.perf import (
 )
 from repro.fs.tree import FileTree, FsError
 from repro.fs.images import SquashImage
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import profile as _profile
 
 
@@ -110,6 +112,13 @@ class MountedView:
         self.upper = upper if upper is not None else (FileTree() if writable else None)
         self.source_image = source_image
         self.stats = {"opens": 0, "bytes_read": 0, "bytes_written": 0, "copy_ups": 0}
+        if _trace.tracer.enabled:
+            _trace.tracer.instant(
+                "fs.mount", driver=driver.name, layers=len(self.layers),
+                writable=writable,
+            )
+        if _metrics.registry.enabled:
+            _metrics.inc("fs.mounts", driver=driver.name)
 
     # -- union lookup --------------------------------------------------------
     def _all_trees_top_down(self) -> list[FileTree]:
@@ -192,8 +201,14 @@ class MountedView:
         self.stats["bytes_read"] += node.size
         if random:
             n_ops = max(1, node.size // 4096)
-            return self.cost_model.random_read_cost(n_ops), node.size
-        return self.cost_model.sequential_read_cost(node.size), node.size
+            cost = self.cost_model.random_read_cost(n_ops)
+        else:
+            cost = self.cost_model.sequential_read_cost(node.size)
+        if _metrics.registry.enabled:
+            op = "randread" if random else "read"
+            _metrics.inc("fs.io.bytes", node.size, driver=self.driver.name, op=op)
+            _metrics.observe("fs.io.latency", cost, driver=self.driver.name, op=op)
+        return cost, node.size
 
     def write(self, path: str, data: bytes | None = None, size: int | None = None) -> float:
         if not self.writable or self.upper is None:
@@ -215,7 +230,11 @@ class MountedView:
         n = len(data) if data is not None else int(size or 0)
         self.upper.create_file(path, data=data, size=size)
         self.stats["bytes_written"] += n
-        return cost + self.cost_model.write_cost(n)
+        cost += self.cost_model.write_cost(n)
+        if _metrics.registry.enabled:
+            _metrics.inc("fs.io.bytes", n, driver=self.driver.name, op="write")
+            _metrics.observe("fs.io.latency", cost, driver=self.driver.name, op="write")
+        return cost
 
     def remove(self, path: str) -> None:
         if not self.writable or self.upper is None:
@@ -258,6 +277,14 @@ class MountedView:
             total, n_files, n_bytes = entry
             self.stats["opens"] += n_files
             self.stats["bytes_read"] += n_bytes
+            if _trace.tracer.enabled:
+                _trace.complete(
+                    "fs.load_all", total, driver=self.driver.name,
+                    files=n_files, bytes=n_bytes,
+                )
+            if _metrics.registry.enabled:
+                _metrics.inc("fs.io.files", n_files, driver=self.driver.name, op="read")
+                _metrics.inc("fs.io.bytes", n_bytes, driver=self.driver.name, op="read")
             return total
         seen: set[str] = set()
         for tree in self._all_trees_top_down():
@@ -268,6 +295,10 @@ class MountedView:
                 total += self.open(path)
                 cost, _ = self.read(path)
                 total += cost
+        if _trace.tracer.enabled:
+            _trace.complete(
+                "fs.load_all", total, driver=self.driver.name, files=len(seen)
+            )
         return total
 
     def num_files(self) -> int:

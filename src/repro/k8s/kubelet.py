@@ -22,6 +22,8 @@ from repro.k8s.objects import (
     ResourceRequests,
 )
 from repro.kernel.process import SimProcess
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Environment, Interrupt, Signal
 from repro.sim.signal import count_skipped_ticks, next_tick
 
@@ -158,12 +160,15 @@ class Kubelet:
                     else:
                         count_skipped_ticks(skipped)
                 self.stats["sync_loops"] += 1
+                if _metrics.registry.enabled:
+                    _metrics.inc("k8s.kubelet.sync_loops", node=self.node_name)
                 yield from self._sync()
                 if self.env.now - last_heartbeat >= self.heartbeat_interval:
                     node.condition.last_heartbeat = self.env.now
                     yield self._rpc()
                     self.api.update("Node", node)
                     last_heartbeat = self.env.now
+                    _trace.tracer.instant("k8s.kubelet.heartbeat", node=self.node_name)
         except Interrupt:
             pass
         self.api.unwatch("Pod", watch_cb)
@@ -201,21 +206,30 @@ class Kubelet:
         self._active_pods[pod.metadata.uid] = pod
         results = []
         user = self.user_proc or self.cri.engine.kernel.init
-        for cspec in pod.spec.containers:
-            pulled = self.cri.pull_image(cspec.image, now=self.env.now)
-            yield self.env.timeout(pulled.pull_cost)
-            cgroup = (
-                f"{self.cgroup_path}/pod-{pod.metadata.uid}" if self.cgroup_path else None
-            )
-            result = self.cri.run_container(pulled, user, command=cspec.command, cgroup_path=cgroup)
-            yield self.env.timeout(result.startup_seconds - pulled.pull_cost)
-            results.append(result)
-        pod.container_results = results
-        pod.phase = PodPhase.RUNNING
-        pod.start_time = self.env.now
-        yield self._rpc()
+        started_at = self.env.now
+        with _trace.span(
+            "k8s.pod.start", pod=pod.metadata.name, node=self.node_name
+        ):
+            for cspec in pod.spec.containers:
+                pulled = self.cri.pull_image(cspec.image, now=self.env.now)
+                yield self.env.timeout(pulled.pull_cost)
+                cgroup = (
+                    f"{self.cgroup_path}/pod-{pod.metadata.uid}" if self.cgroup_path else None
+                )
+                result = self.cri.run_container(pulled, user, command=cspec.command, cgroup_path=cgroup)
+                yield self.env.timeout(result.startup_seconds - pulled.pull_cost)
+                results.append(result)
+            pod.container_results = results
+            pod.phase = PodPhase.RUNNING
+            pod.start_time = self.env.now
+            yield self._rpc()
         self.api.update("Pod", pod)
         self.stats["pods_started"] += 1
+        if _metrics.registry.enabled:
+            _metrics.inc("k8s.pods_started", node=self.node_name)
+            _metrics.observe(
+                "k8s.pod.start_seconds", self.env.now - started_at, node=self.node_name
+            )
         if pod.spec.duration is not None:
             self.env.process(self._finish_pod_later(pod, results), name=f"pod-{pod.metadata.name}")
 
@@ -232,3 +246,8 @@ class Kubelet:
         self.api.update("Pod", pod)
         self.stats["pods_finished"] += 1
         self._active_pods.pop(pod.metadata.uid, None)
+        _trace.tracer.instant(
+            "k8s.pod.finished", pod=pod.metadata.name, node=self.node_name
+        )
+        if _metrics.registry.enabled:
+            _metrics.inc("k8s.pods_finished", node=self.node_name)

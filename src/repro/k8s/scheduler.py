@@ -6,6 +6,8 @@ import typing as _t
 
 from repro.k8s.apiserver import APIServer, WatchEvent, WatchEventType
 from repro.k8s.objects import K8sNode, Pod, PodPhase
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Environment, Signal
 
 
@@ -45,12 +47,15 @@ class K8sScheduler:
     # -- one pass ------------------------------------------------------------------
     def _schedule_pass(self) -> None:
         nodes = self.api.nodes()
+        bound = 0
         for pod in self.api.pods():
             if pod.bound or pod.phase is not PodPhase.PENDING:
                 continue
             target = self._pick_node(pod, nodes)
             if target is None:
                 self.stats["unschedulable_events"] += 1
+                if _metrics.registry.enabled:
+                    _metrics.inc("k8s.scheduler.unschedulable")
                 continue
             req = pod.spec.total_requests()
             target.claim(req)
@@ -58,6 +63,22 @@ class K8sScheduler:
             self.api.update("Pod", pod)
             self.api.update("Node", target)
             self.stats["scheduled"] += 1
+            bound += 1
+            _trace.tracer.instant(
+                "k8s.bind", pod=pod.metadata.name, node=target.metadata.name
+            )
+            if _metrics.registry.enabled:
+                _metrics.inc("k8s.scheduler.binds", node=target.metadata.name)
+        if _trace.tracer.enabled:
+            # The pass's think time elapsed just before this call (the
+            # loop sleeps pass_latency, then decides) — replay it as one
+            # slice so binds sit at the slice's end on the timeline.
+            _trace.tracer.complete_at(
+                "k8s.schedule_pass",
+                self.env.now - self.pass_latency,
+                self.pass_latency,
+                bound=bound,
+            )
 
     def _pick_node(self, pod: Pod, nodes: list[K8sNode]) -> K8sNode | None:
         req = pod.spec.total_requests()

@@ -1,0 +1,48 @@
+"""repro.obs — always-available, off-by-default observability.
+
+Two cooperating instruments over the whole stack:
+
+- :mod:`repro.obs.trace` — a virtual-time **span tracer** whose output
+  loads directly into Perfetto/``chrome://tracing`` (engine startup
+  phases, filesystem IO bursts, scheduler passes, registry transfers,
+  one thread row per simulation process);
+- :mod:`repro.obs.metrics` — a **labeled metrics registry** (counters,
+  gauges, fixed-bucket histograms) that subsumes the flat
+  :mod:`repro.sim.profile` counter block behind a compatibility bridge.
+
+Both are zero-cost while disabled — every instrumentation point in the
+simulator pays one predicate check — and fully deterministic when
+enabled: timestamps and values are virtual-time quantities, so repeated
+runs export byte-identical artifacts.
+
+Quick use::
+
+    from repro.obs import trace, metrics
+
+    trace.enable()
+    metrics.enable()
+    ...  # run a scenario / engine sweep
+    trace.export_json("trace.json")       # open in https://ui.perfetto.dev
+    print(metrics.registry.render_table())
+
+or, from the command line::
+
+    python -m repro trace kubelet_in_allocation --out trace.json
+    python -m repro scenarios --metrics
+"""
+
+from repro.obs import metrics, trace
+from repro.obs.export import to_chrome_json, validate_chrome_trace
+from repro.obs.metrics import MetricsRegistry, registry
+from repro.obs.trace import Tracer, tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Tracer",
+    "metrics",
+    "registry",
+    "to_chrome_json",
+    "trace",
+    "tracer",
+    "validate_chrome_trace",
+]

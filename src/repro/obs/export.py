@@ -1,0 +1,171 @@
+"""Chrome/Perfetto trace-event JSON export and validation.
+
+The exporter emits the JSON Object Format of the Trace Event spec (the
+format ``chrome://tracing`` and https://ui.perfetto.dev load directly):
+``{"traceEvents": [...], "displayTimeUnit": "ms", ...}``.  Virtual-time
+seconds become microsecond ``ts`` values; events are sorted by ``ts``
+with record order as the tie-break, so per-thread ``B``/``E`` pairs keep
+their stack discipline and the output is deterministic — the same
+simulation exports byte-identical JSON every run.
+
+:func:`validate_chrome_trace` is the well-formedness check CI runs on
+the smoke trace: required keys on every event, globally sorted ``ts``,
+and balanced, properly nested ``B``/``E`` pairs per ``(pid, tid)``.
+"""
+
+from __future__ import annotations
+
+import json
+import typing as _t
+
+if _t.TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.trace import Tracer
+
+#: single simulated process id used for all events
+PID = 1
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _category(name: str) -> str:
+    """Subsystem category: the event-name prefix before the first dot."""
+    return name.split(".", 1)[0]
+
+
+def to_events(tracer: "Tracer") -> list[dict]:
+    """The tracer's records as Chrome trace-event dicts (metadata first)."""
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID,
+            "tid": 0,
+            "ts": 0.0,
+            "args": {"name": "repro-sim"},
+        }
+    ]
+    used_tids = sorted({tid for _ph, _name, _ts, tid, _args, _dur in tracer.events})
+    for tid in used_tids:
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": PID,
+                "tid": tid,
+                "ts": 0.0,
+                "args": {"name": tracer.thread_name(tid)},
+            }
+        )
+    # Stable sort: virtual time first, record order as tie-break, so
+    # same-timestamp events keep their causal (execution) order.
+    ordered = sorted(
+        enumerate(tracer.events), key=lambda pair: (pair[1][2], pair[0])
+    )
+    for _seq, (ph, name, ts, tid, args, dur) in ordered:
+        event: dict = {
+            "ph": ph,
+            "name": name,
+            "cat": _category(name),
+            "ts": ts * 1e6,
+            "pid": PID,
+            "tid": tid,
+        }
+        if dur is not None:
+            event["dur"] = dur * 1e6
+        if ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def to_chrome_json(tracer: "Tracer", indent: int | None = None) -> str:
+    """Serialize the tracer as a Chrome trace JSON document."""
+    doc = {
+        "traceEvents": to_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs",
+            "clock": "virtual",
+            "categories": sorted(tracer.categories()),
+        },
+    }
+    return json.dumps(doc, sort_keys=True, indent=indent) + "\n"
+
+
+def validate_chrome_trace(doc: "str | dict") -> list[str]:
+    """Well-formedness problems in a Chrome trace document (empty = OK).
+
+    Checks the properties the rest of the stack relies on: the
+    ``traceEvents`` list, required keys per event, globally
+    non-decreasing ``ts``, and per-``(pid, tid)`` ``B``/``E`` balance
+    with stack discipline (an ``E`` must match the innermost open ``B``).
+    """
+    problems: list[str] = []
+    if isinstance(doc, str):
+        try:
+            doc = json.loads(doc)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["document must be an object with a 'traceEvents' list"]
+    events = doc["traceEvents"]
+    last_ts: float | None = None
+    stacks: dict[tuple, list[tuple[str, float]]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [key for key in _REQUIRED_KEYS if key not in event]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            problems.append(f"event {i}: non-numeric ts {ts!r}")
+            continue
+        if event["ph"] != "M":  # metadata is pinned at ts 0, skip ordering
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"event {i}: ts {ts} < previous {last_ts} (unsorted)"
+                )
+            last_ts = ts
+        thread = (event["pid"], event["tid"])
+        if event["ph"] == "B":
+            stacks.setdefault(thread, []).append((event["name"], ts))
+        elif event["ph"] == "E":
+            stack = stacks.setdefault(thread, [])
+            if not stack:
+                problems.append(
+                    f"event {i}: E {event['name']!r} on {thread} with no open B"
+                )
+                continue
+            open_name, open_ts = stack.pop()
+            if open_name != event["name"]:
+                problems.append(
+                    f"event {i}: E {event['name']!r} does not match open "
+                    f"B {open_name!r} on {thread}"
+                )
+            if ts < open_ts:
+                problems.append(
+                    f"event {i}: E at ts {ts} before its B at {open_ts}"
+                )
+        elif event["ph"] == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: X without non-negative dur")
+    for thread, stack in sorted(stacks.items()):
+        if stack:
+            names = [name for name, _ts in stack]
+            problems.append(f"unclosed B events on {thread}: {names}")
+    return problems
+
+
+def validate_file(path: str) -> int:
+    """Validate a trace file; print problems; return a process exit code."""
+    with open(path) as fh:
+        problems = validate_chrome_trace(fh.read())
+    for problem in problems:
+        print(f"trace: {problem}")
+    return 1 if problems else 0

@@ -1,0 +1,245 @@
+"""Labeled metrics: counters, gauges, fixed-bucket histograms.
+
+The registry generalizes the flat :mod:`repro.sim.profile` counter block
+to *labeled* series — ``fs.io.latency{driver="squashfuse", op="read"}``
+instead of one global integer — while keeping the same operating rules:
+
+- **off by default, zero-cost when disabled**: every mutator starts with
+  one predicate check against :attr:`MetricsRegistry.enabled`; hot call
+  sites additionally guard with the same check before building label
+  dicts;
+- **global**: one process-wide registry aggregates across environments,
+  nodes, and engines, so a sweep that builds many of each still gets one
+  roll-up;
+- **deterministic**: values are pure functions of simulated behaviour
+  (virtual-time costs, counts, bytes) — snapshots of the same run are
+  identical.
+
+The old ``repro.sim.profile`` counters stay the mechanism of record for
+the per-event simulator hot path (they are plain attribute increments —
+a dict-keyed labeled counter would measurably slow ``step()``), and are
+**subsumed behind a compatibility bridge**: :meth:`snapshot` and
+:meth:`render_table` fold them in as ``sim.<counter>`` series, and
+:func:`enable`/:func:`disable` forward to ``profile.enable``/
+``profile.disable`` (nesting-safely) so one switch arms the whole stack.
+
+Histograms use *fixed* bucket boundaries chosen at first observation (or
+passed explicitly), so merged snapshots are always bucket-compatible.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+#: default latency buckets (seconds) — spans sub-100µs metadata ops to
+#: multi-minute transfers; +inf is implicit
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+_SeriesKey = tuple[str, _LabelKey]
+
+
+def _label_key(labels: dict[str, object]) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_series(name: str, labels: _LabelKey) -> str:
+    """``name{k=v,...}`` — the conventional exposition format."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Histogram:
+    """Fixed-bucket histogram: cumulative-style bucket counts + sum."""
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        #: counts[i] observations <= buckets[i]; counts[-1] is +inf
+        self.counts = [0] * (len(buckets) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """The process-wide labeled metrics store."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._counters: dict[_SeriesKey, float] = {}
+        self._gauges: dict[_SeriesKey, float] = {}
+        self._histograms: dict[_SeriesKey, Histogram] = {}
+        #: metric name -> fixed bucket bounds (set at first observation)
+        self._hist_buckets: dict[str, tuple[float, ...]] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._hist_buckets.clear()
+
+    # -- mutators (all no-ops while disabled) --------------------------------
+    def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        if not self.enabled:
+            return
+        self._gauges[(name, _label_key(labels))] = float(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+        **labels: object,
+    ) -> None:
+        if not self.enabled:
+            return
+        key = (name, _label_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            bounds = self._hist_buckets.get(name)
+            if bounds is None:
+                bounds = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
+                self._hist_buckets[name] = bounds
+            hist = self._histograms[key] = Histogram(bounds)
+        hist.observe(value)
+
+    # -- readers (work regardless of enabled, for post-run reporting) --------
+    def get_counter(self, name: str, **labels: object) -> float:
+        return self._counters.get((name, _label_key(labels)), 0.0)
+
+    def get_gauge(self, name: str, **labels: object) -> float | None:
+        return self._gauges.get((name, _label_key(labels)))
+
+    def get_histogram(self, name: str, **labels: object) -> Histogram | None:
+        return self._histograms.get((name, _label_key(labels)))
+
+    def series(self, prefix: str = "") -> list[str]:
+        """Every recorded series name (formatted), optionally filtered."""
+        keys: list[_SeriesKey] = [
+            *self._counters, *self._gauges, *self._histograms
+        ]
+        out = [format_series(name, labels) for name, labels in keys]
+        return sorted(s for s in out if s.startswith(prefix))
+
+    def snapshot(self, include_sim: bool = True) -> dict[str, object]:
+        """A plain, JSON-ready dict of every series.
+
+        With ``include_sim`` the flat :mod:`repro.sim.profile` counters
+        are bridged in as ``sim.<name>`` counter series (the
+        compatibility shim over the pre-obs counter block).
+        """
+        out: dict[str, object] = {}
+        for (name, labels), value in sorted(self._counters.items()):
+            out[format_series(name, labels)] = value
+        for (name, labels), value in sorted(self._gauges.items()):
+            out[format_series(name, labels)] = value
+        for (name, labels), hist in sorted(self._histograms.items()):
+            out[format_series(name, labels)] = hist.snapshot()
+        if include_sim:
+            from repro.sim import profile as _profile
+
+            for cname, cvalue in _profile.counters.snapshot().items():
+                out[f"sim.{cname}"] = cvalue
+        return out
+
+    def render_table(self, include_sim: bool = True) -> str:
+        """Human-readable metrics table (the ``--metrics`` CLI output)."""
+        lines = [f"{'metric':<58} {'value':>14}", "-" * 73]
+        for series, value in self.snapshot(include_sim=include_sim).items():
+            if isinstance(value, dict):  # histogram
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                rendered = f"n={value['count']} mean={mean:.4g}"
+            elif isinstance(value, float) and not value.is_integer():
+                rendered = f"{value:.6g}"
+            else:
+                rendered = str(int(value))
+            lines.append(f"{series:<58} {rendered:>14}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<MetricsRegistry {'on' if self.enabled else 'off'} "
+            f"counters={len(self._counters)} gauges={len(self._gauges)} "
+            f"histograms={len(self._histograms)}>"
+        )
+
+
+#: The global registry every instrumentation point feeds.
+registry = MetricsRegistry()
+
+
+def enable(reset: bool = True, sim_counters: bool = True) -> MetricsRegistry:
+    """Arm the registry (and, by default, the sim-core profile counters
+    through their nesting-safe ``enable``)."""
+    if reset:
+        registry.reset()
+    registry.enabled = True
+    if sim_counters:
+        from repro.sim import profile as _profile
+
+        _profile.enable(reset=reset)
+    return registry
+
+
+def disable(sim_counters: bool = True) -> MetricsRegistry:
+    registry.enabled = False
+    if sim_counters:
+        from repro.sim import profile as _profile
+
+        _profile.disable()
+    return registry
+
+
+def reset() -> None:
+    registry.reset()
+
+
+def inc(name: str, value: float = 1.0, **labels: object) -> None:
+    registry.inc(name, value, **labels)
+
+
+def set_gauge(name: str, value: float, **labels: object) -> None:
+    registry.set_gauge(name, value, **labels)
+
+
+def observe(
+    name: str,
+    value: float,
+    buckets: tuple[float, ...] | None = None,
+    **labels: object,
+) -> None:
+    registry.observe(name, value, buckets=buckets, **labels)

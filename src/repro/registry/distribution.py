@@ -14,6 +14,8 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.oci.image import ImageConfig, Manifest, OCIImage
 from repro.oci.layer import Layer
 from repro.registry.auth import AuthService
@@ -162,6 +164,13 @@ class OCIDistributionRegistry:
         self._tags.setdefault(repository, {})[tag] = image.digest
         cost += self.transport.request_cost(1024)  # manifest PUT
         self.stats["pushes"] += 1
+        if _trace.tracer.enabled:
+            _trace.complete(
+                "registry.push", cost, registry=self.name, ref=f"{repository}:{tag}"
+            )
+        if _metrics.registry.enabled:
+            _metrics.inc("registry.pushes", registry=self.name)
+            _metrics.inc("registry.bytes", new_bytes, registry=self.name, op="push")
         return cost
 
     # -- pull ----------------------------------------------------------------------------
@@ -188,6 +197,7 @@ class OCIDistributionRegistry:
         manifest, config = self._manifests[digest]
         cost = self.transport.request_cost(2048)  # manifest GET
         layers: list[Layer] = []
+        transferred = 0
         for layer_digest in manifest.layer_digests:
             blob, store_cost = self.store.get(layer_digest)
             layer = blob.payload
@@ -195,7 +205,20 @@ class OCIDistributionRegistry:
             layers.append(layer)
             if layer_digest not in have_digests:
                 cost += store_cost + self.transport.request_cost(blob.size)
+                transferred += blob.size
         self.stats["pulls"] += 1
+        if _trace.tracer.enabled:
+            _trace.complete(
+                "registry.pull",
+                cost,
+                registry=self.name,
+                ref=f"{repository}:{tag}",
+                bytes=transferred,
+            )
+        if _metrics.registry.enabled:
+            _metrics.inc("registry.pulls", registry=self.name)
+            _metrics.inc("registry.bytes", transferred, registry=self.name, op="pull")
+            _metrics.observe("registry.pull_seconds", cost, registry=self.name)
         return OCIImage(config, layers), cost
 
     def delete_tag(self, repository: str, tag: str, token: str | None = None) -> None:

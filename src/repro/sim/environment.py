@@ -28,6 +28,7 @@ import typing as _t
 from collections import deque
 from heapq import heappop, heappush
 
+from repro.obs.trace import tracer as _tracer
 from repro.sim.events import Event, Interrupt, SimulationError, Timeout
 from repro.sim.profile import counters as _counters
 
@@ -72,6 +73,10 @@ class Environment:
         self._counter = itertools.count()
         self._active_process: Process | None = None
         self._profile = _counters
+        if _tracer.enabled:
+            # Adopt this environment's virtual clock and active-process
+            # tracking for span timestamps/thread rows (last env wins).
+            _tracer.attach(self)
 
     @property
     def now(self) -> float:

@@ -86,6 +86,17 @@ class SimCounters:
         """A plain-dict copy of the current counter values."""
         return {field: getattr(self, field) for field in _FIELDS}
 
+    def snapshot_delta(self, baseline: dict[str, int]) -> dict[str, int]:
+        """Per-field difference against an earlier :meth:`snapshot`.
+
+        This is the nesting-safe way to measure a sub-workload while
+        counting is already on (a benchmark harness inside a traced
+        scenario): take a snapshot, run, diff — no reset required.
+        Note ``peak_queue_depth`` is a high-water mark, so its delta is
+        only meaningful when the inner workload pushed a new peak.
+        """
+        return {field: getattr(self, field) - baseline.get(field, 0) for field in _FIELDS}
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(f"{f}={getattr(self, f)}" for f in _FIELDS)
         return f"SimCounters({body})"
@@ -94,16 +105,45 @@ class SimCounters:
 #: The global counter block every Environment feeds.
 counters = SimCounters()
 
+#: enable()/disable() nesting depth — counting stays on until the
+#: outermost enable is balanced by its disable.
+_depth = 0
+
 
 def enable(reset: bool = True) -> SimCounters:
-    """Start counting (resetting first by default); returns the block."""
-    if reset:
+    """Start counting; returns the block.
+
+    Re-entrancy-safe: calls nest.  Only the *outermost* ``enable`` may
+    reset the counters (``reset=True``, the default); a nested enable —
+    e.g. a benchmark harness running inside an already-profiled scenario
+    — keeps counting into the same block instead of silently clobbering
+    the outer caller's totals.  Use :meth:`SimCounters.snapshot_delta`
+    to measure the inner region.  Counting turns off only when every
+    ``enable`` has been balanced by a :func:`disable`.
+    """
+    global _depth
+    if _depth == 0 and reset:
         counters.reset()
+    _depth += 1
     counters.enabled = True
     return counters
 
 
 def disable() -> SimCounters:
-    """Stop counting; the accumulated values stay readable."""
-    counters.enabled = False
+    """Undo one :func:`enable`; counting stops at the outermost level.
+
+    Extra ``disable()`` calls (no matching enable) are no-ops, so a
+    cleanup-path ``disable`` cannot push the depth negative.  The
+    accumulated values stay readable either way.
+    """
+    global _depth
+    if _depth > 0:
+        _depth -= 1
+    if _depth == 0:
+        counters.enabled = False
     return counters
+
+
+def enable_depth() -> int:
+    """Current enable() nesting depth (0 == counting off)."""
+    return _depth

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import typing as _t
 
+from repro.obs import metrics as _metrics
 from repro.wlm.jobs import Job
 from repro.wlm.nodes import NodeState, WLMNode
 
@@ -61,6 +62,9 @@ class BackfillScheduler:
                     # Backfill: must finish before the reservation.
                     if now + job.spec.time_limit > blocked_at:
                         continue
+                    if _metrics.registry.enabled:
+                        # A start *behind* a blocked head is a backfill win.
+                        _metrics.inc("wlm.backfill.starts")
                 decisions.append((job, placement))
                 for n in placement:
                     n.allocate(job.job_id, job.spec.cores_per_node or n.total_cores)
@@ -68,6 +72,8 @@ class BackfillScheduler:
                 blocked_at = self._shadow_time(job, nodes, running, now)
                 if blocked_at is None:
                     blocked_at = float("inf")
+                if _metrics.registry.enabled:
+                    _metrics.inc("wlm.sched.head_blocked")
         # Undo the tentative allocations; the controller re-applies them.
         for job, placement in decisions:
             for n in placement:

@@ -15,6 +15,8 @@ import typing as _t
 from repro.cluster.node import HostNode
 from repro.kernel.cgroups import Controller
 from repro.kernel.process import SimProcess
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
 from repro.sim import Environment, Interrupt, Signal
 from repro.wlm.accounting import AccountingDB
 from repro.wlm.jobs import Job, JobSpec, JobState, JobStep
@@ -108,8 +110,23 @@ class SlurmController:
             decisions = self.scheduler.schedule(
                 self.queue, self.nodes, self.env.now, running=list(self.running.values())
             )
+            if _trace.tracer.enabled:
+                # The pass's think time elapsed just before the decision.
+                _trace.tracer.complete_at(
+                    "wlm.schedule_pass",
+                    self.env.now - self.sched_latency,
+                    self.sched_latency,
+                    queued=len(self.queue),
+                    started=len(decisions),
+                )
+            if _metrics.registry.enabled:
+                _metrics.inc("wlm.schedule_passes")
+                _metrics.inc("wlm.jobs_started", len(decisions))
             for job, placement in decisions:
                 self.queue.remove(job)
+                _trace.tracer.instant(
+                    "wlm.job_start", job=job.job_id, nodes=len(placement)
+                )
                 self.env.process(self._run_job(job, placement), name=f"job-{job.job_id}")
             if self.preemption and self.queue:
                 self._try_preempt()
@@ -156,7 +173,8 @@ class SlurmController:
         self._account_busy(len(placement))
 
         # Per-node setup: cgroup, user process, device grants, delegation.
-        yield self.env.timeout(self.node_setup_cost)
+        with _trace.span("wlm.allocation_setup", job=job.job_id, nodes=len(placement)):
+            yield self.env.timeout(self.node_setup_cost)
         for node in placement:
             kernel = node.host.kernel
             cg_path = f"/slurm/uid_{spec.user_uid}/job_{job.job_id}"
@@ -216,6 +234,9 @@ class SlurmController:
 
         # Teardown.
         job.end_time = self.env.now
+        _trace.tracer.instant("wlm.job_end", job=job.job_id, state=final_state.value)
+        if _metrics.registry.enabled:
+            _metrics.inc("wlm.jobs_finished", state=final_state.value)
         job.set_state(final_state, self.env.now)
         job.exit_code = 0 if final_state is JobState.COMPLETED else 1
         for node in placement:

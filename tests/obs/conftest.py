@@ -1,0 +1,21 @@
+"""Shared fixtures: the tracer and registry are process-global, so every
+test must leave them disabled and empty."""
+
+import pytest
+
+from repro.obs import metrics, trace
+from repro.sim import profile
+
+
+@pytest.fixture(autouse=True)
+def _obs_off_after():
+    yield
+    trace.disable()
+    trace.reset()
+    metrics.registry.enabled = False
+    metrics.reset()
+    # Tests may enable via metrics.enable() (which arms profile too);
+    # drain any leftover nesting depth so the next test starts balanced.
+    while profile.enable_depth() > 0:
+        profile.disable()
+    profile.counters.reset()

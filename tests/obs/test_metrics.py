@@ -1,0 +1,124 @@
+"""Labeled metrics registry (repro.obs.metrics) and the sim.profile
+compatibility bridge."""
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    format_series,
+)
+from repro.sim import Environment, profile
+
+
+def test_disabled_registry_is_a_noop():
+    reg = MetricsRegistry()
+    reg.inc("engine.pulls", engine="sarus")
+    reg.set_gauge("monitor.background_cpu_fraction", 0.002)
+    reg.observe("fs.io.latency", 0.5)
+    assert reg.snapshot(include_sim=False) == {}
+
+
+def test_counters_accumulate_per_label_set():
+    reg = MetricsRegistry()
+    reg.enabled = True
+    reg.inc("fs.io.bytes", 100, driver="squashfuse", op="read")
+    reg.inc("fs.io.bytes", 50, driver="squashfuse", op="read")
+    reg.inc("fs.io.bytes", 7, driver="overlay", op="read")
+    assert reg.get_counter("fs.io.bytes", driver="squashfuse", op="read") == 150
+    assert reg.get_counter("fs.io.bytes", driver="overlay", op="read") == 7
+    assert reg.get_counter("fs.io.bytes") == 0.0  # unlabeled is its own series
+
+
+def test_label_order_does_not_matter():
+    reg = MetricsRegistry()
+    reg.enabled = True
+    reg.inc("x", op="read", driver="bind")
+    reg.inc("x", driver="bind", op="read")
+    assert reg.get_counter("x", driver="bind", op="read") == 2
+
+
+def test_format_series():
+    assert format_series("engine.pulls", ()) == "engine.pulls"
+    key = (("driver", "squashfuse"), ("op", "read"))
+    assert format_series("fs.io.latency", key) == \
+        'fs.io.latency{driver="squashfuse",op="read"}'
+
+
+def test_gauges_overwrite():
+    reg = MetricsRegistry()
+    reg.enabled = True
+    reg.set_gauge("g", 1.0, node="n0")
+    reg.set_gauge("g", 2.0, node="n0")
+    assert reg.get_gauge("g", node="n0") == 2.0
+    assert reg.get_gauge("g", node="n1") is None
+
+
+def test_histogram_buckets_and_mean():
+    h = Histogram((1.0, 10.0))
+    for v in (0.5, 0.7, 5.0, 100.0):
+        h.observe(v)
+    assert h.counts == [2, 1, 1]
+    assert h.count == 4
+    assert h.mean == (0.5 + 0.7 + 5.0 + 100.0) / 4
+
+
+def test_histogram_bounds_fixed_per_metric_name():
+    """First observation fixes the bounds; later label sets of the same
+    metric share them, so snapshots merge bucket-compatibly."""
+    reg = MetricsRegistry()
+    reg.enabled = True
+    reg.observe("lat", 0.5, buckets=(1.0, 2.0), op="read")
+    reg.observe("lat", 0.5, buckets=(9.0, 99.0), op="write")  # ignored
+    assert reg.get_histogram("lat", op="write").buckets == (1.0, 2.0)
+    reg.observe("other", 0.5)
+    assert reg.get_histogram("other").buckets == DEFAULT_LATENCY_BUCKETS
+
+
+def test_snapshot_bridges_sim_profile_counters():
+    metrics.enable()
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    env.process(proc(env))
+    env.run()
+    metrics.disable()
+    snap = metrics.registry.snapshot()
+    assert snap["sim.events_processed"] > 0
+    assert snap["sim.processes_spawned"] == 1
+    assert "sim.events_processed" not in metrics.registry.snapshot(include_sim=False)
+
+
+def test_enable_forwards_to_profile_nesting_safely():
+    assert not profile.counters.enabled
+    metrics.enable()
+    assert profile.counters.enabled
+    profile.enable(reset=False)  # a nested consumer
+    metrics.disable()
+    assert profile.counters.enabled  # inner consumer still holds it
+    profile.disable()
+    assert not profile.counters.enabled
+
+
+def test_render_table_lists_all_series():
+    reg = MetricsRegistry()
+    reg.enabled = True
+    reg.inc("engine.pulls", 3, engine="sarus")
+    reg.set_gauge("monitor.background_cpu_fraction", 0.002, monitor="dockerd")
+    reg.observe("fs.io.latency", 0.05, driver="bind", op="read")
+    table = reg.render_table(include_sim=False)
+    assert 'engine.pulls{engine="sarus"}' in table
+    assert "3" in table
+    assert "0.002" in table
+    assert "n=1" in table
+
+
+def test_series_prefix_filter():
+    reg = MetricsRegistry()
+    reg.enabled = True
+    reg.inc("engine.pulls")
+    reg.inc("fs.io.files")
+    reg.observe("fs.io.latency", 0.1)
+    assert reg.series("fs.") == ["fs.io.files", "fs.io.latency"]

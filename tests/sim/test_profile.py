@@ -89,3 +89,73 @@ def test_snapshot_is_plain_dict():
         "processes_spawned",
         "peak_queue_depth",
     }
+
+
+# -- enable/disable re-entrancy (regression: a nested enable/disable pair
+#    used to clobber the outer caller's counters and switch counting off) --
+
+
+def test_nested_enable_does_not_reset_outer_counters():
+    prof = profile.enable()
+    env = Environment()
+    _workload(env)
+    env.run()
+    outer_events = prof.events_processed
+    assert outer_events > 0
+
+    inner = profile.enable()  # nested consumer (reset must be suppressed)
+    assert inner is prof
+    assert prof.events_processed == outer_events
+    profile.disable()
+
+    # outer scope still counting after the inner pair unwinds
+    assert prof.enabled
+    env2 = Environment()
+    _workload(env2)
+    env2.run()
+    assert prof.events_processed > outer_events
+    profile.disable()
+    assert not prof.enabled
+
+
+def test_enable_depth_tracks_nesting():
+    assert profile.enable_depth() == 0
+    profile.enable()
+    profile.enable()
+    assert profile.enable_depth() == 2
+    profile.disable()
+    assert profile.enable_depth() == 1
+    assert profile.counters.enabled
+    profile.disable()
+    assert profile.enable_depth() == 0
+    assert not profile.counters.enabled
+
+
+def test_unbalanced_disable_is_harmless():
+    profile.disable()
+    profile.disable()
+    assert profile.enable_depth() == 0
+    prof = profile.enable()  # still works afterwards
+    assert prof.enabled
+    profile.disable()
+
+
+def test_snapshot_delta_measures_a_sub_workload():
+    prof = profile.enable()
+    env = Environment()
+    _workload(env)
+    env.run()
+    baseline = prof.snapshot()
+
+    profile.enable()  # inner harness: no reset
+    env2 = Environment()
+    _workload(env2)
+    env2.run()
+    delta = prof.snapshot_delta(baseline)
+    profile.disable()
+    profile.disable()
+
+    assert delta["processes_spawned"] == 2
+    assert delta["events_processed"] > 0
+    # the outer total is the baseline plus the inner delta
+    assert prof.events_processed == baseline["events_processed"] + delta["events_processed"]

@@ -47,3 +47,69 @@ def test_startup(capsys):
 def test_unknown_command():
     with pytest.raises(SystemExit):
         main(["bogus"])
+
+
+# -- observability subcommands ------------------------------------------------
+
+
+@pytest.fixture
+def _obs_clean():
+    yield
+    from repro.obs import metrics, trace
+    from repro.sim import profile
+
+    trace.disable()
+    trace.reset()
+    metrics.registry.enabled = False
+    metrics.reset()
+    while profile.enable_depth() > 0:
+        profile.disable()
+    profile.counters.reset()
+
+
+def test_trace_subcommand_writes_valid_trace(tmp_path, capsys, _obs_clean):
+    from repro.obs.export import validate_file
+
+    out = tmp_path / "trace.json"
+    code = main(["trace", "kubelet_in_allocation", "--out", str(out),
+                 "--nodes", "2", "--pods", "2"])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "subsystems" in stdout and "perfetto" in stdout
+    assert validate_file(str(out)) == 0
+
+
+def test_trace_subcommand_accepts_hyphenated_name(tmp_path, _obs_clean):
+    out = tmp_path / "trace.json"
+    assert main(["trace", "kubelet-in-allocation", "--out", str(out),
+                 "--nodes", "2", "--pods", "2"]) == 0
+    assert out.exists()
+
+
+def test_trace_subcommand_rejects_unknown_scenario(tmp_path, capsys, _obs_clean):
+    assert main(["trace", "bogus", "--out", str(tmp_path / "t.json")]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_trace_leaves_obs_disabled(tmp_path, _obs_clean):
+    from repro.obs import metrics, trace
+
+    main(["trace", "kubelet_in_allocation", "--out", str(tmp_path / "t.json"),
+          "--nodes", "2", "--pods", "2"])
+    assert not trace.tracer.enabled
+    assert not metrics.registry.enabled
+
+
+def test_scenarios_metrics_flag(capsys, _obs_clean):
+    assert main(["scenarios", "--nodes", "2", "--pods", "2", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "metric" in out
+    assert "sim.events_processed" in out
+    assert "k8s.pods_started" in out
+
+
+def test_startup_metrics_flag(capsys, _obs_clean):
+    assert main(["startup", "--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert 'engine.pulls{engine="docker"}' in out
+    assert 'monitor.background_cpu_fraction{monitor="dockerd"}' in out
