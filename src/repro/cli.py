@@ -8,6 +8,8 @@
     python -m repro startup            # cross-engine startup comparison
     python -m repro trace kubelet_in_allocation --out trace.json
                                        # Perfetto timeline of one scenario
+    python -m repro chaos kubelet_in_allocation --seed 42
+                                       # same scenario under a seeded fault plan
 """
 
 from __future__ import annotations
@@ -159,6 +161,51 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlan
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import validate_chrome_trace
+    import json as _json
+
+    scenarios = _scenario_classes()
+    scenario_cls = scenarios.get(args.scenario)
+    if scenario_cls is None:
+        names = ", ".join(sorted(c.name for c in set(scenarios.values())))
+        print(f"unknown scenario {args.scenario!r}; one of: {names}", file=sys.stderr)
+        return 2
+    if args.faults:
+        plan = FaultPlan.from_file(args.faults)
+    else:
+        node_names = [f"nid{i:04}" for i in range(args.nodes)]
+        plan = FaultPlan.generate(seed=args.seed, horizon=600.0, node_names=node_names)
+    if args.save_plan:
+        plan.to_file(args.save_plan)
+        print(f"fault plan ({len(plan)} events) written to {args.save_plan}")
+    obs_trace.enable()
+    obs_metrics.enable()
+    try:
+        _metrics, report = run_chaos(
+            scenario_cls, plan, n_nodes=args.nodes, n_pods=args.pods, seed=args.seed
+        )
+        doc = obs_trace.export_json(args.out, indent=2 if args.pretty else None)
+    finally:
+        obs_metrics.disable()
+        obs_trace.disable()
+    print(report.render())
+    print(f"  trace:           {args.out}")
+    if args.metrics:
+        print()
+        print(obs_metrics.registry.render_table())
+    problems = validate_chrome_trace(_json.loads(doc))
+    if problems:
+        for p in problems:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        return 1
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -204,6 +251,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run one scenario under a deterministic fault plan",
+        description="Arm the fault injector with a seeded (or file-supplied) "
+                    "plan, run the scenario, and report injections, retries, "
+                    "requeues, pod outcomes, and the leak audit.  Same seed "
+                    "and plan produce a byte-identical trace.",
+    )
+    p_chaos.add_argument("scenario", metavar="scenario",
+                         help="scenario name (hyphens or underscores)")
+    p_chaos.add_argument("--seed", type=int, default=0,
+                         help="seed for plan generation and the workload")
+    p_chaos.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="load the fault plan from a JSON file instead "
+                              "of generating one from --seed")
+    p_chaos.add_argument("--save-plan", default=None, metavar="PLAN.json",
+                         help="write the effective fault plan to a JSON file")
+    p_chaos.add_argument("--nodes", type=int, default=4)
+    p_chaos.add_argument("--pods", type=int, default=8)
+    p_chaos.add_argument("--out", default="chaos-trace.json",
+                         help="output path for the Chrome trace JSON")
+    p_chaos.add_argument("--pretty", action="store_true",
+                         help="indent the JSON output")
+    p_chaos.add_argument("--metrics", action="store_true",
+                         help="print the labeled metrics registry afterwards")
+    p_chaos.set_defaults(fn=_cmd_chaos)
     return parser
 
 

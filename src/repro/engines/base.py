@@ -7,6 +7,8 @@ import dataclasses
 import typing as _t
 
 from repro.cluster.node import HostNode
+from repro.faults.injector import injector as _faults
+from repro.faults.retry import RetryExhausted, RetryPolicy
 from repro.fs.drivers import MountedView
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
@@ -120,6 +122,11 @@ class ContainerEngine:
     capabilities: EngineCapabilities
     #: engine CLI/daemon dispatch overhead per invocation (seconds)
     invocation_overhead = 0.010
+    #: deterministic backoff for transient registry failures during pull
+    #: (jitter-free: the same failure sequence always costs the same)
+    pull_retry = RetryPolicy(
+        max_attempts=5, base_delay=0.5, multiplier=2.0, max_delay=30.0, deadline=300.0
+    )
 
     def __init__(self, node: HostNode):
         self.node = node
@@ -149,11 +156,59 @@ class ContainerEngine:
         now: float = 0.0,
         ip: str = "10.0.0.1",
     ) -> PulledImage:
-        """Pull an OCI image, skipping layers already in the local cache."""
+        """Pull an OCI image, skipping layers already in the local cache.
+
+        Transient failures (:class:`~repro.registry.RegistryUnavailable`
+        — 429s and timeouts — and :class:`~repro.registry.StorageError`,
+        e.g. a full pull-through-proxy store) are retried under
+        :attr:`pull_retry`: deterministic exponential backoff, each
+        attempt's wasted cost and backoff delay folded into the returned
+        ``pull_cost`` and into the effective ``now`` of the next attempt
+        (so a fault window that ends mid-backoff is escaped).  When the
+        policy gives up, a single aggregated
+        :class:`~repro.faults.RetryExhausted` surfaces the attempt
+        count, the elapsed virtual time, and the last cause — never the
+        bare final exception.  Permanent errors (unknown image, auth)
+        raise :class:`~repro.registry.RegistryError` immediately.
+        """
+        from repro.registry.distribution import RegistryUnavailable
+        from repro.registry.storage import StorageError
+
         self.stats["pulls"] += 1
-        image, cost = registry.pull_image(
-            repository, tag, token=token, ip=ip, now=now, have_digests=set(self.layer_cache)
-        )
+        policy = self.pull_retry
+        cost = 0.0
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                image, attempt_cost = registry.pull_image(
+                    repository,
+                    tag,
+                    token=token,
+                    ip=ip,
+                    now=now + cost,
+                    have_digests=set(self.layer_cache),
+                )
+                cost += attempt_cost
+                break
+            except (RegistryUnavailable, StorageError) as exc:
+                cost += getattr(exc, "cost", 0.0)
+                if policy.gives_up(attempts, cost):
+                    raise RetryExhausted("registry", attempts, cost, exc) from exc
+                delay = policy.delay(attempts - 1)
+                cost += delay
+                _faults.note_retry("registry")
+                if _metrics.registry.enabled:
+                    _metrics.inc(
+                        "retry.attempts", subsystem="registry", engine=self.info.name
+                    )
+                if _trace.tracer.enabled:
+                    _trace.tracer.instant(
+                        "engine.pull_retry",
+                        engine=self.info.name,
+                        attempt=attempts,
+                        backoff=delay,
+                    )
         for layer in image.layers:
             self.layer_cache[layer.digest] = layer
         if _trace.tracer.enabled:
@@ -263,11 +318,55 @@ class ContainerEngine:
         result.timings["monitor"] = self._monitor_overhead(user)
         result.timings["runtime"] = self.runtime.startup_cost()
 
+        # Cleanup guarantee (§3.2 "no lingering processes"): a fault
+        # anywhere between create and start must leave no container
+        # record, no running process, and no mounts behind — the engine
+        # kills and deletes the half-started container before the error
+        # propagates.
         owner = self._container_owner(user)
-        container = self.runtime.create(bundle, owner=owner, extra_hooks=hooks)
-        self.runtime.start(container)
+        container = None
+        try:
+            container = self.runtime.create(bundle, owner=owner, extra_hooks=hooks)
+            self.runtime.start(container)
+        except BaseException:
+            if container is not None:
+                self._abort_container(container)
+            raise
         result.container = container
         return result
+
+    def _abort_container(self, container: Container) -> None:
+        """Best-effort teardown of a container whose start failed."""
+        from repro.oci.runtime import ContainerState
+
+        try:
+            if container.state is ContainerState.RUNNING:
+                self.runtime.kill(container)
+            if container.state is not ContainerState.DELETED:
+                self.runtime.delete(container)
+        except Exception:
+            # poststop hooks may be as broken as whatever aborted the
+            # start; the record is dropped regardless
+            self.runtime.containers.pop(container.id, None)
+            container.state = ContainerState.DELETED
+        if _metrics.registry.enabled:
+            _metrics.inc("engine.aborted_containers", engine=self.info.name)
+
+    def abort_all(self) -> int:
+        """Force-stop every non-terminal container (node-crash cleanup).
+
+        Returns how many containers were aborted.  Used by the kubelet's
+        crash path so a dead node leaves no lingering containers or
+        mounts behind (§3.2).
+        """
+        from repro.oci.runtime import ContainerState
+
+        n = 0
+        for container in list(self.runtime.containers.values()):
+            if container.state not in (ContainerState.STOPPED, ContainerState.DELETED):
+                self._abort_container(container)
+                n += 1
+        return n
 
     # -- template pieces subclasses override ------------------------------------
     def _pre_run_checks(self, pulled: PulledImage, user: SimProcess, result: RunResult) -> None:

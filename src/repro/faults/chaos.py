@@ -1,0 +1,126 @@
+"""Chaos runs: one scenario executed under a fault plan.
+
+:func:`run_chaos` is the library entry point behind
+``python -m repro chaos``: it arms the process-wide injector with a
+plan, provisions and drives a §6 scenario exactly like
+:func:`repro.scenarios.evaluate.run_scenario`, then disarms and reports
+what the faults did — injections by kind, retries, job requeues, pod
+outcomes, and the leak audit.  Everything in the report is a pure
+function of ``(scenario, plan, seed)``, so two runs agree byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.faults.injector import injector
+from repro.faults.leaks import find_leaks
+from repro.faults.plan import FaultPlan
+from repro.scenarios.base import WORKFLOW_IMAGE, IntegrationScenario, ScenarioMetrics
+from repro.sim import Environment
+from repro.workload.generators import PodBatchGenerator
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """What a fault plan did to one scenario run."""
+
+    scenario: str
+    seed: int
+    n_events: int
+    injected: dict[str, int]
+    retries: dict[str, int]
+    jobs_requeued: int
+    pods_submitted: int
+    pods_completed: int
+    pods_failed: int
+    leaks: list[str]
+    end_time: float
+
+    @property
+    def clean(self) -> bool:
+        return not self.leaks
+
+    def render(self) -> str:
+        lines = [
+            f"chaos: {self.scenario} seed={self.seed} "
+            f"plan={self.n_events} event(s), ended at t={self.end_time:.1f}s",
+        ]
+        if self.injected:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(self.injected.items()))
+            lines.append(f"  faults injected: {parts}")
+        else:
+            lines.append("  faults injected: none")
+        if self.retries:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(self.retries.items()))
+            lines.append(f"  retry attempts:  {parts}")
+        lines.append(f"  jobs requeued:   {self.jobs_requeued}")
+        lines.append(
+            f"  pods:            {self.pods_completed} completed, "
+            f"{self.pods_failed} failed, {self.pods_submitted} submitted"
+        )
+        if self.leaks:
+            lines.append(f"  LEAKS ({len(self.leaks)}):")
+            lines.extend(f"    - {leak}" for leak in self.leaks)
+        else:
+            lines.append("  leaks:           none (no lingering containers/mounts)")
+        return "\n".join(lines)
+
+
+def _count_requeues(scenario: object) -> int:
+    wlm = getattr(scenario, "wlm", None)
+    if wlm is None:
+        return 0
+    jobs = getattr(wlm, "_jobs", {})
+    return sum(getattr(job, "requeue_count", 0) for job in jobs.values())
+
+
+def run_chaos(
+    scenario_cls: type[IntegrationScenario],
+    plan: FaultPlan,
+    n_nodes: int = 4,
+    n_pods: int = 8,
+    seed: int = 0,
+    horizon: float = 4000.0,
+) -> tuple[ScenarioMetrics, ChaosReport]:
+    """Provision, submit the standard pod batch, run to the horizon —
+    all under ``plan`` — then audit and report.
+
+    The injector is armed for the whole scenario lifetime (faults may
+    hit provisioning too) and always disarmed on the way out, even if
+    the scenario run raises.
+    """
+    env = Environment()
+    injector.arm(plan, env)
+    try:
+        scenario = scenario_cls(env, n_nodes=n_nodes, seed=seed)
+        ready = scenario.provision()
+        env.run(until=ready)
+        generator = PodBatchGenerator(WORKFLOW_IMAGE, seed=seed)
+        pods = generator.batch(n_pods)
+        scenario.submit(pods)
+        env.run(until=horizon)
+        if hasattr(scenario, "teardown"):
+            scenario.teardown()
+            env.run(until=horizon + 100)
+        metrics = scenario.metrics()
+        from repro.k8s.objects import PodPhase
+
+        failed = sum(1 for p in scenario.pods if p.phase is PodPhase.FAILED)
+        report = ChaosReport(
+            scenario=scenario.name,
+            seed=seed,
+            n_events=len(plan),
+            injected=dict(injector.injected_counts),
+            retries=dict(injector.retry_counts),
+            jobs_requeued=_count_requeues(scenario),
+            pods_submitted=metrics.pods_submitted,
+            pods_completed=metrics.pods_completed,
+            pods_failed=failed,
+            leaks=find_leaks(scenario),
+            end_time=env.now,
+        )
+        return metrics, report
+    finally:
+        injector.disarm()

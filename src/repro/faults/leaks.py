@@ -1,0 +1,84 @@
+"""Leak detection: the executable form of §3.2's "no lingering processes".
+
+After a chaos run reaches quiescence, every container ever created must
+be in a terminal state (``STOPPED``/``DELETED``), no kubelet may still
+hold an active-pod record for a pod that is terminal, and no mount may
+remain attached to a non-terminal container.  :func:`find_leaks` walks a
+scenario (or any bag of engines/kubelets) and returns human-readable
+descriptions of every violation — an empty list is the pass criterion
+chaos reports and the hypothesis property test assert on.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.oci.runtime import ContainerState
+
+#: container states that are acceptable once a run has wound down
+TERMINAL_CONTAINER_STATES = frozenset(
+    {ContainerState.STOPPED, ContainerState.DELETED}
+)
+
+
+def container_leaks(engines: _t.Iterable[object]) -> list[str]:
+    """Containers stuck in a non-terminal state across ``engines``."""
+    leaks: list[str] = []
+    for engine in engines:
+        runtime = getattr(engine, "runtime", engine)
+        containers = getattr(runtime, "containers", {})
+        for cid, container in sorted(containers.items()):
+            if container.state not in TERMINAL_CONTAINER_STATES:
+                name = getattr(getattr(engine, "info", None), "name", type(engine).__name__)
+                leaks.append(
+                    f"container {cid} on {name} still {container.state.value}"
+                )
+    return leaks
+
+
+def mount_leaks(engines: _t.Iterable[object]) -> list[str]:
+    """Mounts still attached to non-terminal containers."""
+    leaks: list[str] = []
+    for engine in engines:
+        runtime = getattr(engine, "runtime", engine)
+        containers = getattr(runtime, "containers", {})
+        for cid, container in sorted(containers.items()):
+            if container.state in TERMINAL_CONTAINER_STATES:
+                continue
+            n_mounts = 1 + len(container.mounts)  # rootfs + binds
+            leaks.append(f"{n_mounts} mount(s) held by live container {cid}")
+    return leaks
+
+
+def kubelet_leaks(kubelets: _t.Iterable[object]) -> list[str]:
+    """Active-pod records kubelets kept for pods that already ended."""
+    from repro.k8s.objects import PodPhase
+
+    leaks: list[str] = []
+    for kubelet in kubelets:
+        active = getattr(kubelet, "_active_pods", {})
+        for uid, pod in sorted(active.items()):
+            if pod.phase in (PodPhase.SUCCEEDED, PodPhase.FAILED):
+                leaks.append(
+                    f"kubelet {kubelet.node_name} still tracks finished pod "
+                    f"{pod.metadata.name}"
+                )
+    return leaks
+
+
+def find_leaks(scenario: object) -> list[str]:
+    """All leak classes for one scenario object (or anything exposing
+    ``engines`` — a mapping or sequence — and optionally ``kubelets``)."""
+    engines = getattr(scenario, "engines", ())
+    if isinstance(engines, dict):
+        engines = [engines[k] for k in sorted(engines)]
+    kubelets = [
+        *getattr(scenario, "kubelets", ()),
+        # agents retired by a requeue must be just as clean
+        *getattr(scenario, "retired_kubelets", ()),
+    ]
+    return [
+        *container_leaks(engines),
+        *mount_leaks(engines),
+        *kubelet_leaks(kubelets),
+    ]

@@ -1,0 +1,213 @@
+"""Fault plans: seeded, virtual-time schedules of injected events.
+
+A :class:`FaultPlan` is the *only* source of nondeterminism-looking
+behaviour in a chaos run — and it is not nondeterministic at all: plans
+are either loaded from JSON or generated from an explicit seed with
+:class:`~repro.sim.rng.DeterministicRNG`, so the same seed always
+produces the same schedule and therefore (because injection is purely a
+function of virtual time and the plan) byte-identical traces.
+
+Each :class:`FaultEvent` opens at virtual time ``at`` and — for
+window-style faults — stays active for ``duration`` seconds.  The
+injection-point name each kind maps to is fixed (see
+:data:`KIND_POINTS`); subsystems query the armed injector by point name
+and never need to know the full kind taxonomy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import typing as _t
+
+from repro.sim.rng import DeterministicRNG
+
+
+class FaultKind(enum.Enum):
+    """The fault taxonomy §3.2's resilience requirements imply."""
+
+    #: a compute node dies (power/kernel panic) and reboots ``duration``
+    #: seconds later; ``target`` is the node name
+    NODE_CRASH = "node_crash"
+    #: registry answers 429 Too Many Requests for the window
+    REGISTRY_429 = "registry_429"
+    #: registry requests hang and time out for the window
+    REGISTRY_TIMEOUT = "registry_timeout"
+    #: registry blob streaming slowed by ``factor`` for the window
+    REGISTRY_SLOW_BLOB = "registry_slow_blob"
+    #: shared-FS metadata server degraded: metadata RPCs cost ``factor``×
+    MDS_DEGRADED = "mds_degraded"
+    #: shared-FS metadata server down: metadata RPCs stall until recovery
+    MDS_OUTAGE = "mds_outage"
+    #: FUSE daemon dies: userspace mounts fail for the window
+    FUSE_DEATH = "fuse_death"
+    #: OCI lifecycle hooks fail for the window (bad GPU driver, broken
+    #: site plugin)
+    HOOK_FAILURE = "hook_failure"
+
+
+#: fault kind -> injection-point name subsystems query
+KIND_POINTS: dict[FaultKind, str] = {
+    FaultKind.NODE_CRASH: "wlm.node",
+    FaultKind.REGISTRY_429: "registry.pull",
+    FaultKind.REGISTRY_TIMEOUT: "registry.pull",
+    FaultKind.REGISTRY_SLOW_BLOB: "registry.pull",
+    FaultKind.MDS_DEGRADED: "fs.mds",
+    FaultKind.MDS_OUTAGE: "fs.mds",
+    FaultKind.FUSE_DEATH: "fs.fuse",
+    FaultKind.HOOK_FAILURE: "engine.hooks",
+}
+
+#: kinds delivered by the injector's driver process (state transitions
+#: pushed into registered handlers) rather than polled at call sites
+PUSH_KINDS = frozenset({FaultKind.NODE_CRASH})
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at``/``duration`` are virtual seconds; ``target`` narrows the blast
+    radius (a node name for :attr:`FaultKind.NODE_CRASH`, a registry or
+    backend name otherwise — ``None`` matches everything); ``factor`` is
+    the slowdown multiplier for degradation kinds.
+    """
+
+    kind: FaultKind
+    at: float
+    duration: float = 0.0
+    target: str | None = None
+    factor: float = 1.0
+
+    @property
+    def until(self) -> float:
+        return self.at + self.duration
+
+    @property
+    def point(self) -> str:
+        return KIND_POINTS[self.kind]
+
+    def active_at(self, now: float) -> bool:
+        """Window check: instantaneous events are active only at ``at``."""
+        if self.duration <= 0.0:
+            return now == self.at
+        return self.at <= now < self.until
+
+    def matches(self, target: str | None) -> bool:
+        return self.target is None or target is None or self.target == target
+
+    def to_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {"kind": self.kind.value, "at": self.at}
+        if self.duration:
+            out["duration"] = self.duration
+        if self.target is not None:
+            out["target"] = self.target
+        if self.factor != 1.0:
+            out["factor"] = self.factor
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "FaultEvent":
+        return cls(
+            kind=FaultKind(data["kind"]),
+            at=float(data["at"]),  # type: ignore[arg-type]
+            duration=float(data.get("duration", 0.0)),  # type: ignore[arg-type]
+            target=_t.cast("str | None", data.get("target")),
+            factor=float(data.get("factor", 1.0)),  # type: ignore[arg-type]
+        )
+
+
+class FaultPlan:
+    """An ordered schedule of :class:`FaultEvent`\\ s."""
+
+    def __init__(self, events: _t.Iterable[FaultEvent] = (), seed: int | None = None):
+        self.events: list[FaultEvent] = sorted(
+            events, key=lambda e: (e.at, e.kind.value, e.target or "")
+        )
+        self.seed = seed
+
+    # -- queries -----------------------------------------------------------
+    def for_point(self, point: str) -> list[FaultEvent]:
+        return [e for e in self.events if e.point == point]
+
+    def push_events(self) -> list[FaultEvent]:
+        return [e for e in self.events if e.kind in PUSH_KINDS]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> _t.Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds = {e.kind.value for e in self.events}
+        return f"<FaultPlan events={len(self.events)} kinds={sorted(kinds)}>"
+
+    # -- serialization -----------------------------------------------------
+    def to_json(self, indent: int | None = 2) -> str:
+        doc: dict[str, object] = {"events": [e.to_dict() for e in self.events]}
+        if self.seed is not None:
+            doc["seed"] = self.seed
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        if isinstance(doc, list):  # bare event list is accepted too
+            doc = {"events": doc}
+        events = [FaultEvent.from_dict(e) for e in doc.get("events", [])]
+        return cls(events, seed=doc.get("seed"))
+
+    def to_file(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def from_file(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    # -- generation --------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon: float = 600.0,
+        node_names: _t.Sequence[str] = (),
+        kinds: _t.Sequence[FaultKind] | None = None,
+    ) -> "FaultPlan":
+        """A deterministic default plan for chaos runs.
+
+        Draws every schedule parameter from a named sub-stream of
+        :class:`DeterministicRNG`, so the plan depends only on the
+        arguments — two invocations with the same seed agree event for
+        event.  One event per requested kind; node crashes need
+        ``node_names`` to pick a victim from.
+        """
+        rng = DeterministicRNG(seed).stream("faultplan")
+        if kinds is None:
+            kinds = [
+                FaultKind.REGISTRY_429,
+                FaultKind.MDS_DEGRADED,
+                FaultKind.HOOK_FAILURE,
+            ]
+            if node_names:
+                kinds = [FaultKind.NODE_CRASH, *kinds]
+        events: list[FaultEvent] = []
+        for kind in kinds:
+            at = round(float(rng.uniform(0.05, 0.65)) * horizon, 3)
+            duration = round(float(rng.uniform(0.02, 0.12)) * horizon, 3)
+            target: str | None = None
+            factor = 1.0
+            if kind is FaultKind.NODE_CRASH:
+                if not node_names:
+                    continue
+                target = node_names[int(rng.integers(0, len(node_names)))]
+            elif kind in (FaultKind.MDS_DEGRADED, FaultKind.REGISTRY_SLOW_BLOB):
+                factor = round(float(rng.uniform(3.0, 12.0)), 2)
+            events.append(
+                FaultEvent(kind=kind, at=at, duration=duration, target=target, factor=factor)
+            )
+        return cls(events, seed=seed)

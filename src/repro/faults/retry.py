@@ -1,0 +1,76 @@
+"""Deterministic retry policies with exponential backoff.
+
+Real HPC tooling retries transient failures — registry pulls most of
+all — with exponential backoff *plus jitter*.  Jitter exists to
+desynchronize independent clients; in a deterministic simulation it
+would only destroy reproducibility, so the policies here are explicitly
+jitter-free: delay ``i`` is ``base * multiplier**i`` capped at
+``max_delay``, a pure function of the attempt index.
+
+:class:`RetryExhausted` is the aggregation contract every retried
+operation surfaces on final failure: one exception naming the attempt
+count, the time spent, and the last cause (chained via ``__cause__``),
+instead of whatever bare error the final attempt happened to raise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+class RetryExhausted(RuntimeError):
+    """All attempts of a retried operation failed.
+
+    Attributes:
+        subsystem: which retry loop gave up (``"registry"``, ...).
+        attempts: how many attempts were made (including the first).
+        elapsed: virtual seconds of operation cost + backoff accrued.
+        last_cause: the final attempt's exception (also ``__cause__``).
+    """
+
+    def __init__(
+        self,
+        subsystem: str,
+        attempts: int,
+        elapsed: float,
+        last_cause: BaseException,
+    ):
+        super().__init__(
+            f"{subsystem}: giving up after {attempts} attempt"
+            f"{'s' if attempts != 1 else ''} over {elapsed:.2f}s; "
+            f"last cause: {type(last_cause).__name__}: {last_cause}"
+        )
+        self.subsystem = subsystem
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.last_cause = last_cause
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Jitter-free exponential backoff.
+
+    ``deadline`` bounds the *total* accounted time (operation costs plus
+    backoff): once it is exceeded no further attempt is made even if
+    ``max_attempts`` remain.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    deadline: float | None = None
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (attempts count from 0)."""
+        return min(self.base_delay * self.multiplier**attempt, self.max_delay)
+
+    def delays(self) -> _t.Iterator[float]:
+        for attempt in range(self.max_attempts - 1):
+            yield self.delay(attempt)
+
+    def gives_up(self, attempts_made: int, elapsed: float) -> bool:
+        if attempts_made >= self.max_attempts:
+            return True
+        return self.deadline is not None and elapsed >= self.deadline

@@ -19,6 +19,8 @@ import typing as _t
 from repro.fs.inode import DirNode, FileNode
 from repro.fs.perf import IOCostModel, PROFILES
 from repro.fs.tree import FileTree, FsError
+from repro.faults.injector import injector as _faults
+from repro.faults.plan import FaultKind as _FaultKind
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.sim import Environment, Resource
@@ -193,6 +195,24 @@ class SharedFS(StorageBackend):
         self.env = env
         self.mds = Resource(env, capacity=self.mds_capacity)
 
+    def _mds_gate(self) -> _t.Generator:
+        """Consult the fault injector before touching the MDS.
+
+        MDS_OUTAGE stalls the caller until the window closes — requests
+        queue but nothing errors, modelling a failover blip the way §3.2
+        expects clients to ride out.  MDS_DEGRADED returns a latency
+        multiplier (>= 1.0) applied to metadata costs for the window.
+        """
+        env = self._require_env()
+        while True:
+            fault = _faults.active("fs.mds", at=env.now, target=self.name)
+            if fault is None:
+                return 1.0
+            if fault.kind is _FaultKind.MDS_OUTAGE:
+                yield env.timeout_until(fault.until)
+                continue
+            return max(1.0, fault.factor)
+
     def proc_open(self, path: str) -> _t.Generator:
         """Open with MDS contention: each path component is one MDS RPC.
 
@@ -205,13 +225,16 @@ class SharedFS(StorageBackend):
         depth = max(1, len([p for p in path.split("/") if p]))
         self.tree.get(path)
         self.stats["opens"] += 1
+        factor = 1.0
+        if _faults.enabled:
+            factor = yield from self._mds_gate()
         queued_at = env.now
         req = self.mds.request()
         yield req
         if _metrics.registry.enabled:
             _metrics.inc("fs.mds.rpcs", depth, backend=self.name)
             _metrics.observe("fs.mds.wait", env.now - queued_at, backend=self.name)
-        yield env.timeout(self.cost_model.open_cost() * depth)
+        yield env.timeout(self.cost_model.open_cost() * depth * factor)
         self.mds.release(req)
         return path
 
@@ -283,6 +306,9 @@ class SharedFS(StorageBackend):
                 self.stats["opens"] += n_files
                 self.stats["bytes_read"] += n_bytes
                 total += n_bytes
+                factor = 1.0
+                if _faults.enabled:
+                    factor = yield from self._mds_gate()
                 queued_at = env.now
                 req = self.mds.request()
                 yield req
@@ -291,7 +317,7 @@ class SharedFS(StorageBackend):
                     _metrics.inc("fs.mds.batches", backend=self.name)
                     _metrics.observe("fs.mds.wait", env.now - queued_at, backend=self.name)
                 with _trace.tracer.span("fs.mds.batch", backend=self.name, files=n_files):
-                    yield env.timeout(meta)
+                    yield env.timeout(meta * factor)
                 self.mds.release(req)
                 yield env.timeout(read)
         return total

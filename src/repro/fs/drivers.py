@@ -40,6 +40,7 @@ from repro.fs.perf import (
 )
 from repro.fs.tree import FileTree, FsError
 from repro.fs.images import SquashImage
+from repro.faults.injector import injector as _faults
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.sim import profile as _profile
@@ -317,6 +318,20 @@ def mount_bind(source_tree: FileTree, backend_model: IOCostModel) -> MountedView
     return MountedView(BindDriver, [source_tree], backend_model, writable=False)
 
 
+def _check_fuse_alive(driver: MountDriver) -> None:
+    """Fault gate for userspace mounts: while an armed plan has a
+    ``fuse_death`` window open, starting a FUSE daemon fails — the
+    engine's mount raises :class:`FsError` and its cleanup guarantee
+    (no half-built container, no stray mounts) takes over."""
+    if _faults.enabled:
+        fault = _faults.active("fs.fuse")
+        if fault is not None:
+            raise FsError(
+                f"{driver.name}: FUSE daemon died (injected fault until "
+                f"t={fault.until:.1f})"
+            )
+
+
 def mount_overlay(
     layers: _t.Sequence[FileTree],
     backend_model: IOCostModel,
@@ -325,6 +340,7 @@ def mount_overlay(
 ) -> MountedView:
     """Union-mount ``layers`` (bottom first) with an optional upper dir."""
     if fuse:
+        _check_fuse_alive(FuseOverlayDriver)
         model = backend_model.with_overhead(FUSE_OVERLAY_PER_OP, FUSE_OVERLAY_BW_SCALE)
         model = dataclasses.replace(model, name="fuse-overlayfs")
         driver = FuseOverlayDriver
@@ -342,6 +358,8 @@ def mount_squash(image: SquashImage, fuse: bool) -> MountedView:
     all?) belongs to :meth:`repro.kernel.syscalls.Kernel.mount`; this
     constructor only builds the view and its cost model.
     """
+    if fuse:
+        _check_fuse_alive(SquashFuseDriver)
     model = PROFILES["squashfuse" if fuse else "squashfs_kernel"]
     driver = SquashFuseDriver if fuse else SquashKernelDriver
     return MountedView(driver, [image.tree], model, writable=False, source_image=image)

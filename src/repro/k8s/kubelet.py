@@ -11,6 +11,7 @@ from __future__ import annotations
 import typing as _t
 
 from repro.cluster.network import Interconnect
+from repro.faults.injector import injector as _faults
 from repro.k8s.apiserver import APIServer
 from repro.k8s.cri import CRIRuntime
 from repro.k8s.objects import (
@@ -39,6 +40,10 @@ class Kubelet:
     startup_cost = 2.0
     sync_interval = 0.5
     heartbeat_interval = 10.0
+    #: max virtual seconds a pod start may spend waiting on one image
+    #: pull (including the engine's retry backoff) before the pod FAILs;
+    #: None disables the deadline
+    pull_deadline: float | None = 120.0
 
     def __init__(
         self,
@@ -95,18 +100,67 @@ class Kubelet:
 
     # -- lifecycle -----------------------------------------------------------------
     def start(self):
-        """Begin the kubelet process; returns the sim process (the node is
-        registered and Ready once `startup_cost` has elapsed)."""
+        """Begin the kubelet process; returns the sim process.
+
+        The node is registered and Ready once ``startup_cost`` has
+        elapsed.  Rootless kubelets (``user_proc`` set) first verify the
+        §6.5 prerequisites — unprivileged user namespaces, cgroup v2,
+        and a delegated cgroup subtree — raising :class:`KubeletError`
+        if the node's kernel lacks any of them.  While the fault
+        injector is armed, the kubelet also subscribes to ``"wlm.node"``
+        crash events for its own node.
+        """
         if self.rootless:
             self._validate_rootless()
         self._running = True
+        if _faults.enabled:
+            _faults.register("wlm.node", self._on_node_fault)
         self._proc = self.env.process(self._main(), name=f"kubelet-{self.node_name}")
         return self._proc
 
     def stop(self) -> None:
+        """Shut down gracefully: the sync loop exits, the node object is
+        marked NotReady, and the pod watch is dropped.  Running pods are
+        left alone (use :meth:`crash` for unclean death).  No-op if the
+        kubelet is already stopping — a crashed agent may have a stop
+        interrupt still in flight."""
+        if not self._running:
+            return
         self._running = False
         if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt(cause="kubelet stop")
+
+    def crash(self, reason: str = "node crash") -> None:
+        """Die with the node: no graceful drain, nothing left behind.
+
+        Active pods transition to FAILED, their containers are force-
+        stopped, and any other non-terminal container in the engine is
+        aborted — a dead node must not hold lingering processes or
+        mounts (§3.2).  Idempotent once the kubelet is down.
+        """
+        if not self._running:
+            return
+        self.evict_active_pods(reason=reason)
+        self.cri.engine.abort_all()
+        if _metrics.registry.enabled:
+            _metrics.inc("k8s.kubelet.crashes", node=self.node_name)
+        self._running = False
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt(cause=reason)
+
+    def evict_active_pods(self, reason: str = "evicted") -> int:
+        """Fail every pod this kubelet is tracking; returns the count."""
+        n = 0
+        for pod in list(self._active_pods.values()):
+            results = list(getattr(pod, "container_results", None) or [])
+            self._fail_pod(pod, results, reason=reason)
+            n += 1
+        return n
+
+    def _on_node_fault(self, event, phase: str) -> None:
+        """Push handler: an injected NODE_CRASH for this node kills us."""
+        if phase == "crash" and event.target == self.node_name:
+            self.crash(reason=f"node crash (injected, t={event.at:.1f})")
 
     def _rpc(self):
         if self.network is not None:
@@ -171,6 +225,7 @@ class Kubelet:
                     _trace.tracer.instant("k8s.kubelet.heartbeat", node=self.node_name)
         except Interrupt:
             pass
+        _faults.unregister("wlm.node", self._on_node_fault)
         self.api.unwatch("Pod", watch_cb)
         node.condition.ready = False
         self.api.update("Node", node)
@@ -203,23 +258,56 @@ class Kubelet:
                 yield from self._start_pod(pod)
 
     def _start_pod(self, pod: Pod):
+        """Make a bound pod real: pull images, run containers, go RUNNING.
+
+        Failure propagation: a pull that exhausts the engine's retry
+        budget (:class:`~repro.faults.retry.RetryExhausted`), exceeds
+        :attr:`pull_deadline`, or any container/hook error fails the
+        *pod* — partial containers are stopped, node resources released,
+        and the pod lands in FAILED with a ``failure_reason`` — rather
+        than wedging the kubelet's sync loop.
+        """
         self._active_pods[pod.metadata.uid] = pod
-        results = []
+        results: list = []
+        # Published incrementally so an eviction mid-start can still
+        # reach (and stop) the containers created so far.
+        pod.container_results = results
         user = self.user_proc or self.cri.engine.kernel.init
         started_at = self.env.now
         with _trace.span(
             "k8s.pod.start", pod=pod.metadata.name, node=self.node_name
         ):
-            for cspec in pod.spec.containers:
-                pulled = self.cri.pull_image(cspec.image, now=self.env.now)
-                yield self.env.timeout(pulled.pull_cost)
-                cgroup = (
-                    f"{self.cgroup_path}/pod-{pod.metadata.uid}" if self.cgroup_path else None
-                )
-                result = self.cri.run_container(pulled, user, command=cspec.command, cgroup_path=cgroup)
-                yield self.env.timeout(result.startup_seconds - pulled.pull_cost)
-                results.append(result)
-            pod.container_results = results
+            try:
+                for cspec in pod.spec.containers:
+                    pulled = self.cri.pull_image(cspec.image, now=self.env.now)
+                    deadline = self.pull_deadline
+                    if deadline is not None and pulled.pull_cost > deadline:
+                        yield self.env.timeout(deadline)
+                        raise KubeletError(
+                            f"pull of {cspec.image!r} exceeded deadline"
+                            f" ({pulled.pull_cost:.1f}s > {deadline:.1f}s)"
+                        )
+                    yield self.env.timeout(pulled.pull_cost)
+                    cgroup = (
+                        f"{self.cgroup_path}/pod-{pod.metadata.uid}" if self.cgroup_path else None
+                    )
+                    result = self.cri.run_container(pulled, user, command=cspec.command, cgroup_path=cgroup)
+                    yield self.env.timeout(result.startup_seconds - pulled.pull_cost)
+                    results.append(result)
+            except Interrupt:
+                raise  # kubelet stop/crash, not a pod failure
+            except Exception as exc:  # noqa: BLE001 - any start error fails the pod
+                # Failed pulls are analytic: the engine accounted its
+                # retry time in exc.elapsed but nothing was yielded yet,
+                # so pay it here (capped by the pull deadline).
+                elapsed = getattr(exc, "elapsed", None)
+                if elapsed is not None:
+                    wait = elapsed if self.pull_deadline is None else min(
+                        elapsed, self.pull_deadline
+                    )
+                    yield self.env.timeout(wait)
+                self._fail_pod(pod, results, reason=str(exc))
+                return
             pod.phase = PodPhase.RUNNING
             pod.start_time = self.env.now
             yield self._rpc()
@@ -233,9 +321,37 @@ class Kubelet:
         if pod.spec.duration is not None:
             self.env.process(self._finish_pod_later(pod, results), name=f"pod-{pod.metadata.name}")
 
+    def _fail_pod(self, pod: Pod, results: list, reason: str) -> None:
+        """Propagate a start failure or eviction to the pod record.
+
+        Partial containers are stopped, the node's resource grant is
+        returned, and the pod goes FAILED with ``failure_reason`` set.
+        Synchronous (no RPC cost) so crash paths can run it inline; the
+        status update rides the next sync.
+        """
+        for result in results:
+            self.cri.stop_container(result, exit_code=137)
+        pod.phase = PodPhase.FAILED
+        pod.end_time = self.env.now
+        pod.failure_reason = reason  # type: ignore[attr-defined]
+        if self.k8s_node is not None:
+            self.k8s_node.release(pod.spec.total_requests())
+            self.api.update("Node", self.k8s_node)
+        self.api.update("Pod", pod)
+        self._active_pods.pop(pod.metadata.uid, None)
+        if _trace.tracer.enabled:
+            _trace.tracer.instant(
+                "k8s.pod.failed", pod=pod.metadata.name, node=self.node_name,
+                reason=reason,
+            )
+        if _metrics.registry.enabled:
+            _metrics.inc("k8s.pods_failed", node=self.node_name)
+
     def _finish_pod_later(self, pod: Pod, results: list):
         assert pod.spec.duration is not None
         yield self.env.timeout(pod.spec.duration)
+        if pod.phase is not PodPhase.RUNNING or pod.metadata.uid not in self._active_pods:
+            return  # failed or evicted while the payload "ran"
         for result in results:
             self.cri.stop_container(result)
         pod.phase = PodPhase.SUCCEEDED

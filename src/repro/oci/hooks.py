@@ -12,6 +12,8 @@ import dataclasses
 import enum
 import typing as _t
 
+from repro.faults.injector import injector as _faults
+
 
 class HookPoint(enum.Enum):
     """Lifecycle points of the OCI runtime specification."""
@@ -79,7 +81,22 @@ class HookRegistry:
         return list(self._hooks[point])
 
     def run(self, point: HookPoint, context: dict) -> None:
+        """Run the hooks registered at ``point`` in priority order.
+
+        Injection point ``"engine.hooks"``: an active HOOK_FAILURE fault
+        makes the first hook at this point raise :class:`HookError`,
+        aborting the lifecycle exactly as a real misbehaving hook would.
+        POSTSTOP is exempt — the spec runs poststop best-effort, and the
+        engines' cleanup guarantee relies on teardown never raising.
+        """
         for hook in self._hooks[point]:
+            if _faults.enabled and point is not HookPoint.POSTSTOP:
+                fault = _faults.active("engine.hooks", target=hook.name)
+                if fault is not None:
+                    raise HookError(
+                        f"hook {hook.name!r} failed: injected fault"
+                        f" (until t={fault.until:.1f})"
+                    )
             hook.run(context)
             self.executed.append((point, hook.name))
 

@@ -22,6 +22,9 @@ from repro.registry.ratelimit import RateLimiter, RateLimitExceeded
 from repro.registry.distribution import (
     OCIDistributionRegistry,
     RegistryError,
+    RegistryRateLimited,
+    RegistryTimeout,
+    RegistryUnavailable,
     Transport,
 )
 from repro.registry.library_api import LibraryAPIRegistry
@@ -69,6 +72,9 @@ __all__ = [
     "RateLimiter",
     "RegistryError",
     "RegistryProduct",
+    "RegistryRateLimited",
+    "RegistryTimeout",
+    "RegistryUnavailable",
     "RegistryTraits",
     "Replicator",
     "S3BlobStore",

@@ -14,6 +14,8 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.faults.injector import injector as _faults
+from repro.faults.plan import FaultKind
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 from repro.oci.image import ImageConfig, Manifest, OCIImage
@@ -25,7 +27,36 @@ from repro.registry.storage import BlobStore, FSBlobStore
 
 
 class RegistryError(RuntimeError):
-    pass
+    """Permanent registry failure (unknown image, auth, policy).
+
+    Callers must **not** retry these: the same request will fail the
+    same way.  Transient conditions raise :class:`RegistryUnavailable`
+    subclasses instead, which engine pull loops retry with deterministic
+    backoff (see :meth:`repro.engines.base.ContainerEngine.pull`).
+    """
+
+
+class RegistryUnavailable(RegistryError):
+    """Transient registry failure — retrying later can succeed.
+
+    ``cost`` is the virtual time the failed request consumed (one
+    round trip for a 429, a full client timeout for a hang); retry
+    loops add it to their accounted elapsed time so backoff interacts
+    correctly with fault windows.
+    """
+
+    def __init__(self, message: str, cost: float = 0.0, retry_after: float | None = None):
+        super().__init__(message)
+        self.cost = cost
+        self.retry_after = retry_after
+
+
+class RegistryRateLimited(RegistryUnavailable):
+    """HTTP 429: the registry throttled this client."""
+
+
+class RegistryTimeout(RegistryUnavailable):
+    """The request hung until the client-side timeout fired."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -34,6 +65,8 @@ class Transport:
 
     latency: float = 20e-3
     bandwidth: float = 1.0e9
+    #: how long a client waits on a hung request before giving up
+    client_timeout: float = 30.0
 
     def request_cost(self, nbytes: int = 0) -> float:
         return self.latency + nbytes / self.bandwidth
@@ -175,6 +208,11 @@ class OCIDistributionRegistry:
 
     # -- pull ----------------------------------------------------------------------------
     def resolve(self, repository: str, tag: str) -> str:
+        """Resolve ``repository:tag`` to its manifest digest.
+
+        Raises :class:`RegistryError` (permanent — callers must not
+        retry) when the repository or tag does not exist.
+        """
         tags = self._tags.get(repository)
         if tags is None or tag not in tags:
             raise RegistryError(f"{self.name}: no such image {repository}:{tag}")
@@ -190,9 +228,44 @@ class OCIDistributionRegistry:
         have_digests: _t.Container[str] = frozenset(),
     ) -> tuple[OCIImage, float]:
         """Pull an image; blobs in ``have_digests`` (the client's local
-        cache) are skipped.  Returns the image and the time cost."""
+        cache) are skipped.  Returns the image and the time cost.
+
+        Raises:
+            RegistryError: permanently, for an unknown ``repository:tag``
+                or failed authorization — do not retry.
+            RegistryRateLimited: transiently, while an armed fault plan
+                has a ``registry_429`` window open; carries the wasted
+                round-trip as ``cost``.
+            RegistryTimeout: transiently, during a ``registry_timeout``
+                window; carries one full ``transport.client_timeout``.
+
+        A ``registry_slow_blob`` fault does not raise — it multiplies the
+        returned cost by the fault's factor.  ``now`` keys the fault
+        window lookup (and the rate limiter), so analytic retry loops
+        pass ``now + cost_so_far`` to model time moving forward between
+        attempts.
+        """
         self._authorize(token, "pull")
         self._rate_check(ip, now)
+        slow_factor = 1.0
+        if _faults.enabled:
+            fault = _faults.active("registry.pull", at=now, target=self.name)
+            if fault is not None:
+                if fault.kind is FaultKind.REGISTRY_429:
+                    raise RegistryRateLimited(
+                        f"{self.name}: 429 Too Many Requests (fault window "
+                        f"until t={fault.until:.1f})",
+                        cost=self.transport.request_cost(),
+                        retry_after=max(0.0, fault.until - now),
+                    )
+                if fault.kind is FaultKind.REGISTRY_TIMEOUT:
+                    raise RegistryTimeout(
+                        f"{self.name}: request hung (fault window until "
+                        f"t={fault.until:.1f})",
+                        cost=self.transport.client_timeout,
+                    )
+                if fault.kind is FaultKind.REGISTRY_SLOW_BLOB:
+                    slow_factor = max(1.0, fault.factor)
         digest = self.resolve(repository, tag)
         manifest, config = self._manifests[digest]
         cost = self.transport.request_cost(2048)  # manifest GET
@@ -206,6 +279,7 @@ class OCIDistributionRegistry:
             if layer_digest not in have_digests:
                 cost += store_cost + self.transport.request_cost(blob.size)
                 transferred += blob.size
+        cost *= slow_factor
         self.stats["pulls"] += 1
         if _trace.tracer.enabled:
             _trace.complete(

@@ -34,10 +34,20 @@ class PullThroughProxy:
         self,
         repository: str,
         tag: str,
+        token: str | None = None,
+        ip: str = "10.0.0.1",
         now: float = 0.0,
         have_digests=frozenset(),
     ) -> tuple[OCIImage, float]:
-        """Pull through the cache; one upstream fetch per (repo, tag)."""
+        """Pull through the cache; one upstream fetch per (repo, tag).
+
+        Accepts the full :meth:`OCIDistributionRegistry.pull_image`
+        surface so engines can point at a proxy transparently: ``ip`` is
+        the client's LAN address (rate-limited against the *cache*, not
+        upstream — the whole point of the proxy), while upstream only
+        ever sees the site's single egress IP.  ``token`` is unused; the
+        cache is anonymous on the LAN side.
+        """
         try:
             self.cache.resolve(repository, tag)
             cached = True
@@ -56,7 +66,7 @@ class PullThroughProxy:
         else:
             self.stats["hits"] += 1
         image, local_cost = self.cache.pull_image(
-            repository, tag, now=now, have_digests=have_digests
+            repository, tag, ip=ip, now=now, have_digests=have_digests
         )
         return image, cost + local_cost
 

@@ -43,6 +43,8 @@ class KubeletInAllocationScenario(IntegrationScenario):
         self.network = Interconnect(self.hosts[0].nic)
         self.allocation_user = allocation_user
         self.kubelets: list[Kubelet] = []
+        #: agents stopped by a requeue, kept visible for leak checks
+        self.retired_kubelets: list[Kubelet] = []
         self.job = None
         self._agents_ready = env.event()
         self._joined = 0
@@ -65,6 +67,7 @@ class KubeletInAllocationScenario(IntegrationScenario):
             duration=None,
             time_limit=self.allocation_time_limit,
             on_start=self._start_agent,
+            on_requeue=self._on_requeue,
         )
         self.job = self.wlm.submit(spec)
         yield self._agents_ready
@@ -97,6 +100,23 @@ class KubeletInAllocationScenario(IntegrationScenario):
         kubelet.start()
         self.kubelets.append(kubelet)
         self.env.process(self._count_join(), name=f"join-{node.name}")
+
+    def _on_requeue(self, job) -> None:
+        """The agents' service job lost a node and is being requeued.
+
+        Kubelets on the *surviving* nodes must stop too — the allocation
+        (cgroups, user processes) that hosts them is going away — with
+        their active pods evicted back to FAILED.  The crashed node's
+        kubelet already died via its own ``"wlm.node"`` handler, so
+        stopping it again is a no-op.  Fresh agents come up through
+        ``on_start`` when the job lands on its next allocation.
+        """
+        for kubelet in self.kubelets:
+            kubelet.evict_active_pods(reason="allocation lost (node failure)")
+            kubelet.stop()
+        self.retired_kubelets.extend(self.kubelets)
+        self.kubelets.clear()
+        self._joined = 0
 
     def _count_join(self):
         yield self.env.timeout(Kubelet.startup_cost + 0.5)

@@ -14,6 +14,9 @@ class JobState(enum.Enum):
     FAILED = "FAILED"
     CANCELLED = "CANCELLED"
     TIMEOUT = "TIMEOUT"
+    #: a node of the allocation died; transient if the job is requeued
+    #: (the state log shows NODE_FAIL -> PENDING), terminal otherwise
+    NODE_FAIL = "NODE_FAIL"
 
     @property
     def is_terminal(self) -> bool:
@@ -22,6 +25,7 @@ class JobState(enum.Enum):
             JobState.FAILED,
             JobState.CANCELLED,
             JobState.TIMEOUT,
+            JobState.NODE_FAIL,
         )
 
 
@@ -41,10 +45,17 @@ class JobSpec:
     partition: str = "batch"
     exclusive: bool = True
     priority: int = 0
+    #: requeue rather than fail when an allocated node dies (JobRequeue=1)
+    requeue: bool = True
     #: called on each allocated node at job start: fn(node, job, user_proc)
     on_start: _t.Callable | None = None
     #: called at job end: fn(job)
     on_end: _t.Callable | None = None
+    #: called just before the job is requeued (node failure or preemption),
+    #: while ``allocated_nodes``/``node_procs`` still reflect the lost
+    #: allocation: fn(job).  Service jobs use this to tear down per-node
+    #: components (e.g. kubelets) that survive on healthy nodes.
+    on_requeue: _t.Callable | None = None
 
 
 @dataclasses.dataclass
@@ -72,6 +83,8 @@ class Job:
         self.exit_code: int | None = None
         #: per-node user processes created by the allocation
         self.node_procs: dict[str, object] = {}
+        #: times this job went back to PENDING after losing a node
+        self.requeue_count = 0
         self.state_log: list[tuple[float, JobState]] = [(submit_time, JobState.PENDING)]
 
     def set_state(self, state: JobState, now: float) -> None:

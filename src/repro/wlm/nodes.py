@@ -60,6 +60,10 @@ class WLMNode:
 
     def release(self, job_id: int) -> None:
         self.allocations.pop(job_id, None)
+        if self.state is NodeState.DOWN:
+            # A crashed job releasing its allocation must not resurrect
+            # the node; only fail()/resume() move a node out of DOWN.
+            return
         if not self.allocations:
             if self.state is NodeState.DRAINING:
                 self.state = NodeState.DRAINED
@@ -71,6 +75,11 @@ class WLMNode:
     def drain(self, reason: str = "") -> None:
         self.drain_reason = reason
         self.state = NodeState.DRAINING if self.allocations else NodeState.DRAINED
+
+    def fail(self, reason: str = "node failure") -> None:
+        """Hard-down the node (crash, not an administrative drain)."""
+        self.drain_reason = reason
+        self.state = NodeState.DOWN
 
     def resume(self) -> None:
         self.drain_reason = None

@@ -13,6 +13,7 @@ import itertools
 import typing as _t
 
 from repro.cluster.node import HostNode
+from repro.faults.injector import injector as _faults
 from repro.kernel.cgroups import Controller
 from repro.kernel.process import SimProcess
 from repro.obs import metrics as _metrics
@@ -68,10 +69,19 @@ class SlurmController:
         self._busy_integral = 0.0
         self._busy_nodes = 0
         self._last_change = env.now
+        if _faults.enabled:
+            _faults.register("wlm.node", self._on_node_fault)
         env.process(self._scheduler_loop(), name="slurmctld")
 
     # ------------------------------------------------------------- submission
     def submit(self, spec: JobSpec) -> Job:
+        """Queue a job (sbatch) and kick the scheduler.
+
+        Returns the pending :class:`~repro.wlm.jobs.Job` immediately;
+        placement happens asynchronously on the next scheduler pass.
+        Raises :class:`WLMError` if the spec can never be satisfied by
+        this partition (zero nodes, or more nodes than exist).
+        """
         if spec.nodes < 1:
             raise WLMError("a job needs at least one node")
         if spec.nodes > len(self.nodes):
@@ -86,6 +96,12 @@ class SlurmController:
         return job
 
     def cancel(self, job: Job) -> None:
+        """scancel: dequeue a pending job or interrupt a running one.
+
+        Running jobs go through the normal teardown path (nodes
+        released, accounting recorded) with state CANCELLED; terminal
+        jobs are left untouched.
+        """
         if job.state is JobState.PENDING:
             self.queue.remove(job)
             job.set_state(JobState.CANCELLED, self.env.now)
@@ -199,8 +215,12 @@ class SlurmController:
 
         # Payload.
         final_state = JobState.COMPLETED
-        preempted = False
+        requeue_cause: str | None = None
         try:
+            if getattr(job, "_node_failed", False):
+                # The crash landed inside the allocation-setup window,
+                # before the payload could be interrupted.
+                raise Interrupt(cause="node_fail")
             if spec.duration is None:
                 yield self.env.timeout(spec.time_limit)
                 final_state = JobState.TIMEOUT
@@ -211,13 +231,29 @@ class SlurmController:
                     final_state = JobState.TIMEOUT
         except Interrupt as intr:
             if intr.cause == "preemption":
-                preempted = True
+                requeue_cause = "preemption"
+            elif intr.cause == "node_fail":
+                if spec.requeue:
+                    requeue_cause = "node_fail"
+                else:
+                    final_state = JobState.NODE_FAIL
             else:
                 final_state = JobState.CANCELLED
 
-        if preempted:
-            # PreemptMode=REQUEUE: release nodes, go back to PENDING; the
-            # job restarts from scratch on its next allocation.
+        if requeue_cause is not None:
+            # PreemptMode=REQUEUE / JobRequeue=1: release nodes, go back
+            # to PENDING; the job restarts from scratch on its next
+            # allocation.  A DOWN node keeps its state through release().
+            job._node_failed = False  # type: ignore[attr-defined]
+            if requeue_cause == "node_fail":
+                job.set_state(JobState.NODE_FAIL, self.env.now)
+                job.requeue_count += 1
+            else:
+                job.preempt_count = getattr(job, "preempt_count", 0) + 1
+            if _metrics.registry.enabled:
+                _metrics.inc("wlm.job_requeues", cause=requeue_cause)
+            if spec.on_requeue is not None:
+                spec.on_requeue(job)
             for node in placement:
                 node.release(job.job_id)
             self.running.pop(job.job_id, None)
@@ -225,7 +261,6 @@ class SlurmController:
             job.start_time = None
             job.allocated_nodes = []
             job.node_procs.clear()
-            job.preempt_count = getattr(job, "preempt_count", 0) + 1
             job.set_state(JobState.PENDING, self.env.now)
             self.queue.append(job)
             self._ring()
@@ -299,6 +334,49 @@ class SlurmController:
         for node in self._named(names):
             node.resume()
         self._ring()
+
+    # ------------------------------------------------------------- node failure
+    def fail_node(self, name: str, reason: str = "node failure") -> None:
+        """Hard-down ``name`` and interrupt every job allocated there.
+
+        Jobs with ``spec.requeue`` (the default) transition
+        RUNNING -> NODE_FAIL -> PENDING and rejoin the queue; the dead
+        node stays DOWN (and unschedulable) until :meth:`restore_node`.
+        """
+        node = self._named([name])[0]
+        node.fail(reason)
+        if _metrics.registry.enabled:
+            _metrics.inc("wlm.node_failures", node=name)
+        if _trace.tracer.enabled:
+            _trace.tracer.instant("wlm.node_fail", node=name, reason=reason)
+        for job in list(self.running.values()):
+            if name not in job.allocated_nodes:
+                continue
+            proc = getattr(job, "_sim_process", None)
+            if job.state is JobState.RUNNING and proc is not None and proc.is_alive:
+                proc.interrupt(cause="node_fail")
+            else:
+                # Allocation still in setup; the payload checks this flag
+                # before its first yield.
+                job._node_failed = True  # type: ignore[attr-defined]
+
+    def restore_node(self, name: str) -> None:
+        """Bring a DOWN node back (reboot finished) and kick the scheduler."""
+        node = self._named([name])[0]
+        if node.state is NodeState.DOWN:
+            node.resume()
+            if _trace.tracer.enabled:
+                _trace.tracer.instant("wlm.node_restore", node=name)
+            self._ring()
+
+    def _on_node_fault(self, event, phase: str) -> None:
+        """Push handler for ``"wlm.node"`` faults from the injector."""
+        if event.target is None or event.target not in {n.name for n in self.nodes}:
+            return
+        if phase == "crash":
+            self.fail_node(event.target, reason=f"injected crash (t={event.at:.1f})")
+        else:
+            self.restore_node(event.target)
 
     # ------------------------------------------------------------- views
     def sinfo(self) -> dict[str, int]:

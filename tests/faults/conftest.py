@@ -1,0 +1,10 @@
+import pytest
+
+from repro.faults import injector
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after_test():
+    """The injector is process-wide state; never leak an armed plan."""
+    yield
+    injector.disarm()

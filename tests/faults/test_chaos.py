@@ -1,0 +1,88 @@
+"""Chaos runs: determinism, the CLI verb, and the no-leak property."""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cli import main
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+from repro.faults.chaos import run_chaos
+from repro.scenarios import KubeletInAllocationScenario
+
+
+def crash_plan(seed=42, n_nodes=4):
+    nodes = [f"nid{i:04}" for i in range(n_nodes)]
+    return FaultPlan.generate(seed=seed, node_names=nodes)
+
+
+def test_chaos_run_is_deterministic():
+    plan = crash_plan()
+    m1, r1 = run_chaos(KubeletInAllocationScenario, plan, seed=42)
+    m2, r2 = run_chaos(KubeletInAllocationScenario, plan, seed=42)
+    assert r1 == r2
+    assert m1 == m2
+
+
+def test_node_crash_requeues_service_job_and_recovers():
+    plan = crash_plan(seed=42)
+    assert any(e.kind is FaultKind.NODE_CRASH for e in plan)
+    _, report = run_chaos(KubeletInAllocationScenario, plan, seed=42)
+    assert report.injected.get("node_crash", 0) >= 1
+    assert report.jobs_requeued >= 1
+    assert report.clean, report.leaks
+    # the requeued allocation restarted its agents and finished the work
+    assert report.pods_completed + report.pods_failed == report.pods_submitted
+
+
+def test_registry_faults_fail_pods_but_leak_nothing():
+    plan = FaultPlan([
+        FaultEvent(kind=FaultKind.REGISTRY_429, at=0.0, duration=30.0),
+    ])
+    _, report = run_chaos(KubeletInAllocationScenario, plan, seed=7)
+    assert report.injected.get("registry_429", 0) >= 1
+    assert report.retries.get("registry", 0) >= 1
+    assert report.pods_failed >= 1          # pull deadline / retry exhaustion
+    assert report.clean, report.leaks
+
+
+def test_chaos_cli_double_run_traces_byte_identical(tmp_path):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    argv = ["chaos", "kubelet_in_allocation", "--seed", "42"]
+    assert main([*argv, "--out", str(out_a)]) == 0
+    assert main([*argv, "--out", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    doc = json.loads(out_a.read_text())
+    assert any(
+        ev.get("name") == "fault.injected" for ev in doc.get("traceEvents", [])
+    )
+
+
+def test_chaos_cli_plan_roundtrip(tmp_path):
+    plan_path = tmp_path / "plan.json"
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert main([
+        "chaos", "kubelet-in-allocation", "--seed", "9",
+        "--out", str(out_a), "--save-plan", str(plan_path),
+    ]) == 0
+    assert main([
+        "chaos", "kubelet-in-allocation", "--seed", "9",
+        "--out", str(out_b), "--faults", str(plan_path),
+    ]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+
+
+def test_chaos_cli_rejects_unknown_scenario(tmp_path):
+    assert main(["chaos", "no-such-scenario", "--out", str(tmp_path / "x.json")]) == 2
+
+
+# -- the §3.2 property: no lingering containers or mounts, any plan ----------------
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_no_leaks_under_any_seeded_plan(seed):
+    plan = crash_plan(seed=seed)
+    _, report = run_chaos(KubeletInAllocationScenario, plan, seed=seed, n_pods=4)
+    assert report.clean, report.leaks
+    assert report.pods_completed + report.pods_failed <= report.pods_submitted

@@ -1,5 +1,6 @@
-"""Cross-cutting failure injection: half-built containers, full blob
-stores, failing hooks mid-lifecycle, WLM timeouts during scenarios."""
+"""Cross-cutting lifecycle failures (no injector needed): half-built
+containers, full blob stores, failing hooks mid-lifecycle, WLM timeouts
+during scenarios.  Injected-fault recovery lives in test_recovery.py."""
 
 import pytest
 
