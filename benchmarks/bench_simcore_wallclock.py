@@ -50,6 +50,57 @@ SWEEPS = [
     ("section66_scenario_matrix", bench_scenarios.run_matrix),
 ]
 
+#: chaos sweep half of the shard workload: one scenario, 16 seeds.
+SHARD_CHAOS_SCENARIO = "kubelet-in-allocation"
+SHARD_CHAOS_SEEDS = range(16)
+
+
+def _shard_cells():
+    """The shard workload: the full §6.6 matrix plus a 16-seed chaos sweep."""
+    from repro.shard import chaos_seed_sweep, scenario_matrix
+
+    return scenario_matrix() + chaos_seed_sweep(
+        SHARD_CHAOS_SCENARIO, SHARD_CHAOS_SEEDS
+    )
+
+
+def shard_parallel_jobs() -> int:
+    """Worker count for the parallel shard entry: the host's cores,
+    capped at 4 (the workload has 22 cells; more workers just idle),
+    floored at 2 so the entry always exercises a real pool."""
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def run_shard_suite(calibration_s: float) -> dict:
+    """Time the shard workload serial vs parallel from one warm snapshot.
+
+    The merged profile counters come straight off the runner
+    (:class:`~repro.shard.ShardResult`), are machine-independent, and —
+    because the runner's merge is placement-invariant — identical
+    between the two entries; ``snapshot_forks``/``warm_replays`` in the
+    snapshot surface how much prefix work the fork replayed.
+    """
+    from repro.shard import WarmSnapshot, run_cells
+
+    cells = _shard_cells()
+    snapshot = WarmSnapshot.for_scenario_prefix()
+    entries = {}
+    for name, jobs in (
+        ("shard_matrix_chaos_serial", 1),
+        ("shard_matrix_chaos_parallel", shard_parallel_jobs()),
+    ):
+        t0 = time.perf_counter()
+        result = run_cells(cells, jobs=jobs, snapshot=snapshot)
+        wall = time.perf_counter() - t0
+        entries[name] = {
+            "wall_clock_s": round(wall, 4),
+            "normalized_wall": round(wall / calibration_s, 2),
+            "jobs": jobs,
+            "cells": len(cells),
+            "sim_counters": result.profile,
+        }
+    return entries
+
 
 def _calibration_workload() -> None:
     """A fixed sim-core microloop: ~60k events of pure bookkeeping."""
@@ -90,6 +141,7 @@ def run_suite() -> dict:
             "normalized_wall": round(wall / calibration_s, 2),
             "sim_counters": prof.snapshot(),
         }
+    benchmarks.update(run_shard_suite(calibration_s))
     return {
         "schema": "simcore-wallclock/1",
         "calibration_s": round(calibration_s, 5),
@@ -147,6 +199,23 @@ def test_simcore_wallclock(benchmark):
     smallfile = result["benchmarks"]["smallfile_startup_sweep"]["sim_counters"]
     assert smallfile["events_processed"] < 200_000
 
+    # Sharded execution is a pure re-scheduling: the merged counters are
+    # machine- and placement-independent, so serial and parallel entries
+    # must agree exactly, and the warm snapshot must actually replay the
+    # scenario prefix in every cell.
+    serial = result["benchmarks"]["shard_matrix_chaos_serial"]
+    parallel = result["benchmarks"]["shard_matrix_chaos_parallel"]
+    assert parallel["sim_counters"] == serial["sim_counters"]
+    assert serial["sim_counters"]["shard_cells_run"] == serial["cells"]
+    assert serial["sim_counters"]["snapshot_forks"] == serial["cells"]
+    assert serial["sim_counters"]["warm_replays"] >= serial["cells"]
+    if (os.cpu_count() or 1) >= 2:
+        # the PR6 acceptance bar: ≤ 0.6x serial wall on a real multicore
+        assert parallel["wall_clock_s"] <= 0.6 * serial["wall_clock_s"], (
+            f"sharded run took {parallel['wall_clock_s']:.2f}s with "
+            f"{parallel['jobs']} jobs vs {serial['wall_clock_s']:.2f}s serial"
+        )
+
     baseline_env = os.environ.get("SIMCORE_BENCH_BASELINE")
     if baseline_env:
         tolerance = float(os.environ.get("SIMCORE_BENCH_TOLERANCE", "0.25"))
@@ -159,6 +228,13 @@ if __name__ == "__main__":  # pragma: no cover - manual/CI smoke entry point
     print(json.dumps(outcome, indent=2))
     for sweep_name, data in outcome["benchmarks"].items():
         c = data["sim_counters"]
+        if "jobs" in data:
+            print(
+                f"{sweep_name}: {data['cells']} cells with jobs={data['jobs']} in "
+                f"{data['wall_clock_s']:.2f}s; {c['snapshot_forks']} snapshot forks, "
+                f"{c['warm_replays']} warm prefix replays"
+            )
+            continue
         print(
             f"{sweep_name}: {c['events_processed']} events processed; tickless "
             f"parked {c['parked_processes']} times, {c['wakeups_fired']} wakeups, "
@@ -171,6 +247,16 @@ if __name__ == "__main__":  # pragma: no cover - manual/CI smoke entry point
         )
     name = os.environ.get("SIMCORE_BENCH_OUT", "BENCH_LOCAL.json")
     (REPO_ROOT / name).write_text(json.dumps(outcome, indent=2) + "\n")
+    serial = outcome["benchmarks"]["shard_matrix_chaos_serial"]
+    parallel = outcome["benchmarks"]["shard_matrix_chaos_parallel"]
+    if parallel["sim_counters"] != serial["sim_counters"]:
+        raise SystemExit("shard merge drift: serial and parallel counters differ")
+    if (os.cpu_count() or 1) >= 2 and parallel["wall_clock_s"] > 0.6 * serial["wall_clock_s"]:
+        raise SystemExit(
+            f"SHARD REGRESSION: {parallel['wall_clock_s']:.2f}s with "
+            f"{parallel['jobs']} jobs vs {serial['wall_clock_s']:.2f}s serial "
+            f"(> 0.6x on {os.cpu_count()} cores)"
+        )
     baseline_env = os.environ.get("SIMCORE_BENCH_BASELINE")
     if baseline_env:
         tol = float(os.environ.get("SIMCORE_BENCH_TOLERANCE", "0.25"))

@@ -4,17 +4,20 @@
 
     python -m repro tables 1           # render a paper table
     python -m repro decide hardened    # decision document for a site profile
-    python -m repro scenarios          # run the §6.6 comparison
+    python -m repro scenarios --jobs 4 # run the §6.6 comparison, sharded
     python -m repro startup            # cross-engine startup comparison
     python -m repro trace kubelet_in_allocation --out trace.json
                                        # Perfetto timeline of one scenario
     python -m repro chaos kubelet_in_allocation --seed 42
                                        # same scenario under a seeded fault plan
+    python -m repro chaos kubelet_in_allocation --seeds 0..15 --jobs 4 \
+        --out report.json              # sharded chaos seed sweep + JSON report
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 import typing as _t
 
@@ -54,14 +57,24 @@ def _cmd_decide(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.core.tables import render_table
-    from repro.scenarios import evaluate_all
     from repro.scenarios.evaluate import summary_rows
+    from repro.shard import ObsConfig, WarmSnapshot, run_cells, scenario_matrix
 
+    if args.list:
+        return _print_scenario_list()
     if args.metrics:
         from repro.obs import metrics as obs_metrics
+        from repro.sim import profile as sim_profile
 
-        obs_metrics.enable()
-    metrics = evaluate_all(n_nodes=args.nodes, n_pods=args.pods)
+        sim_profile.counters.reset()
+        obs_metrics.registry.reset()
+    result = run_cells(
+        scenario_matrix(n_nodes=args.nodes, n_pods=args.pods),
+        jobs=args.jobs,
+        obs=ObsConfig(metrics=args.metrics),
+        snapshot=WarmSnapshot.for_scenario_prefix(args.nodes),
+    )
+    metrics = result.values()
     print(render_table(summary_rows(metrics),
                        f"§6.6 comparison ({args.pods} pods on {args.nodes} nodes)"))
     for m in metrics:
@@ -70,7 +83,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(obs_metrics.registry.render_table())
-        obs_metrics.disable()
+        obs_metrics.registry.reset()
     return 0
 
 
@@ -111,15 +124,21 @@ def _cmd_startup(args: argparse.Namespace) -> int:
     return 0
 
 
+@functools.lru_cache(maxsize=1)
 def _scenario_classes() -> dict[str, type]:
-    """Scenario lookup accepting both hyphen and underscore spellings."""
-    from repro.scenarios.evaluate import ALL_SCENARIOS
+    """Scenario lookup accepting both hyphen and underscore spellings.
 
-    table: dict[str, type] = {}
-    for cls in ALL_SCENARIOS:
-        table[cls.name] = cls
-        table[cls.name.replace("-", "_")] = cls
-    return table
+    Memoized: the table is rebuilt from ``ALL_SCENARIOS`` once per
+    process instead of once per command invocation."""
+    from repro.shard.cells import scenario_table
+
+    return scenario_table()
+
+
+def _print_scenario_list() -> int:
+    for name in sorted({cls.name for cls in _scenario_classes().values()}):
+        print(name)
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -161,20 +180,40 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_chaos_report(reports: list, scenario: str, path: str) -> None:
+    import json as _json
+
+    from repro.faults.chaos import chaos_report_document
+
+    with open(path, "w") as fh:
+        fh.write(_json.dumps(chaos_report_document(reports, scenario), indent=2))
+        fh.write("\n")
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.faults.chaos import run_chaos
     from repro.faults.plan import FaultPlan
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace as obs_trace
     from repro.obs.export import validate_chrome_trace
     import json as _json
 
+    if args.list:
+        return _print_scenario_list()
+    if args.scenario is None:
+        print("a scenario name is required (or --list)", file=sys.stderr)
+        return 2
     scenarios = _scenario_classes()
     scenario_cls = scenarios.get(args.scenario)
     if scenario_cls is None:
         names = ", ".join(sorted(c.name for c in set(scenarios.values())))
         print(f"unknown scenario {args.scenario!r}; one of: {names}", file=sys.stderr)
         return 2
+
+    if args.seeds is not None:
+        return _chaos_sweep(args, scenario_cls)
+
+    from repro.faults.chaos import run_chaos
+
     if args.faults:
         plan = FaultPlan.from_file(args.faults)
     else:
@@ -189,12 +228,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         _metrics, report = run_chaos(
             scenario_cls, plan, n_nodes=args.nodes, n_pods=args.pods, seed=args.seed
         )
-        doc = obs_trace.export_json(args.out, indent=2 if args.pretty else None)
+        doc = obs_trace.export_json(args.trace, indent=2 if args.pretty else None)
     finally:
         obs_metrics.disable()
         obs_trace.disable()
     print(report.render())
-    print(f"  trace:           {args.out}")
+    print(f"  trace:           {args.trace}")
+    if args.out:
+        _write_chaos_report([report], scenario_cls.name, args.out)
+        print(f"  report:          {args.out}")
     if args.metrics:
         print()
         print(obs_metrics.registry.render_table())
@@ -204,6 +246,94 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             print(f"invalid trace: {p}", file=sys.stderr)
         return 1
     return 0 if report.clean else 1
+
+
+def _chaos_sweep(args: argparse.Namespace, scenario_cls: type) -> int:
+    """``chaos --seeds A..B [--jobs N]``: the sharded chaos seed sweep.
+
+    Stdout never mentions the worker count, and the runner's merge rules
+    are placement-independent, so ``--jobs 1`` and ``--jobs N`` produce
+    byte-identical output, trace files and report JSON.
+    """
+    from repro.faults.chaos import chaos_report_document
+    from repro.faults.plan import FaultPlan
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import validate_chrome_trace
+    from repro.shard import (
+        ObsConfig,
+        WarmSnapshot,
+        chaos_seed_sweep,
+        parse_seed_range,
+        run_cells,
+    )
+    import dataclasses as _dc
+    import json as _json
+
+    try:
+        seeds = parse_seed_range(args.seeds)
+    except ValueError as exc:
+        print(f"bad --seeds: {exc}", file=sys.stderr)
+        return 2
+    if args.save_plan:
+        print("--save-plan needs a single-seed run (drop --seeds)", file=sys.stderr)
+        return 2
+    cells = chaos_seed_sweep(
+        scenario_cls.name, seeds, n_nodes=args.nodes, n_pods=args.pods
+    )
+    if args.faults:
+        plan_json = FaultPlan.from_file(args.faults).to_json()
+        cells = [_dc.replace(cell, plan_json=plan_json) for cell in cells]
+    if args.metrics:
+        from repro.sim import profile as sim_profile
+
+        sim_profile.counters.reset()
+        obs_metrics.registry.reset()
+    obs_trace.tracer.reset()
+    result = run_cells(
+        cells,
+        jobs=args.jobs,
+        obs=ObsConfig(metrics=args.metrics, trace=True),
+        snapshot=WarmSnapshot.for_scenario_prefix(args.nodes),
+    )
+    reports = result.values()
+    doc_text = obs_trace.export_json(args.trace, indent=2 if args.pretty else None)
+    report_doc = chaos_report_document(reports, scenario_cls.name)
+
+    print(f"chaos sweep: {scenario_cls.name} "
+          f"seeds {seeds[0]}..{seeds[-1]} ({len(seeds)} run(s))")
+    for report in reports:
+        injected = sum(report.injected.values())
+        retries = sum(report.retries.values())
+        status = "clean" if report.clean else f"LEAKS={len(report.leaks)}"
+        print(f"  seed {report.seed:>4}: injected={injected} retries={retries} "
+              f"requeued={report.jobs_requeued} "
+              f"pods {report.pods_completed}/{report.pods_submitted} {status}")
+    agg = report_doc["aggregate"]
+    parts = ", ".join(f"{k}={v}" for k, v in agg["injected"].items()) or "none"
+    print(f"aggregate:         faults injected: {parts}")
+    print(f"  pods:            {agg['pods_completed']} completed, "
+          f"{agg['pods_failed']} failed, {agg['pods_submitted']} submitted")
+    if agg["leaks"]:
+        print(f"  LEAKS:           {agg['leaks']} across {agg['runs']} run(s)")
+    else:
+        print(f"  leaks:           none across {agg['runs']} run(s)")
+    print(f"  trace:           {args.trace}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(_json.dumps(report_doc, indent=2))
+            fh.write("\n")
+        print(f"  report:          {args.out}")
+    if args.metrics:
+        print()
+        print(obs_metrics.registry.render_table())
+        obs_metrics.registry.reset()
+    problems = validate_chrome_trace(_json.loads(doc_text))
+    if problems:
+        for p in problems:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        return 1
+    return 0 if agg["clean"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,6 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen = sub.add_parser("scenarios", help="run the §6.6 scenario comparison")
     p_scen.add_argument("--nodes", type=int, default=4)
     p_scen.add_argument("--pods", type=int, default=8)
+    p_scen.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the matrix (output is "
+                             "byte-identical to --jobs 1)")
+    p_scen.add_argument("--list", action="store_true",
+                        help="list scenario names and exit")
     p_scen.add_argument("--metrics", action="store_true",
                         help="print the labeled metrics registry afterwards")
     p_scen.set_defaults(fn=_cmd_scenarios)
@@ -260,21 +395,32 @@ def build_parser() -> argparse.ArgumentParser:
                     "requeues, pod outcomes, and the leak audit.  Same seed "
                     "and plan produce a byte-identical trace.",
     )
-    p_chaos.add_argument("scenario", metavar="scenario",
+    p_chaos.add_argument("scenario", metavar="scenario", nargs="?",
                          help="scenario name (hyphens or underscores)")
     p_chaos.add_argument("--seed", type=int, default=0,
                          help="seed for plan generation and the workload")
+    p_chaos.add_argument("--seeds", default=None, metavar="A..B",
+                         help="run a seed sweep over the inclusive range "
+                              "(or a single seed) instead of one --seed run")
+    p_chaos.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for a --seeds sweep (output "
+                              "is byte-identical to --jobs 1)")
     p_chaos.add_argument("--faults", default=None, metavar="PLAN.json",
                          help="load the fault plan from a JSON file instead "
-                              "of generating one from --seed")
+                              "of generating one from the seed(s)")
     p_chaos.add_argument("--save-plan", default=None, metavar="PLAN.json",
                          help="write the effective fault plan to a JSON file")
     p_chaos.add_argument("--nodes", type=int, default=4)
     p_chaos.add_argument("--pods", type=int, default=8)
-    p_chaos.add_argument("--out", default="chaos-trace.json",
+    p_chaos.add_argument("--trace", default="chaos-trace.json",
                          help="output path for the Chrome trace JSON")
+    p_chaos.add_argument("--out", default=None, metavar="REPORT.json",
+                         help="also write the chaos report document as JSON "
+                              "(schema repro-chaos-report/1)")
+    p_chaos.add_argument("--list", action="store_true",
+                         help="list scenario names and exit")
     p_chaos.add_argument("--pretty", action="store_true",
-                         help="indent the JSON output")
+                         help="indent the trace JSON output")
     p_chaos.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
     p_chaos.set_defaults(fn=_cmd_chaos)

@@ -42,6 +42,29 @@ class ChaosReport:
     def clean(self) -> bool:
         return not self.leaks
 
+    def to_dict(self) -> dict[str, object]:
+        """A JSON-ready dict with schema-stable key order.
+
+        Top-level keys follow the field declaration order above (plus
+        the derived ``clean``); the ``injected``/``retries`` maps are
+        emitted sorted by kind so two equal reports serialize to
+        byte-identical JSON regardless of injection order.
+        """
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "plan_events": self.n_events,
+            "injected": dict(sorted(self.injected.items())),
+            "retries": dict(sorted(self.retries.items())),
+            "jobs_requeued": self.jobs_requeued,
+            "pods_submitted": self.pods_submitted,
+            "pods_completed": self.pods_completed,
+            "pods_failed": self.pods_failed,
+            "leaks": list(self.leaks),
+            "end_time": self.end_time,
+            "clean": self.clean,
+        }
+
     def render(self) -> str:
         lines = [
             f"chaos: {self.scenario} seed={self.seed} "
@@ -66,6 +89,42 @@ class ChaosReport:
         else:
             lines.append("  leaks:           none (no lingering containers/mounts)")
         return "\n".join(lines)
+
+
+def chaos_report_document(
+    reports: _t.Sequence[ChaosReport], scenario: str
+) -> dict[str, object]:
+    """The ``--out report.json`` document: per-seed reports + aggregate.
+
+    Works for a single run (one report) and for seed sweeps alike; key
+    order is schema-stable (fixed top-level order, sorted fault kinds,
+    reports in seed order as given), so serial and sharded sweeps — and
+    repeated runs — serialize byte-identically.
+    """
+    injected: dict[str, int] = {}
+    retries: dict[str, int] = {}
+    for report in reports:
+        for kind, count in report.injected.items():
+            injected[kind] = injected.get(kind, 0) + count
+        for kind, count in report.retries.items():
+            retries[kind] = retries.get(kind, 0) + count
+    return {
+        "schema": "repro-chaos-report/1",
+        "scenario": scenario,
+        "seeds": [report.seed for report in reports],
+        "reports": [report.to_dict() for report in reports],
+        "aggregate": {
+            "runs": len(reports),
+            "injected": dict(sorted(injected.items())),
+            "retries": dict(sorted(retries.items())),
+            "jobs_requeued": sum(r.jobs_requeued for r in reports),
+            "pods_submitted": sum(r.pods_submitted for r in reports),
+            "pods_completed": sum(r.pods_completed for r in reports),
+            "pods_failed": sum(r.pods_failed for r in reports),
+            "leaks": sum(len(r.leaks) for r in reports),
+            "clean": all(r.clean for r in reports),
+        },
+    }
 
 
 def _count_requeues(scenario: object) -> int:

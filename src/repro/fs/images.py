@@ -15,6 +15,7 @@ import hashlib
 import itertools
 
 from repro.fs.tree import FileTree
+from repro.sim import profile as _profile
 
 _image_counter = itertools.count(1)
 
@@ -78,6 +79,48 @@ class SquashImage:
         )
 
 
+def tree_content_digest(tree: FileTree) -> str:
+    """Content digest over a whole tree: sorted (path, kind, payload,
+    perms) rows, the same recipe OCI layers hash.  Bulk (size-only)
+    files hash their inode identity, so the digest is stable only for
+    the *same* tree object (or trees built from an identical inode
+    sequence) — exactly the equality :func:`pack_squash` memoizes on.
+
+    The digest is memoized in the tree's scan cache (dropped on any
+    mutation, shared by every tree aliasing a frozen root), so repeat
+    packs of an unchanged tree don't pay the walk again.
+    """
+    cache = tree.scan_cache("/")
+    digest = cache.get("tree_content_digest")
+    if digest is None:
+        h = hashlib.sha256()
+        for path, node in sorted(tree.walk("/"), key=lambda pair: pair[0]):
+            payload = ""
+            if node.kind == "file":
+                payload = node.digest()
+            elif node.kind == "symlink":
+                payload = node.target
+            h.update(
+                f"{path}\0{node.kind}\0{payload}\0{node.mode:o}:{node.uid}:{node.gid}\n".encode()
+            )
+        digest = "sha256:" + h.hexdigest()
+        cache["tree_content_digest"] = digest
+    return digest
+
+
+#: (tree content digest, ratio, built_by_uid, writable_by) -> image.
+#: Packing is content-addressed like the flatten/convert caches in
+#: :mod:`repro.oci.squash`: re-packing identical content returns the
+#: same immutable image instead of minting a new one, and the repeat
+#: counts as a ``flatten_cache_hits`` materialization saved.
+_PACK_CACHE: dict[tuple[str, float, int, frozenset[int]], SquashImage] = {}
+
+
+def clear_pack_cache() -> None:
+    """Drop the pack memo (test isolation helper)."""
+    _PACK_CACHE.clear()
+
+
 def pack_squash(
     tree: FileTree,
     compression_ratio: float = DEFAULT_COMPRESSION_RATIO,
@@ -85,9 +128,23 @@ def pack_squash(
     writable_by: frozenset[int] = frozenset(),
 ) -> SquashImage:
     """Pack a file tree into a single-file image (mksquashfs analogue)."""
-    return SquashImage(
+    key = (
+        tree_content_digest(tree),
+        compression_ratio,
+        built_by_uid,
+        frozenset(writable_by),
+    )
+    cached = _PACK_CACHE.get(key)
+    if cached is not None:
+        counters = _profile.counters
+        if counters.enabled:
+            counters.flatten_cache_hits += 1
+        return cached
+    image = SquashImage(
         tree.clone(),
         compression_ratio=compression_ratio,
         built_by_uid=built_by_uid,
         writable_by=writable_by,
     )
+    _PACK_CACHE[key] = image
+    return image

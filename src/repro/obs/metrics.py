@@ -106,6 +106,63 @@ class MetricsRegistry:
         self._histograms.clear()
         self._hist_buckets.clear()
 
+    # -- state transfer (shard runner) ---------------------------------------
+    def capture_state(self) -> dict[str, object]:
+        """A picklable copy of every recorded series.
+
+        Keys are the internal ``(name, label_key)`` tuples — plain
+        strings and tuples, so the state crosses a ``multiprocessing``
+        boundary unchanged.  Histograms are captured as
+        ``(buckets, counts, sum, count)`` tuples.
+        """
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                key: (hist.buckets, tuple(hist.counts), hist.total, hist.count)
+                for key, hist in self._histograms.items()
+            },
+            "hist_buckets": dict(self._hist_buckets),
+        }
+
+    def install_state(self, state: dict[str, object], merge: bool = False) -> None:
+        """Load a :meth:`capture_state` blob back into the registry.
+
+        With ``merge=False`` the registry is replaced wholesale.  With
+        ``merge=True`` the blob is *folded in* under the shard-merge
+        rules: counters and histogram bucket counts add, gauges take the
+        incoming value (last writer wins — callers merge cells in
+        deterministic cell-index order, never completion order), and
+        histogram bucket bounds must agree (they are fixed per metric
+        name precisely so merged snapshots stay bucket-compatible).
+        """
+        if not merge:
+            self.reset()
+        counters = _t.cast(dict, state["counters"])
+        for key, value in counters.items():
+            self._counters[key] = self._counters.get(key, 0.0) + value if merge else value
+        gauges = _t.cast(dict, state["gauges"])
+        self._gauges.update(gauges)
+        for name, bounds in _t.cast(dict, state["hist_buckets"]).items():
+            existing = self._hist_buckets.setdefault(name, bounds)
+            if existing != bounds:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds differ across shards "
+                    f"({existing} vs {bounds})"
+                )
+        for key, (buckets, counts, total, count) in _t.cast(dict, state["histograms"]).items():
+            hist = self._histograms.get(key)
+            if hist is None or not merge:
+                hist = self._histograms[key] = Histogram(tuple(buckets))
+            if tuple(hist.buckets) != tuple(buckets):
+                raise ValueError(
+                    f"histogram series {key!r}: bucket bounds differ across shards"
+                )
+            for i, c in enumerate(counts):
+                hist.counts[i] += c
+            hist.total += total
+            hist.count += count
+
     # -- mutators (all no-ops while disabled) --------------------------------
     def inc(self, name: str, value: float = 1.0, **labels: object) -> None:
         if not self.enabled:

@@ -114,6 +114,7 @@ class Tracer:
         "_tids",
         "_thread_names",
         "_pinned",
+        "_next_tid",
     )
 
     def __init__(self) -> None:
@@ -129,6 +130,9 @@ class Tracer:
         self._thread_names: dict[int, str] = {MAIN_TID: "main"}
         #: strong refs so id() keys cannot be recycled mid-trace
         self._pinned: list[object] = []
+        #: next tid to hand out — covers both live processes (:meth:`_tid`)
+        #: and rows adopted from other shards (:meth:`absorb`)
+        self._next_tid = 1
 
     # -- lifecycle ----------------------------------------------------------
     def enable(self, wall_clock: bool = False, reset: bool = True) -> "Tracer":
@@ -149,6 +153,7 @@ class Tracer:
         self._tids.clear()
         self._thread_names = {MAIN_TID: "main"}
         self._pinned.clear()
+        self._next_tid = 1
 
     def attach(self, env: "Environment") -> None:
         """Adopt ``env``'s virtual clock and active-process tracking.
@@ -172,7 +177,8 @@ class Tracer:
         key = id(process)
         tid = self._tids.get(key)
         if tid is None:
-            tid = len(self._tids) + 1
+            tid = self._next_tid
+            self._next_tid += 1
             self._tids[key] = tid
             self._thread_names[tid] = getattr(process, "name", "process")
             self._pinned.append(process)
@@ -219,6 +225,44 @@ class Tracer:
         if not self.enabled:
             return
         self._record("i", name, self.now(), self._tid(), labels or None, None)
+
+    # -- state transfer (shard runner) ---------------------------------------
+    def capture_state(self) -> dict[str, object]:
+        """A picklable copy of the recorded events and thread names.
+
+        Event tuples carry only strings, numbers and plain dicts, so the
+        blob crosses a ``multiprocessing`` boundary unchanged; the
+        live-process bookkeeping (``_tids``/``_pinned``) is deliberately
+        left behind — the receiving side re-keys rows via :meth:`absorb`.
+        """
+        return {
+            "events": list(self._events),
+            "thread_names": dict(self._thread_names),
+        }
+
+    def absorb(self, state: dict[str, object], label: str | None = None) -> None:
+        """Adopt another shard's :meth:`capture_state` blob.
+
+        Every foreign tid — *including* its main row — is remapped onto a
+        fresh tid here, in first-appearance order, so rows from different
+        cells never interleave on one thread row (B/E nesting stays valid
+        per row no matter how cells' virtual timelines overlap).  Callers
+        absorb cells in deterministic cell-index order, which makes the
+        resulting tid assignment — and thus the exported JSON — identical
+        whether the cells ran serially or across N workers.  ``label``
+        prefixes the adopted row names (e.g. ``seed=7:main``).
+        """
+        thread_names = _t.cast(dict, state["thread_names"])
+        remap: dict[int, int] = {}
+        for ph, name, ts, tid, args, dur in _t.cast(list, state["events"]):
+            new_tid = remap.get(tid)
+            if new_tid is None:
+                new_tid = self._next_tid
+                self._next_tid += 1
+                remap[tid] = new_tid
+                base = thread_names.get(tid, f"tid-{tid}")
+                self._thread_names[new_tid] = f"{label}:{base}" if label else base
+            self._events.append((ph, name, ts, new_tid, args, dur))
 
     # -- introspection -------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,145 @@
+"""Matrix cells: the independent units the shard runner executes.
+
+A *cell* is one (scenario, config, seed) point of a scenario matrix or
+chaos seed sweep — fully described by plain picklable fields (scenario
+*name*, ints, a fault-plan JSON string), resolved to live objects only
+inside the process that runs it.  Cells carry no environment, registry
+or tree references, so the same cell value works in-process (``--jobs
+1``) and across a ``multiprocessing`` pool (``--jobs N``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+def scenario_table() -> dict[str, type]:
+    """Scenario lookup accepting both hyphen and underscore spellings."""
+    from repro.scenarios.evaluate import ALL_SCENARIOS
+
+    table: dict[str, type] = {}
+    for cls in ALL_SCENARIOS:
+        table[cls.name] = cls
+        table[cls.name.replace("-", "_")] = cls
+    return table
+
+
+def resolve_scenario(name: str) -> type:
+    cls = scenario_table().get(name)
+    if cls is None:
+        known = ", ".join(sorted({c.name for c in scenario_table().values()}))
+        raise KeyError(f"unknown scenario {name!r}; one of: {known}")
+    return cls
+
+
+def parse_seed_range(spec: str) -> list[int]:
+    """``"A..B"`` (inclusive) or a single ``"N"`` -> list of seeds."""
+    text = spec.strip()
+    if ".." in text:
+        lo_text, _, hi_text = text.partition("..")
+        lo, hi = int(lo_text), int(hi_text)
+        if hi < lo:
+            raise ValueError(f"empty seed range {spec!r} (end before start)")
+        return list(range(lo, hi + 1))
+    return [int(text)]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioCell:
+    """One §6.6 matrix point: a scenario run on the standard workload."""
+
+    scenario: str
+    n_nodes: int = 4
+    n_pods: int = 8
+    seed: int = 0
+    horizon: float = 4000.0
+
+    @property
+    def label(self) -> str:
+        return self.scenario
+
+    def run(self) -> object:
+        from repro.scenarios.evaluate import run_scenario
+
+        return run_scenario(
+            resolve_scenario(self.scenario),
+            n_nodes=self.n_nodes,
+            n_pods=self.n_pods,
+            seed=self.seed,
+            horizon=self.horizon,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosCell:
+    """One chaos sweep point: a scenario run under a seeded fault plan.
+
+    ``plan_json`` pins an explicit plan (the ``--faults`` file case);
+    otherwise the plan is generated deterministically from ``seed`` in
+    whichever process runs the cell.
+    """
+
+    scenario: str
+    seed: int
+    n_nodes: int = 4
+    n_pods: int = 8
+    horizon: float = 4000.0
+    plan_json: str | None = None
+    plan_horizon: float = 600.0
+
+    @property
+    def label(self) -> str:
+        return f"seed={self.seed}"
+
+    def plan(self):
+        from repro.faults.plan import FaultPlan
+
+        if self.plan_json is not None:
+            return FaultPlan.from_json(self.plan_json)
+        node_names = [f"nid{i:04}" for i in range(self.n_nodes)]
+        return FaultPlan.generate(
+            seed=self.seed, horizon=self.plan_horizon, node_names=node_names
+        )
+
+    def run(self) -> object:
+        from repro.faults.chaos import run_chaos
+
+        _metrics, report = run_chaos(
+            resolve_scenario(self.scenario),
+            self.plan(),
+            n_nodes=self.n_nodes,
+            n_pods=self.n_pods,
+            seed=self.seed,
+            horizon=self.horizon,
+        )
+        return report
+
+
+Cell = _t.Union[ScenarioCell, ChaosCell]
+
+
+def scenario_matrix(
+    n_nodes: int = 4, n_pods: int = 8, seed: int = 0
+) -> list[ScenarioCell]:
+    """The full §6.6 comparison matrix, one cell per scenario."""
+    from repro.scenarios.evaluate import ALL_SCENARIOS
+
+    return [
+        ScenarioCell(scenario=cls.name, n_nodes=n_nodes, n_pods=n_pods, seed=seed)
+        for cls in ALL_SCENARIOS
+    ]
+
+
+def chaos_seed_sweep(
+    scenario: str,
+    seeds: _t.Iterable[int],
+    n_nodes: int = 4,
+    n_pods: int = 8,
+) -> list[ChaosCell]:
+    """A chaos sweep: the same scenario under one fault plan per seed."""
+    resolve_scenario(scenario)  # fail fast on typos, before any pool spins up
+    return [
+        ChaosCell(scenario=scenario, seed=seed, n_nodes=n_nodes, n_pods=n_pods)
+        for seed in seeds
+    ]

@@ -1,0 +1,225 @@
+"""The deterministic shard runner.
+
+Executes a list of :mod:`repro.shard.cells` across N worker processes
+(or in-process for ``jobs=1``) and merges the per-cell outputs back
+into the parent's observability state so that the table rows, metrics
+snapshots, trace exports and profile counters are **byte-identical to a
+serial run**.  Three invariants make that hold:
+
+1. *Every* cell — in-process or in a pool worker, fork or spawn start
+   method — begins by installing a known :class:`WorldState` (a
+   :class:`WarmSnapshot` fork, or pristine) and resetting the profile
+   counters, metrics registry and tracer.  Whatever a previous cell (or
+   a forked parent image) left behind is overwritten, so a cell's
+   result depends only on the cell value itself.
+2. Results are collected with order-preserving ``Pool.map`` and merged
+   strictly in cell-index order — never completion order — so gauge
+   last-writer-wins, trace row numbering and report concatenation are
+   placement-independent.
+3. Merge rules are associative re-labelings, not recomputations:
+   counters and histogram buckets add, ``peak_queue_depth`` maxes,
+   trace rows are re-keyed onto fresh tids per cell.
+
+The parent's own world state and observability state are saved before
+the first cell and restored before merging, so calling the runner is
+invisible to surrounding code beyond the merged-in results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as _mp
+import typing as _t
+
+from repro.shard.cells import Cell
+from repro.shard.state import WarmSnapshot, WorldState
+from repro.sim import profile as _profile
+
+
+@dataclasses.dataclass(frozen=True)
+class ObsConfig:
+    """Which observability layers each cell records (and the merge
+    therefore reconstructs in the parent)."""
+
+    metrics: bool = False
+    trace: bool = False
+    trace_wall: bool = False
+
+
+@dataclasses.dataclass
+class CellResult:
+    """One cell's outputs: the scenario/chaos value plus raw
+    observability state, all picklable."""
+
+    index: int
+    label: str
+    value: object
+    profile: dict[str, int]
+    metrics: dict | None
+    trace: dict | None
+
+
+@dataclasses.dataclass
+class ShardResult:
+    """All cell results (cell-index order) plus the merged profile."""
+
+    results: list[CellResult]
+    profile: dict[str, int]
+    jobs: int
+
+    def values(self) -> list:
+        return [r.value for r in self.results]
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (cheap workers — no
+    re-import), else ``spawn``.  Results are identical under both
+    because every cell installs its full world state first."""
+    return "fork" if "fork" in _mp.get_all_start_methods() else "spawn"
+
+
+def merge_profiles(snaps: _t.Iterable[dict[str, int]]) -> dict[str, int]:
+    """Fold per-cell counter snapshots: sums, max for the high-water mark."""
+    out = {field: 0 for field in _profile._FIELDS}
+    for snap in snaps:
+        for field in _profile._FIELDS:
+            value = snap.get(field, 0)
+            if field == "peak_queue_depth":
+                if value > out[field]:
+                    out[field] = value
+            else:
+                out[field] += value
+    return out
+
+
+def _execute_cell(
+    index: int, cell: Cell, snapshot: WarmSnapshot | None, obs: ObsConfig
+) -> CellResult:
+    """Run one cell from a known state and capture everything it produced.
+
+    This is the only place cells execute, so serial and pooled runs are
+    the same code path; it deliberately clobbers the process-wide state
+    (the parent saves/restores around the whole batch)."""
+    from repro.obs.metrics import registry as _registry
+    from repro.obs.trace import tracer as _tracer
+
+    counters = _profile.counters
+    prev_enabled = counters.enabled
+    counters.reset()
+    counters.enabled = True
+    if snapshot is not None:
+        snapshot.fork()
+    else:
+        WorldState.pristine().install()
+    counters.shard_cells_run += 1
+    _registry.reset()
+    _registry.enabled = obs.metrics
+    _tracer.reset()
+    _tracer.enabled = obs.trace
+    _tracer.wall_clock = obs.trace_wall
+    try:
+        value = cell.run()
+    finally:
+        profile_snap = counters.snapshot()
+        counters.enabled = prev_enabled
+        metrics_state = _registry.capture_state() if obs.metrics else None
+        _registry.enabled = False
+        trace_state = _tracer.capture_state() if obs.trace else None
+        _tracer.enabled = False
+    return CellResult(
+        index=index,
+        label=cell.label,
+        value=value,
+        profile=profile_snap,
+        metrics=metrics_state,
+        trace=trace_state,
+    )
+
+
+# -- pool worker entry points (must be importable, not closures) -------------
+
+_WORKER_SNAPSHOT: WarmSnapshot | None = None
+_WORKER_OBS: ObsConfig = ObsConfig()
+
+
+def _worker_init(snapshot_blob: bytes | None, obs: ObsConfig) -> None:
+    global _WORKER_SNAPSHOT, _WORKER_OBS
+    _WORKER_SNAPSHOT = (
+        WarmSnapshot.from_bytes(snapshot_blob) if snapshot_blob is not None else None
+    )
+    _WORKER_OBS = obs
+
+
+def _worker_run(item: tuple[int, Cell]) -> CellResult:
+    index, cell = item
+    return _execute_cell(index, cell, _WORKER_SNAPSHOT, _WORKER_OBS)
+
+
+def run_cells(
+    cells: _t.Sequence[Cell],
+    jobs: int = 1,
+    obs: ObsConfig | None = None,
+    snapshot: WarmSnapshot | None = None,
+    start_method: str | None = None,
+) -> ShardResult:
+    """Execute ``cells`` across ``jobs`` workers and merge the outputs.
+
+    ``jobs <= 1`` runs in-process through the identical per-cell path.
+    ``snapshot`` (a :class:`WarmSnapshot`) replays each cell from the
+    warmed prefix; without one, cells start pristine.  After the call
+    the parent's profile counters, metrics registry and tracer hold the
+    merged results on top of whatever they held before.
+    """
+    cells = list(cells)
+    obs = obs or ObsConfig()
+    counters = _profile.counters
+    from repro.obs.metrics import registry as _registry
+    from repro.obs.trace import tracer as _tracer
+
+    saved_world = WorldState.capture()
+    saved_profile = counters.snapshot()
+    saved_profile_enabled = counters.enabled
+    saved_metrics = _registry.capture_state()
+    saved_metrics_enabled = _registry.enabled
+    saved_trace = _tracer.capture_state()
+    saved_trace_enabled = _tracer.enabled
+    saved_wall_clock = _tracer.wall_clock
+    saved_next_tid = _tracer._next_tid
+    try:
+        if jobs <= 1 or len(cells) <= 1:
+            results = [
+                _execute_cell(i, cell, snapshot, obs) for i, cell in enumerate(cells)
+            ]
+        else:
+            ctx = _mp.get_context(start_method or default_start_method())
+            blob = snapshot.to_bytes() if snapshot is not None else None
+            with ctx.Pool(
+                processes=min(jobs, len(cells)),
+                initializer=_worker_init,
+                initargs=(blob, obs),
+            ) as pool:
+                results = pool.map(_worker_run, list(enumerate(cells)), chunksize=1)
+    finally:
+        # Put the parent back exactly as it was before merging anything in.
+        saved_world.install()
+        for field, value in saved_profile.items():
+            setattr(counters, field, value)
+        counters.enabled = saved_profile_enabled
+        _registry.install_state(saved_metrics)
+        _registry.enabled = saved_metrics_enabled
+        _tracer.reset()
+        _tracer._events.extend(saved_trace["events"])
+        _tracer._thread_names.update(saved_trace["thread_names"])
+        _tracer._next_tid = saved_next_tid
+        _tracer.enabled = saved_trace_enabled
+        _tracer.wall_clock = saved_wall_clock
+
+    merged = merge_profiles(result.profile for result in results)
+    counters.merge(merged)
+    if obs.metrics:
+        for result in results:
+            _registry.install_state(result.metrics, merge=True)
+    if obs.trace:
+        for result in results:
+            _tracer.absorb(result.trace, label=result.label)
+    return ShardResult(results=results, profile=merged, jobs=jobs)

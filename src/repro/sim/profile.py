@@ -27,9 +27,17 @@ wall-clock noise:
   the *total* tree work a mutation against a shared tree actually paid;
 - ``digest_cache_hits``: :meth:`FileNode.digest` calls answered from the
   per-node memo instead of rehashing content;
-- ``flatten_cache_hits``: image flatten/convert requests served from a
-  content-addressed cache (each hit is one whole rootfs materialization
-  that used to be rebuilt layer by layer).
+- ``flatten_cache_hits``: image flatten/convert/pack requests served
+  from a content-addressed cache (each hit is one whole rootfs
+  materialization that used to be rebuilt layer by layer);
+- ``shard_cells_run``: matrix cells executed by the
+  :mod:`repro.shard` runner (serial and parallel alike);
+- ``snapshot_forks``: times a :class:`~repro.shard.WarmSnapshot` was
+  forked into the process-wide world state;
+- ``warm_replays``: prefix materializations (e.g. whole dockerfile
+  builds) replayed from a warm snapshot's fingerprint-keyed cache
+  instead of re-simulated — the counters jump to the recorded
+  positions, so a replay is world-state-identical to a cold run.
 
 Counters are global (aggregated across all :class:`Environment` instances)
 so a benchmark that builds many environments still gets one roll-up.
@@ -62,6 +70,9 @@ _FIELDS = (
     "cow_copy_ups",
     "digest_cache_hits",
     "flatten_cache_hits",
+    "shard_cells_run",
+    "snapshot_forks",
+    "warm_replays",
 )
 
 
@@ -96,6 +107,23 @@ class SimCounters:
         only meaningful when the inner workload pushed a new peak.
         """
         return {field: getattr(self, field) - baseline.get(field, 0) for field in _FIELDS}
+
+    def merge(self, snap: dict[str, int]) -> None:
+        """Fold another block's :meth:`snapshot` into this one.
+
+        Additive for every field except ``peak_queue_depth``, which is a
+        high-water mark and merges by max.  This is how the shard runner
+        rolls per-cell counter blocks up into the parent process's
+        totals (the merged result is identical whichever process ran
+        each cell, so parallel and serial runs report the same numbers).
+        """
+        for field in _FIELDS:
+            value = snap.get(field, 0)
+            if field == "peak_queue_depth":
+                if value > self.peak_queue_depth:
+                    self.peak_queue_depth = value
+            else:
+                setattr(self, field, getattr(self, field) + value)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         body = ", ".join(f"{f}={getattr(self, f)}" for f in _FIELDS)

@@ -49,8 +49,8 @@ def test_chaos_cli_double_run_traces_byte_identical(tmp_path):
     out_a = tmp_path / "a.json"
     out_b = tmp_path / "b.json"
     argv = ["chaos", "kubelet_in_allocation", "--seed", "42"]
-    assert main([*argv, "--out", str(out_a)]) == 0
-    assert main([*argv, "--out", str(out_b)]) == 0
+    assert main([*argv, "--trace", str(out_a)]) == 0
+    assert main([*argv, "--trace", str(out_b)]) == 0
     assert out_a.read_bytes() == out_b.read_bytes()
     doc = json.loads(out_a.read_text())
     assert any(
@@ -64,17 +64,17 @@ def test_chaos_cli_plan_roundtrip(tmp_path):
     out_b = tmp_path / "b.json"
     assert main([
         "chaos", "kubelet-in-allocation", "--seed", "9",
-        "--out", str(out_a), "--save-plan", str(plan_path),
+        "--trace", str(out_a), "--save-plan", str(plan_path),
     ]) == 0
     assert main([
         "chaos", "kubelet-in-allocation", "--seed", "9",
-        "--out", str(out_b), "--faults", str(plan_path),
+        "--trace", str(out_b), "--faults", str(plan_path),
     ]) == 0
     assert out_a.read_bytes() == out_b.read_bytes()
 
 
 def test_chaos_cli_rejects_unknown_scenario(tmp_path):
-    assert main(["chaos", "no-such-scenario", "--out", str(tmp_path / "x.json")]) == 2
+    assert main(["chaos", "no-such-scenario", "--trace", str(tmp_path / "x.json")]) == 2
 
 
 # -- the §3.2 property: no lingering containers or mounts, any plan ----------------

@@ -1,5 +1,7 @@
 """Tests for the CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -113,3 +115,89 @@ def test_startup_metrics_flag(capsys, _obs_clean):
     out = capsys.readouterr().out
     assert 'engine.pulls{engine="docker"}' in out
     assert 'monitor.background_cpu_fraction{monitor="dockerd"}' in out
+
+
+# -- sharded execution (--jobs / --seeds / --list) ----------------------------
+
+
+def test_scenarios_list(capsys):
+    assert main(["scenarios", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines() == sorted(out.splitlines())
+    assert "kubelet-in-allocation" in out
+
+
+def test_chaos_list(capsys):
+    assert main(["chaos", "--list"]) == 0
+    assert "kubelet-in-allocation" in capsys.readouterr().out
+
+
+def test_chaos_without_scenario_errors(capsys):
+    assert main(["chaos"]) == 2
+    assert "scenario name" in capsys.readouterr().err
+
+
+def test_scenarios_jobs_output_identical(capsys, _obs_clean):
+    assert main(["scenarios", "--nodes", "2", "--pods", "2"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["scenarios", "--nodes", "2", "--pods", "2", "--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial
+
+
+def test_chaos_sweep_report_and_trace(tmp_path, capsys, _obs_clean):
+    report = tmp_path / "report.json"
+    trace = tmp_path / "trace.json"
+    assert main([
+        "chaos", "kubelet-in-allocation", "--seeds", "0..2",
+        "--nodes", "2", "--pods", "2",
+        "--trace", str(trace), "--out", str(report),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chaos sweep: kubelet-in-allocation seeds 0..2 (3 run(s))" in out
+    doc = json.loads(report.read_text())
+    assert doc["schema"] == "repro-chaos-report/1"
+    assert doc["seeds"] == [0, 1, 2]
+    assert len(doc["reports"]) == 3
+    assert doc["aggregate"]["runs"] == 3
+    assert doc["aggregate"]["clean"] is True
+    assert json.loads(trace.read_text())["traceEvents"]
+
+
+def test_chaos_sweep_jobs_artifacts_identical(tmp_path, capsys, _obs_clean):
+    def run(jobs):
+        report = tmp_path / f"report{jobs}.json"
+        trace = tmp_path / f"trace{jobs}.json"
+        assert main([
+            "chaos", "kubelet-in-allocation", "--seeds", "0..3",
+            "--nodes", "2", "--pods", "2", "--jobs", str(jobs),
+            "--trace", str(trace), "--out", str(report),
+        ]) == 0
+        return capsys.readouterr().out, report.read_bytes(), trace.read_bytes()
+
+    serial_out, serial_report, serial_trace = run(1)
+    sharded_out, sharded_report, sharded_trace = run(4)
+    assert sharded_report == serial_report
+    assert sharded_trace == serial_trace
+    # stdout differs only in the artifact paths we chose above
+    assert ([l for l in sharded_out.splitlines() if str(tmp_path) not in l]
+            == [l for l in serial_out.splitlines() if str(tmp_path) not in l])
+
+
+def test_chaos_sweep_rejects_save_plan(tmp_path, capsys):
+    assert main([
+        "chaos", "kubelet-in-allocation", "--seeds", "0..1",
+        "--save-plan", str(tmp_path / "plan.json"),
+    ]) == 2
+    assert "--save-plan" in capsys.readouterr().err
+
+
+def test_chaos_single_seed_writes_report(tmp_path, capsys, _obs_clean):
+    report = tmp_path / "report.json"
+    assert main([
+        "chaos", "kubelet-in-allocation", "--seed", "7",
+        "--nodes", "2", "--pods", "2",
+        "--trace", str(tmp_path / "t.json"), "--out", str(report),
+    ]) == 0
+    doc = json.loads(report.read_text())
+    assert doc["seeds"] == [7]
+    assert doc["reports"][0]["scenario"] == "kubelet-in-allocation"
