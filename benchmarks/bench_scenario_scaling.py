@@ -4,7 +4,14 @@ behaves as allocations grow.
 The standing control plane amortizes over allocations; per-allocation
 provision time is dominated by the kubelet join (constant-ish) while
 the pod workload parallelizes across the allocation's nodes.
+
+Writes ``out/scenario65_scaling.json`` in the same JSON artifact
+convention as the ``BENCH_*.json`` trajectory files: a ``schema`` tag
+plus machine-independent rounded rows, so the sweep's numbers diff
+cleanly across PRs instead of living in a rendered text table.
 """
+
+import json
 
 from repro.scenarios import KubeletInAllocationScenario
 from repro.scenarios.base import WORKFLOW_IMAGE
@@ -31,9 +38,9 @@ def run_once(n_nodes: int, pods_per_node: int = 4):
     return {
         "nodes": n_nodes,
         "pods": len(pods),
-        "steady_provision_s": scenario.steady_state_provision_time,
-        "mean_pod_startup_s": metrics.mean_pod_startup,
-        "workload_makespan_s": makespan,
+        "steady_provision_s": round(scenario.steady_state_provision_time, 6),
+        "mean_pod_startup_s": round(metrics.mean_pod_startup, 6),
+        "workload_makespan_s": round(makespan, 6),
         "completed": metrics.pods_completed,
     }
 
@@ -44,14 +51,14 @@ def sweep():
 
 def test_65_scaling(benchmark, out_dir):
     rows = once(benchmark, sweep)
-    lines = ["§6.5 scaling: pods = 4x nodes, 60s each, 8 cores", ""]
-    for r in rows:
-        lines.append(
-            f"  {r['nodes']:>2} nodes / {r['pods']:>2} pods: provision "
-            f"{r['steady_provision_s']:5.2f}s  pod-startup {r['mean_pod_startup_s']:5.2f}s  "
-            f"makespan {r['workload_makespan_s']:7.1f}s"
-        )
-    write_artifact(out_dir, "scenario65_scaling.txt", "\n".join(lines) + "\n")
+    document = {
+        "schema": "scenario65-scaling/1",
+        "workload": "pods = 4x nodes, 60s each, 8 cores",
+        "rows": rows,
+    }
+    write_artifact(
+        out_dir, "scenario65_scaling.json", json.dumps(document, indent=2) + "\n"
+    )
 
     assert all(r["completed"] == r["pods"] for r in rows)
     # per-allocation provision stays flat-ish as the allocation grows

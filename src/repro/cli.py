@@ -12,6 +12,8 @@
                                        # same scenario under a seeded fault plan
     python -m repro chaos kubelet_in_allocation --seeds 0..15 --jobs 4 \
         --out report.json              # sharded chaos seed sweep + JSON report
+    python -m repro fleet --tenants 2000 --nodes 10000 --starts 1000000 \
+        --jobs 8                       # trace-driven multi-tenant fleet run
 """
 
 from __future__ import annotations
@@ -336,6 +338,56 @@ def _chaos_sweep(args: argparse.Namespace, scenario_cls: type) -> int:
     return 0 if agg["clean"] else 1
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """``fleet``: the trace-driven multi-tenant fleet workload.
+
+    Stdout (and ``--out`` JSON) depends only on the merged shard
+    results, so ``--jobs 1`` and ``--jobs N`` are byte-identical — the
+    CI fleet-smoke step ``cmp``'s exactly that.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.workload.fleet import (
+        FleetConfig,
+        fleet_report_document,
+        render_fleet_summary,
+        run_fleet,
+    )
+    import json as _json
+
+    try:
+        config = FleetConfig(
+            tenants=args.tenants,
+            nodes=args.nodes,
+            starts=args.starts,
+            images=args.images,
+            zipf_s=args.zipf,
+            seed=args.seed,
+            shards=args.shards,
+            day=args.day,
+            naive=args.naive,
+        )
+    except ValueError as exc:
+        print(f"bad fleet config: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics:
+        from repro.sim import profile as sim_profile
+
+        sim_profile.counters.reset()
+        obs_metrics.registry.reset()
+    result = run_fleet(config, jobs=args.jobs, metrics=args.metrics)
+    print(render_fleet_summary(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(_json.dumps(fleet_report_document(result), indent=2))
+            fh.write("\n")
+        print(f"  report:     {args.out}")
+    if args.metrics:
+        print()
+        print(obs_metrics.registry.render_table())
+        obs_metrics.registry.reset()
+    return 0 if not result.leaks else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -424,6 +476,43 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run the trace-driven multi-tenant fleet workload",
+        description="Simulate a fleet of tenants pulling Zipf-distributed "
+                    "images through per-tenant registries onto a shared node "
+                    "pool (diurnal Poisson arrivals, content-addressed node "
+                    "caches).  The run is partitioned into deterministic "
+                    "shard cells; output is byte-identical for any --jobs.",
+    )
+    p_fleet.add_argument("--tenants", type=int, default=64)
+    p_fleet.add_argument("--nodes", type=int, default=128)
+    p_fleet.add_argument("--starts", type=int, default=5000,
+                         help="total container starts across the fleet")
+    p_fleet.add_argument("--images", type=int, default=24,
+                         help="catalog size tenants mirror and pull from")
+    p_fleet.add_argument("--zipf", type=float, default=1.2,
+                         help="image-popularity Zipf skew (the §4 knob)")
+    p_fleet.add_argument("--seed", type=int, default=0)
+    p_fleet.add_argument("--shards", type=int, default=8,
+                         help="tenant partitions (fixed per config; NOT the "
+                              "worker count — see --jobs)")
+    p_fleet.add_argument("--day", type=float, default=1800.0,
+                         help="diurnal period in virtual seconds")
+    p_fleet.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (output is byte-identical "
+                              "to --jobs 1)")
+    p_fleet.add_argument("--naive", action="store_true",
+                         help="run the pre-optimization engine (one event "
+                              "per start, linear node scans) — same results, "
+                              "much slower; exists for the perf baseline")
+    p_fleet.add_argument("--out", default=None, metavar="REPORT.json",
+                         help="also write the fleet report document as JSON "
+                              "(schema repro-fleet-report/1)")
+    p_fleet.add_argument("--metrics", action="store_true",
+                         help="print the labeled metrics registry afterwards")
+    p_fleet.set_defaults(fn=_cmd_fleet)
     return parser
 
 

@@ -1,14 +1,17 @@
 """Cluster hardware model: nodes, devices, interconnect, sites."""
 
+from repro.cluster.capacity import CapacityIndex, LinearCapacityScan
 from repro.cluster.hardware import CPUSpec, GPUDevice, MICROARCH_LEVELS, NICSpec
 from repro.cluster.node import HostNode
 from repro.cluster.network import Interconnect
 
 __all__ = [
     "CPUSpec",
+    "CapacityIndex",
     "GPUDevice",
     "HostNode",
     "Interconnect",
+    "LinearCapacityScan",
     "MICROARCH_LEVELS",
     "NICSpec",
     "Site",

@@ -1,0 +1,104 @@
+"""Free-capacity placement indexes for fleet-scale scheduling.
+
+A scheduler placing one container start needs "the node with the least
+free capacity that still fits the request" (best-fit keeps big holes
+open for big requests; ties break toward the lowest node id so results
+are reproducible).  A linear scan answers that in O(nodes) — fine at
+the §6 scenarios' 4–100 nodes, ruinous at the fleet scenario's 10k+
+nodes where it turns 1M placements into 10^10 comparisons.
+
+:class:`CapacityIndex` answers the same query in O(log nodes): one
+lazy-deleted min-heap of node ids per free-capacity level.  Because
+per-node capacity is a small integer (cores), there are at most
+``node_cpus`` levels; best-fit is "first non-empty valid bucket at or
+above the request", and the heap root is the lowest node id at that
+level.  Entries are never removed eagerly — a node's entry in a bucket
+is valid only while its current free capacity equals the bucket level,
+and stale entries are discarded when popped — so every operation is a
+constant number of heap pushes/pops.
+
+:class:`LinearCapacityScan` is the O(nodes) reference implementation
+with the *identical* policy.  It exists for two reasons: it is the
+pre-optimization baseline :mod:`benchmarks.bench_fleet` measures the
+index against, and it is the oracle the property tests compare every
+placement decision to.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+
+
+class LinearCapacityScan:
+    """Reference best-fit placement: scan every node per request."""
+
+    __slots__ = ("free", "cap")
+
+    def __init__(self, n_nodes: int, node_cpus: int):
+        self.cap = int(node_cpus)
+        self.free = [self.cap] * int(n_nodes)
+
+    def alloc(self, req: int) -> int | None:
+        """Claim ``req`` cores on the best-fitting node (lowest id on
+        ties); returns the node id, or None when nothing fits."""
+        best = -1
+        best_free = self.cap + 1
+        for node, free in enumerate(self.free):
+            if req <= free < best_free:
+                best, best_free = node, free
+                if free == req:
+                    break  # exact fit: no better bucket exists
+        if best < 0:
+            return None
+        self.free[best] = best_free - req
+        return best
+
+    def release(self, node: int, req: int) -> None:
+        self.free[node] += req
+
+    @property
+    def total_free(self) -> int:
+        return sum(self.free)
+
+
+class CapacityIndex:
+    """Bucketed lazy-deletion index with the same policy as the scan."""
+
+    __slots__ = ("free", "cap", "_buckets")
+
+    def __init__(self, n_nodes: int, node_cpus: int):
+        self.cap = int(node_cpus)
+        self.free = [self.cap] * int(n_nodes)
+        #: _buckets[c] is a min-heap of node ids whose free capacity was
+        #: c when pushed; an entry is valid iff free[node] == c still.
+        self._buckets: list[list[int]] = [[] for _ in range(self.cap + 1)]
+        # every node starts fully free: ascending range is a valid heap
+        self._buckets[self.cap].extend(range(int(n_nodes)))
+
+    def alloc(self, req: int) -> int | None:
+        """Best-fit claim, identical decisions to the linear scan."""
+        free = self.free
+        buckets = self._buckets
+        for level in range(req, self.cap + 1):
+            heap = buckets[level]
+            while heap:
+                node = heap[0]
+                if free[node] != level:
+                    heappop(heap)  # stale: node moved levels since push
+                    continue
+                heappop(heap)
+                remaining = level - req
+                free[node] = remaining
+                if remaining:
+                    heappush(buckets[remaining], node)
+                return node
+        return None
+
+    def release(self, node: int, req: int) -> None:
+        remaining = self.free[node] + req
+        self.free[node] = remaining
+        heappush(self._buckets[remaining], node)
+
+    @property
+    def total_free(self) -> int:
+        return sum(self.free)

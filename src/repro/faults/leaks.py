@@ -68,7 +68,16 @@ def kubelet_leaks(kubelets: _t.Iterable[object]) -> list[str]:
 
 def find_leaks(scenario: object) -> list[str]:
     """All leak classes for one scenario object (or anything exposing
-    ``engines`` — a mapping or sequence — and optionally ``kubelets``)."""
+    ``engines`` — a mapping or sequence — and optionally ``kubelets``).
+
+    Objects that model resources the engine/kubelet walk cannot see
+    (e.g. :class:`~repro.workload.fleet.FleetShardEngine`'s pooled
+    slots and capacity ledger) instead expose their own audit via a
+    ``leak_descriptions()`` method, which takes precedence.
+    """
+    leak_fn = getattr(scenario, "leak_descriptions", None)
+    if callable(leak_fn):
+        return list(leak_fn())
     engines = getattr(scenario, "engines", ())
     if isinstance(engines, dict):
         engines = [engines[k] for k in sorted(engines)]

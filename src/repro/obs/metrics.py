@@ -170,6 +170,25 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         self._counters[key] = self._counters.get(key, 0.0) + value
 
+    # -- interned-series fast path -------------------------------------------
+    def series_key(self, name: str, **labels: object) -> _SeriesKey:
+        """Intern a series identity once, outside the hot loop.
+
+        A per-event ``inc(name, tenant=...)`` rebuilds and re-sorts the
+        label dict on every call; hot paths (the fleet engine does one
+        increment per container start) precompute the key and use
+        :meth:`inc_series` instead.  The key is exactly the internal
+        storage key, so interned and dict-labeled increments land on the
+        same series.
+        """
+        return (name, _label_key(labels))
+
+    def inc_series(self, key: _SeriesKey, value: float = 1.0) -> None:
+        """Increment a series by its pre-interned :meth:`series_key`."""
+        if not self.enabled:
+            return
+        self._counters[key] = self._counters.get(key, 0.0) + value
+
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         if not self.enabled:
             return

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 import typing as _t
 
@@ -52,7 +53,11 @@ class Manifest:
     layer_digests: tuple[str, ...]
     annotations: tuple[tuple[str, str], ...] = ()
 
-    @property
+    # cached: every field is immutable, and registries look manifests up
+    # by digest on every push/pull — recomputing the JSON + hash per
+    # access is measurable at fleet scale.  (cached_property writes
+    # straight into __dict__, which the frozen dataclass permits.)
+    @functools.cached_property
     def digest(self) -> str:
         payload = json.dumps(
             {

@@ -124,6 +124,13 @@ class OCIDistributionRegistry:
         self._manifests: dict[str, tuple[Manifest, ImageConfig]] = {}
         #: repo/ref -> artifact
         self._artifacts: dict[str, Artifact] = {}
+        #: manifest digest -> the assembled OCIImage handed to pullers.
+        #: Images are immutable, so repeat pulls of the same manifest can
+        #: share one object instead of re-deriving the manifest + config
+        #: digests per pull — at fleet scale that is one sha256/JSON
+        #: round per container start.  Cost accounting is unaffected:
+        #: the per-layer store reads below still run every pull.
+        self._pull_cache: dict[str, OCIImage] = {}
         #: declared tenants (orgs/projects)
         self._tenants: set[str] = set()
         self.stats = {"pushes": 0, "pulls": 0, "blob_uploads_skipped": 0}
@@ -181,11 +188,15 @@ class OCIDistributionRegistry:
                     media_type="application/vnd.oci.image.layer.v1.tar+gzip",
                 )
                 new_bytes += layer.compressed_size
-        config_payload = image.config.to_json().encode()
-        if not self.store.has(image.config.digest):
+        # the manifest already snapshotted the config digest at image
+        # construction; re-deriving it (JSON + sha256) per push is pure
+        # waste when tenants re-push a shared catalog
+        config_digest = image.manifest.config_digest
+        if not self.store.has(config_digest):
+            config_payload = image.config.to_json().encode()
             cost += self.transport.request_cost(len(config_payload))
             cost += self.store.put(
-                image.config.digest,
+                config_digest,
                 len(config_payload),
                 payload=image.config,
                 media_type="application/vnd.oci.image.config.v1+json",
@@ -293,7 +304,10 @@ class OCIDistributionRegistry:
             _metrics.inc("registry.pulls", registry=self.name)
             _metrics.inc("registry.bytes", transferred, registry=self.name, op="pull")
             _metrics.observe("registry.pull_seconds", cost, registry=self.name)
-        return OCIImage(config, layers), cost
+        image = self._pull_cache.get(digest)
+        if image is None:
+            image = self._pull_cache[digest] = OCIImage(config, layers)
+        return image, cost
 
     def delete_tag(self, repository: str, tag: str, token: str | None = None) -> None:
         self._authorize(token, "push")

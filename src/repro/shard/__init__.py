@@ -10,6 +10,7 @@ See :mod:`repro.shard.state` for the world-state/determinism model,
 
 from repro.shard.cells import (
     ChaosCell,
+    FleetCell,
     ScenarioCell,
     chaos_seed_sweep,
     parse_seed_range,
@@ -31,6 +32,7 @@ __all__ = [
     "COUNTER_SITES",
     "CellResult",
     "ChaosCell",
+    "FleetCell",
     "ObsConfig",
     "ScenarioCell",
     "ShardResult",

@@ -116,7 +116,31 @@ class ChaosCell:
         return report
 
 
-Cell = _t.Union[ScenarioCell, ChaosCell]
+@dataclasses.dataclass(frozen=True)
+class FleetCell:
+    """One fleet shard: a tenant partition with its own node pool and
+    registry (see :mod:`repro.workload.fleet`).
+
+    The partition is a pure function of the config — the cell list for a
+    given :class:`~repro.workload.fleet.FleetConfig` is identical
+    whatever ``--jobs`` is, which is what makes serial and parallel
+    fleet runs byte-identical after the merge.
+    """
+
+    config_json: str
+    shard: int
+
+    @property
+    def label(self) -> str:
+        return f"fleet-shard={self.shard}"
+
+    def run(self) -> object:
+        from repro.workload.fleet import FleetConfig, run_fleet_shard
+
+        return run_fleet_shard(FleetConfig.from_json(self.config_json), self.shard)
+
+
+Cell = _t.Union[ScenarioCell, ChaosCell, FleetCell]
 
 
 def scenario_matrix(

@@ -79,12 +79,13 @@ def default_start_method() -> str:
 
 
 def merge_profiles(snaps: _t.Iterable[dict[str, int]]) -> dict[str, int]:
-    """Fold per-cell counter snapshots: sums, max for the high-water mark."""
+    """Fold per-cell counter snapshots: sums, max for high-water marks."""
     out = {field: 0 for field in _profile._FIELDS}
+    peaks = _profile.PEAK_FIELDS
     for snap in snaps:
         for field in _profile._FIELDS:
             value = snap.get(field, 0)
-            if field == "peak_queue_depth":
+            if field in peaks:
                 if value > out[field]:
                     out[field] = value
             else:

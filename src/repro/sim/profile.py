@@ -37,7 +37,16 @@ wall-clock noise:
 - ``warm_replays``: prefix materializations (e.g. whole dockerfile
   builds) replayed from a warm snapshot's fingerprint-keyed cache
   instead of re-simulated — the counters jump to the recorded
-  positions, so a replay is world-state-identical to a cold run.
+  positions, so a replay is world-state-identical to a cold run;
+- ``event_queue_peak``: high-water mark of *deferred work* reported by
+  batching engines (e.g. :mod:`repro.workload.fleet`): simulator queue
+  plus any calendar/pending structures an engine keeps outside the
+  event core.  ``peak_queue_depth`` only sees what reaches the heap, so
+  an epoch-batched engine would otherwise look idle while holding a
+  million future completions;
+- ``live_objects_peak``: high-water mark of live pooled records (e.g.
+  running containers + queued starts) — the fleet memory-pressure
+  number.
 
 Counters are global (aggregated across all :class:`Environment` instances)
 so a benchmark that builds many environments still gets one roll-up.
@@ -73,6 +82,13 @@ _FIELDS = (
     "shard_cells_run",
     "snapshot_forks",
     "warm_replays",
+    "event_queue_peak",
+    "live_objects_peak",
+)
+
+#: fields that are high-water marks: they merge by max, not by sum.
+PEAK_FIELDS = frozenset(
+    {"peak_queue_depth", "event_queue_peak", "live_objects_peak"}
 )
 
 
@@ -111,17 +127,18 @@ class SimCounters:
     def merge(self, snap: dict[str, int]) -> None:
         """Fold another block's :meth:`snapshot` into this one.
 
-        Additive for every field except ``peak_queue_depth``, which is a
-        high-water mark and merges by max.  This is how the shard runner
-        rolls per-cell counter blocks up into the parent process's
-        totals (the merged result is identical whichever process ran
-        each cell, so parallel and serial runs report the same numbers).
+        Additive for every field except the :data:`PEAK_FIELDS`
+        high-water marks, which merge by max.  This is how the shard
+        runner rolls per-cell counter blocks up into the parent
+        process's totals (the merged result is identical whichever
+        process ran each cell, so parallel and serial runs report the
+        same numbers).
         """
         for field in _FIELDS:
             value = snap.get(field, 0)
-            if field == "peak_queue_depth":
-                if value > self.peak_queue_depth:
-                    self.peak_queue_depth = value
+            if field in PEAK_FIELDS:
+                if value > getattr(self, field):
+                    setattr(self, field, value)
             else:
                 setattr(self, field, getattr(self, field) + value)
 

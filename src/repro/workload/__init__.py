@@ -1,12 +1,33 @@
 """Synthetic workloads: application IO/startup models and generators."""
 
 from repro.workload.apps import ApplicationModel, CompiledMPIApp, PythonPipelineApp
-from repro.workload.generators import PodBatchGenerator, poisson_arrivals
+from repro.workload.generators import (
+    DiurnalProfile,
+    PodBatchGenerator,
+    ZipfSampler,
+    modulated_poisson_arrivals,
+    poisson_arrivals,
+    zipf_weights,
+)
 
 __all__ = [
     "ApplicationModel",
     "CompiledMPIApp",
+    "DiurnalProfile",
     "PodBatchGenerator",
     "PythonPipelineApp",
+    "ZipfSampler",
+    "modulated_poisson_arrivals",
     "poisson_arrivals",
+    "zipf_weights",
 ]
+
+
+def __getattr__(name):
+    # The fleet engine pulls in registry/shard/faults; import lazily so
+    # `import repro.workload` stays light for the §6 scenarios.
+    if name in ("FleetConfig", "FleetResult", "run_fleet"):
+        from repro.workload import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(name)

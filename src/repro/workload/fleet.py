@@ -1,0 +1,934 @@
+"""Fleet-scale multi-tenant workload engine.
+
+The §6 scenarios exercise the stack at 4–100 nodes and a handful of
+pods; the paper's §4 claims about registry pull storms, cache-hit
+economics and metadata crush are *fleet-shape* claims that only emerge
+when thousands of tenants pull Zipf-distributed images concurrently.
+This module simulates that shape directly: a trace-driven fleet of 10k+
+nodes serving 1M+ container starts, runnable from the CLI as::
+
+    python -m repro fleet --tenants 2000 --nodes 10000 --starts 1000000 --jobs 8
+
+**The model.**  A :class:`FleetConfig` describes the fleet; the run is
+split into ``shards`` independent cells (tenant partitions with their
+own node pool and per-cell registry — the standard HPC-site "partition"
+layout), each executed by a :class:`FleetShardEngine`:
+
+- arrivals are a Poisson process whose rate follows a
+  :class:`~repro.workload.generators.DiurnalProfile` (day/night swing
+  plus burst windows);
+- each start belongs to a tenant (Zipf-skewed tenant sizes) and names an
+  image from the shared catalog (Zipf-skewed image popularity, the §4
+  knob);
+- every tenant owns a project in a multi-tenant
+  :class:`~repro.registry.distribution.OCIDistributionRegistry` with a
+  byte quota, and mirrors the catalog into it — content-addressed blob
+  dedup means tenants × images *pushes* but only ~images worth of
+  stored bytes;
+- nodes keep content-addressed image/layer caches: a start whose image
+  digest is already on the node is a warm start; a cold start pulls
+  through the real registry (fault windows, rate limits, and transfer
+  costs included), transferring only the layers the node misses.
+
+**The hot paths.**  A million starts cannot afford one simulator event,
+one pod object, and one O(nodes) scheduler scan each.  The engine
+therefore
+
+- batches time into epochs: one simulator event per epoch drives an
+  exact two-stream merge of arrivals (precomputed trace arrays) and
+  completions (a calendar of per-epoch buckets) — virtual-time results
+  are *identical* to one-event-per-start execution, verified by the
+  ``naive`` mode below;
+- pools container records in slotted parallel arrays with a free list —
+  no per-start object allocation, no retained per-container history;
+- places starts through :class:`~repro.cluster.capacity.CapacityIndex`
+  (bucketed best-fit, O(log nodes)) instead of a linear scan;
+- streams per-tenant results into :class:`TenantStats` accumulators and
+  fixed-bucket histograms;
+- feeds labeled metrics through interned series keys
+  (:meth:`~repro.obs.metrics.MetricsRegistry.series_key`) so the
+  per-start path never rebuilds label dicts.
+
+``FleetConfig(naive=True)`` runs the pre-optimization implementation —
+one event per arrival and completion, linear capacity scans, per-start
+dict records and label formatting — byte-identical results, an order of
+magnitude slower.  ``benchmarks/bench_fleet.py`` records the ratio.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import typing as _t
+from collections import deque
+from heapq import heapify, heappop, heappush
+
+import numpy as np
+
+from repro.cluster.capacity import CapacityIndex, LinearCapacityScan
+from repro.faults.injector import injector as _faults
+from repro.faults.retry import RetryExhausted, RetryPolicy
+from repro.obs import metrics as _metrics
+from repro.registry.distribution import (
+    OCIDistributionRegistry,
+    RegistryUnavailable,
+)
+from repro.registry.quota import QuotaManager
+from repro.sim import Environment
+from repro.sim import profile as _profile
+from repro.sim.events import Event
+from repro.sim.rng import DeterministicRNG
+from repro.workload.generators import (
+    DiurnalProfile,
+    ZipfSampler,
+    modulated_poisson_arrivals,
+    weighted_choice_indices,
+    zipf_weights,
+)
+
+#: queue-wait histogram bounds (seconds); +inf bucket is implicit
+WAIT_BUCKETS: tuple[float, ...] = (0.0, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+
+@dataclasses.dataclass(frozen=True)
+class FleetConfig:
+    """Everything that defines a fleet run (plain JSON-able values)."""
+
+    tenants: int = 64
+    nodes: int = 128
+    starts: int = 5000
+    images: int = 24
+    zipf_s: float = 1.2
+    tenant_skew: float = 0.8
+    seed: int = 0
+    node_cpus: int = 8
+    cpu_choices: tuple[int, ...] = (1, 2, 4)
+    cpu_shares: tuple[float, ...] = (0.5, 0.3, 0.2)
+    duration_mean: float = 90.0
+    day: float = 1800.0
+    epoch: float = 1.0
+    warm_start_s: float = 0.4
+    unpack_bandwidth: float = 400e6
+    shards: int = 8
+    amplitude: float = 0.6
+    naive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tenants < 1 or self.nodes < 1 or self.images < 1:
+            raise ValueError("tenants, nodes and images must all be >= 1")
+        if self.starts < 0:
+            raise ValueError(f"starts must be >= 0, got {self.starts}")
+        if max(self.cpu_choices) > self.node_cpus:
+            raise ValueError(
+                f"largest request ({max(self.cpu_choices)} cpus) exceeds "
+                f"node capacity ({self.node_cpus}) — starts could never place"
+            )
+        if len(self.cpu_choices) != len(self.cpu_shares):
+            raise ValueError("cpu_choices and cpu_shares must align")
+        if self.epoch <= 0 or self.day <= 0:
+            raise ValueError("epoch and day must be positive")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+    # -- serialization (cells carry the config as a JSON string) ------------
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FleetConfig":
+        data = json.loads(text)
+        for field in ("cpu_choices", "cpu_shares"):
+            data[field] = tuple(data[field])
+        return cls(**data)
+
+    def profile(self) -> DiurnalProfile:
+        return DiurnalProfile(amplitude=self.amplitude)
+
+    # -- shard partitioning (fixed by config, independent of --jobs) --------
+    @property
+    def effective_shards(self) -> int:
+        return max(1, min(self.shards, self.tenants, self.nodes))
+
+    def shard_tenant_ids(self, shard: int) -> list[int]:
+        """Global tenant ids owned by ``shard`` (round-robin, so every
+        shard gets a mix of head and tail tenants)."""
+        return list(range(shard, self.tenants, self.effective_shards))
+
+    def shard_node_count(self, shard: int) -> int:
+        shards = self.effective_shards
+        return self.nodes // shards + (1 if shard < self.nodes % shards else 0)
+
+    def shard_start_counts(self) -> list[int]:
+        """Starts per shard, proportional to tenant count (largest-
+        remainder rounding, so the counts always sum to ``starts``)."""
+        shards = self.effective_shards
+        counts = [len(self.shard_tenant_ids(s)) for s in range(shards)]
+        exact = [self.starts * c / self.tenants for c in counts]
+        base = [int(x) for x in exact]
+        leftover = self.starts - sum(base)
+        order = sorted(range(shards), key=lambda s: (-(exact[s] - base[s]), s))
+        for s in order[:leftover]:
+            base[s] += 1
+        return base
+
+
+class ImageCatalog:
+    """The shared image catalog tenants mirror into their projects.
+
+    Images share layers deliberately — one distro base (two variants),
+    one runtime layer (three variants), one unique app layer — so the
+    content-addressed economics have something to deduplicate, exactly
+    like a site's stack of pipeline images over common bases.
+    """
+
+    def __init__(self, images: list, digests: list[str],
+                 layer_digests: list[tuple[str, ...]],
+                 layer_sizes: list[tuple[int, ...]],
+                 compressed_sizes: list[int]):
+        self.images = images
+        self.digests = digests
+        self.layer_digests = layer_digests
+        self.layer_sizes = layer_sizes
+        self.compressed_sizes = compressed_sizes
+
+    def __len__(self) -> int:
+        return len(self.images)
+
+    @classmethod
+    def build(cls, n_images: int) -> "ImageCatalog":
+        from repro.fs.tree import FileTree
+        from repro.oci.image import ImageConfig, OCIImage
+        from repro.oci.layer import Layer
+
+        def base_layer(variant: int) -> Layer:
+            tree = FileTree()
+            tree.create_file("/bin/sh", size=120_000, mode=0o755)
+            tree.create_file("/etc/os-release", data=f"ID=fleet-base-{variant}\n".encode())
+            for i in range(30):
+                tree.create_file(f"/usr/lib/lib{i:03}.so", size=400_000 + variant * 7_000,
+                                 mode=0o755)
+            return Layer(tree, created_by=f"FROM scratch (fleet base {variant})")
+
+        def runtime_layer(variant: int) -> Layer:
+            tree = FileTree()
+            name = ("python", "mpi", "tools")[variant]
+            tree.create_file(f"/opt/{name}/bin/{name}", size=6_000_000, mode=0o755)
+            for i in range(40):
+                tree.create_file(f"/opt/{name}/lib/m{i:03}.bin", size=150_000)
+            return Layer(tree, created_by=f"RUN install {name}")
+
+        bases = [base_layer(v) for v in range(2)]
+        runtimes = [runtime_layer(v) for v in range(3)]
+        images, digests, layer_digests, layer_sizes, compressed = [], [], [], [], []
+        for img in range(n_images):
+            tree = FileTree()
+            app_size = 4_000_000 + (img * 7919) % 60_000_001
+            tree.create_file(f"/srv/app{img:03}/run", size=app_size, mode=0o755)
+            tree.create_file(f"/srv/app{img:03}/conf.yaml", size=2_000)
+            app = Layer(tree, created_by=f"COPY app{img:03}")
+            layers = [bases[img % 2], runtimes[img % 3], app]
+            image = OCIImage(ImageConfig(cmd=(f"/srv/app{img:03}/run",)), layers)
+            images.append(image)
+            digests.append(image.digest)
+            layer_digests.append(tuple(layer.digest for layer in layers))
+            layer_sizes.append(tuple(layer.compressed_size for layer in layers))
+            compressed.append(image.compressed_size)
+        return cls(images, digests, layer_digests, layer_sizes, compressed)
+
+
+class TenantStats:
+    """Streaming per-tenant accumulator — the fleet never retains a
+    per-container record."""
+
+    __slots__ = ("starts", "completions", "failed", "cold_pulls",
+                 "pulled_bytes", "wait_sum", "wait_max", "cpu_seconds")
+
+    def __init__(self) -> None:
+        self.starts = 0
+        self.completions = 0
+        self.failed = 0
+        self.cold_pulls = 0
+        self.pulled_bytes = 0
+        self.wait_sum = 0.0
+        self.wait_max = 0.0
+        self.cpu_seconds = 0.0
+
+    def as_tuple(self) -> tuple:
+        return (self.starts, self.completions, self.failed, self.cold_pulls,
+                self.pulled_bytes, self.wait_sum, self.wait_max, self.cpu_seconds)
+
+
+@dataclasses.dataclass
+class FleetShardResult:
+    """One shard's outputs: plain picklable accumulators."""
+
+    shard: int
+    tenants: dict[int, tuple]
+    starts: int = 0
+    completions: int = 0
+    failed: int = 0
+    warm_starts: int = 0
+    cold_pulls: int = 0
+    retry_attempts: int = 0
+    pulled_bytes: int = 0
+    demand_bytes: int = 0
+    registry_pushes: int = 0
+    registry_pulls: int = 0
+    blob_uploads_skipped: int = 0
+    stored_bytes: int = 0
+    quota_used: int = 0
+    pending_peak: int = 0
+    live_peak: int = 0
+    wait_hist: list[int] = dataclasses.field(
+        default_factory=lambda: [0] * (len(WAIT_BUCKETS) + 1))
+    wait_sum: float = 0.0
+    wait_max: float = 0.0
+    makespan: float = 0.0
+    epochs: int = 0
+    leaks: list[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class FleetResult:
+    """The merged fleet run (associative fold of shard results)."""
+
+    config: FleetConfig
+    shards: int
+    tenants: dict[int, tuple]
+    starts: int
+    completions: int
+    failed: int
+    warm_starts: int
+    cold_pulls: int
+    retry_attempts: int
+    pulled_bytes: int
+    demand_bytes: int
+    registry_pushes: int
+    registry_pulls: int
+    blob_uploads_skipped: int
+    stored_bytes: int
+    quota_used: int
+    pending_peak: int
+    live_peak: int
+    wait_hist: list[int]
+    wait_sum: float
+    wait_max: float
+    makespan: float
+    epochs: int
+    leaks: list[str]
+
+    @property
+    def warm_rate(self) -> float:
+        return self.warm_starts / self.starts if self.starts else 0.0
+
+    @property
+    def bytes_saved_ratio(self) -> float:
+        """Transfer bytes the node/image caches absorbed, as a fraction
+        of the cache-free demand — the §4 cache-economics number."""
+        if not self.demand_bytes:
+            return 0.0
+        return 1.0 - self.pulled_bytes / self.demand_bytes
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_sum / self.starts if self.starts else 0.0
+
+
+def merge_shard_results(
+    results: _t.Sequence[FleetShardResult], config: FleetConfig
+) -> FleetResult:
+    """Fold shard results in shard order (sums, maxes, dict union)."""
+    tenants: dict[int, tuple] = {}
+    hist = [0] * (len(WAIT_BUCKETS) + 1)
+    totals = dict(starts=0, completions=0, failed=0, warm_starts=0,
+                  cold_pulls=0, retry_attempts=0, pulled_bytes=0,
+                  demand_bytes=0, registry_pushes=0, registry_pulls=0,
+                  blob_uploads_skipped=0, stored_bytes=0, quota_used=0,
+                  epochs=0)
+    wait_sum = 0.0
+    wait_max = 0.0
+    makespan = 0.0
+    pending_peak = 0
+    live_peak = 0
+    leaks: list[str] = []
+    for res in sorted(results, key=lambda r: r.shard):
+        tenants.update(res.tenants)
+        for key in totals:
+            totals[key] += getattr(res, key)
+        for i, count in enumerate(res.wait_hist):
+            hist[i] += count
+        wait_sum += res.wait_sum
+        wait_max = max(wait_max, res.wait_max)
+        makespan = max(makespan, res.makespan)
+        pending_peak = max(pending_peak, res.pending_peak)
+        live_peak = max(live_peak, res.live_peak)
+        leaks.extend(f"shard {res.shard}: {leak}" for leak in res.leaks)
+    return FleetResult(
+        config=config, shards=len(results), tenants=tenants,
+        pending_peak=pending_peak, live_peak=live_peak, wait_hist=hist,
+        wait_sum=wait_sum, wait_max=wait_max, makespan=makespan,
+        leaks=leaks, **totals,
+    )
+
+
+class FleetShardEngine:
+    """Simulates one fleet shard: its tenants, nodes, and registry."""
+
+    def __init__(self, env: Environment, config: FleetConfig, shard: int):
+        self.env = env
+        self.config = config
+        self.shard = shard
+        self.tenant_ids = config.shard_tenant_ids(shard)
+        self.n_nodes = config.shard_node_count(shard)
+        self.n_starts = config.shard_start_counts()[shard]
+        self.catalog = ImageCatalog.build(config.images)
+        self._retry = RetryPolicy(max_attempts=5, base_delay=1.0, max_delay=60.0)
+        self._build_registry()
+        self._generate_trace()
+        # -- placement + node caches ---------------------------------------
+        index_cls = LinearCapacityScan if config.naive else CapacityIndex
+        self.index = index_cls(self.n_nodes, config.node_cpus)
+        self.node_images: list[set[str]] = [set() for _ in range(self.n_nodes)]
+        self.node_layers: list[set[str]] = [set() for _ in range(self.n_nodes)]
+        # -- pooled slot records (parallel arrays + free list) --------------
+        self._slot_node: list[int] = []
+        self._slot_req: list[int] = []
+        self._slot_tenant: list[int] = []
+        self._slot_busy: list[float] = []
+        self._free_slots: list[int] = []
+        # -- completion calendar (per-epoch buckets) ------------------------
+        self._calendar: dict[int, list[tuple[float, int, int]]] = {}
+        self._cal_heap: list[int] = []
+        self._cal_size = 0
+        self._local_heap: list[tuple[float, int, int]] = []
+        self._local_epoch = -1
+        self._comp_seq = 0
+        self._pending: deque[tuple[int, float]] = deque()
+        self._live = 0
+        # -- hot-loop constants (one attribute hop instead of a chain) ------
+        self._naive = config.naive
+        self._epoch_len = config.epoch
+        self._warm_start_s = config.warm_start_s
+        self._inv_unpack = 1.0 / config.unpack_bandwidth
+        self._digests = self.catalog.digests
+        # -- streaming results (peaks/sums folded into the result at end) ---
+        self._warm_starts = 0
+        self._makespan = 0.0
+        self._pending_peak = 0
+        self._live_peak = 0
+        self._wait_hist = [0] * (len(WAIT_BUCKETS) + 1)
+        self.stats = [TenantStats() for _ in self.tenant_ids]
+        self.result = FleetShardResult(shard=shard, tenants={})
+        self.result.demand_bytes = int(
+            np.asarray(self.catalog.compressed_sizes)[self._image_arr].sum()
+        ) if self.n_starts else 0
+        self._naive_records: list[dict] = []  # naive mode only, by design
+        self._metric_keys = None
+        if _metrics.registry.enabled and not config.naive:
+            reg = _metrics.registry
+            self._metric_keys = [
+                (reg.series_key("fleet.starts", tenant=f"t{gid:05}"),
+                 reg.series_key("fleet.cold_pulls", tenant=f"t{gid:05}"))
+                for gid in self.tenant_ids
+            ]
+
+    # -- setup ---------------------------------------------------------------
+    def _build_registry(self) -> None:
+        config = self.config
+        quotas = QuotaManager()
+        self.registry = OCIDistributionRegistry(
+            name=f"fleet-registry-{self.shard}", multi_tenant=True, quotas=quotas,
+        )
+        catalog_bytes = sum(self.catalog.compressed_sizes)
+        self._repos: list[list[str]] = []
+        for gid in self.tenant_ids:
+            project = f"t{gid:05}"
+            self.registry.create_tenant(project)
+            quotas.set_limit(project, 2 * catalog_bytes + 1)
+            repos = [f"{project}/img{img:03}" for img in range(len(self.catalog))]
+            self._repos.append(repos)
+            for img, repo in enumerate(repos):
+                self.registry.push_image(repo, "v1", self.catalog.images[img])
+        self._quota_total = sum(
+            quotas.used(f"t{gid:05}") for gid in self.tenant_ids
+        )
+
+    def _generate_trace(self) -> None:
+        """Precompute the shard's whole arrival trace as flat arrays."""
+        config = self.config
+        rng = DeterministicRNG(config.seed)
+        n = self.n_starts
+        tag = f"shard{self.shard}"
+        if n == 0:
+            self._times = []
+            self._image_arr = np.empty(0, dtype=np.int64)
+            self._images = []
+            self._tenants_local = []
+            self._cpus = []
+            self._durations = []
+            return
+        base_rate = n / config.day
+        times = modulated_poisson_arrivals(
+            rng.stream(f"{tag}.arrivals"), n, base_rate,
+            config.profile(), config.day,
+        )
+        image_sampler = ZipfSampler(config.images, config.zipf_s)
+        images = image_sampler.sample(rng.stream(f"{tag}.images"), n)
+        tenant_weights = zipf_weights(config.tenants, config.tenant_skew)
+        local_weights = tenant_weights[np.asarray(self.tenant_ids)]
+        tenants_local = weighted_choice_indices(
+            rng.stream(f"{tag}.tenants"), local_weights, n
+        )
+        cpus = weighted_choice_indices(
+            rng.stream(f"{tag}.cpus"), np.asarray(config.cpu_shares), n
+        )
+        cpu_lookup = np.asarray(config.cpu_choices, dtype=np.int64)
+        durations = rng.stream(f"{tag}.durations").exponential(
+            config.duration_mean, size=n
+        )
+        # Python lists: element access in the hot loop skips np boxing.
+        self._times = times.tolist()
+        self._image_arr = images
+        self._images = images.tolist()
+        self._tenants_local = tenants_local.tolist()
+        self._cpus = cpu_lookup[cpus].tolist()
+        self._durations = durations.tolist()
+
+    # -- the run -------------------------------------------------------------
+    def run(self) -> FleetShardResult:
+        if self.n_starts:
+            if self.config.naive:
+                self._naive_schedule_arrivals()
+            else:
+                self.env.process(self._pump(), name=f"fleet-pump-{self.shard}")
+            self.env.run()
+        res = self.result
+        res.warm_starts = self._warm_starts
+        res.makespan = self._makespan
+        res.pending_peak = self._pending_peak
+        res.live_peak = self._live_peak
+        res.wait_hist = self._wait_hist
+        res.tenants = {
+            gid: stats.as_tuple()
+            for gid, stats in zip(self.tenant_ids, self.stats)
+        }
+        res.starts = sum(s.starts for s in self.stats)
+        res.completions = sum(s.completions for s in self.stats)
+        res.failed = sum(s.failed for s in self.stats)
+        res.cold_pulls = sum(s.cold_pulls for s in self.stats)
+        res.pulled_bytes = sum(s.pulled_bytes for s in self.stats)
+        res.wait_sum = sum(s.wait_sum for s in self.stats)
+        res.wait_max = max((s.wait_max for s in self.stats), default=0.0)
+        res.registry_pushes = self.registry.stats["pushes"]
+        res.registry_pulls = self.registry.stats["pulls"]
+        res.blob_uploads_skipped = self.registry.stats["blob_uploads_skipped"]
+        res.stored_bytes = self.registry.store.used_bytes
+        res.quota_used = self._quota_total
+        res.leaks = self.leak_descriptions()
+        return res
+
+    # -- leak audit surface (repro.faults.leaks duck-types this) -------------
+    def leak_descriptions(self) -> list[str]:
+        """Post-run invariants: every slot freed, every core returned,
+        nothing still queued — the fleet equivalent of §3.2's "no
+        lingering processes"."""
+        leaks: list[str] = []
+        if self._live:
+            leaks.append(f"{self._live} container slot(s) still live after drain")
+        if self._pending:
+            leaks.append(f"{len(self._pending)} start(s) still queued for placement")
+        if self._cal_size or self._local_heap:
+            leaks.append(
+                f"{self._cal_size + len(self._local_heap)} completion(s) never delivered"
+            )
+        total = self.n_nodes * self.config.node_cpus
+        if self.index.total_free != total:
+            leaks.append(
+                f"capacity leak: {total - self.index.total_free} core(s) "
+                f"never returned to the free pool"
+            )
+        return leaks
+
+    # -- fast path: epoch-batched pump ---------------------------------------
+    def _pump(self):
+        env = self.env
+        epoch_len = self.config.epoch
+        times = self._times
+        n = self.n_starts
+        calendar = self._calendar
+        cal_heap = self._cal_heap
+        pending = self._pending
+        prof = _profile.counters
+        i = 0
+        while i < n or self._cal_size or self._local_heap or pending:
+            # next epoch with work: earliest arrival or completion bucket
+            epoch = None
+            if i < n:
+                epoch = int(times[i] // epoch_len)
+            while cal_heap and calendar.get(cal_heap[0]) is None:
+                heappop(cal_heap)  # bucket consumed into a local heap earlier
+            if cal_heap and (epoch is None or cal_heap[0] < epoch):
+                epoch = cal_heap[0]
+            if epoch is None:
+                raise RuntimeError(
+                    "fleet pump stalled: pending starts but no completions due"
+                )
+            boundary = (epoch + 1) * epoch_len
+            if boundary > env.now:
+                yield env.timeout_until(boundary)
+            # claim this epoch's completion bucket as the live local heap
+            local = calendar.pop(epoch, None)
+            if local is None:
+                local = []
+            else:
+                if cal_heap and cal_heap[0] == epoch:
+                    heappop(cal_heap)
+                heapify(local)
+            self._local_heap = local
+            self._local_epoch = epoch
+            # arrivals that fall inside this epoch
+            j = i
+            while j < n and times[j] < boundary:
+                j += 1
+            # exact two-stream merge; completions win ties (free before
+            # place — matches the naive event ordering, URGENT < NORMAL)
+            complete = self._complete
+            arrive = self._arrive
+            k = i
+            while local or k < j:
+                if local and (k >= j or local[0][0] <= times[k]):
+                    end_t, _seq, slot = heappop(local)
+                    self._cal_size -= 1
+                    complete(slot, end_t)
+                else:
+                    arrive(k, times[k])
+                    k += 1
+            i = j
+            self._local_epoch = -1
+            self.result.epochs += 1
+            if prof.enabled:
+                depth = (len(env._queue) + len(env._immediate)
+                         + self._cal_size + len(pending))
+                if depth > prof.event_queue_peak:
+                    prof.event_queue_peak = depth
+                live = self._live + len(pending)
+                if live > prof.live_objects_peak:
+                    prof.live_objects_peak = live
+
+    def _arrive(self, k: int, t: float) -> None:
+        req = self._cpus[k]
+        node = self.index.alloc(req)
+        if node is None:
+            pending = self._pending
+            pending.append((k, t))
+            if len(pending) > self._pending_peak:
+                self._pending_peak = len(pending)
+            return
+        self._place(k, t, t, node, req)
+
+    def _place(self, k: int, arrival_t: float, place_t: float,
+               node: int, req: int) -> None:
+        tloc = self._tenants_local[k]
+        img = self._images[k]
+        digest = self._digests[img]
+        node_set = self.node_images[node]
+        stats = self.stats[tloc]
+        if digest in node_set:
+            startup = self._warm_start_s
+            self._warm_starts += 1
+        else:
+            try:
+                startup = self._cold_pull(tloc, img, node, place_t, stats)
+            except RetryExhausted:
+                self.index.release(node, req)
+                stats.failed += 1
+                return
+            node_set.add(digest)
+        busy = startup + self._durations[k]
+        end = place_t + busy
+        free_slots = self._free_slots
+        if free_slots:
+            slot = free_slots.pop()
+            self._slot_node[slot] = node
+            self._slot_req[slot] = req
+            self._slot_tenant[slot] = tloc
+            self._slot_busy[slot] = busy
+        else:
+            slot = len(self._slot_node)
+            self._slot_node.append(node)
+            self._slot_req.append(req)
+            self._slot_tenant.append(tloc)
+            self._slot_busy.append(busy)
+        live = self._live + 1
+        self._live = live
+        if live > self._live_peak:
+            self._live_peak = live
+        seq = self._comp_seq
+        self._comp_seq = seq + 1
+        self._cal_size += 1
+        record = (end, seq, slot)
+        if self._naive:
+            event = Event(self.env)
+            event.callbacks.append(self._naive_completion)
+            event._value = (slot, end)
+            self.env._schedule_at(event, end, priority=Environment.URGENT)
+        else:
+            epoch = int(end // self._epoch_len)
+            if epoch == self._local_epoch:
+                heappush(self._local_heap, record)
+            else:
+                bucket = self._calendar.get(epoch)
+                if bucket is None:
+                    self._calendar[epoch] = [record]
+                    heappush(self._cal_heap, epoch)
+                else:
+                    bucket.append(record)
+        if end > self._makespan:
+            self._makespan = end
+        stats.starts += 1
+        wait = place_t - arrival_t
+        if wait > 0.0:
+            stats.wait_sum += wait
+            if wait > stats.wait_max:
+                stats.wait_max = wait
+        hist = self._wait_hist
+        for b, bound in enumerate(WAIT_BUCKETS):
+            if wait <= bound:
+                hist[b] += 1
+                break
+        else:
+            hist[-1] += 1
+        if self._naive:
+            # pre-optimization behaviour: a retained dict per container
+            # and label dicts rebuilt for every metric increment
+            self._naive_records.append({
+                "tenant": self.tenant_ids[tloc], "image": img, "node": node,
+                "cpus": req, "end": end,
+            })
+            reg = _metrics.registry
+            if reg.enabled:
+                reg.inc("fleet.starts", tenant=f"t{self.tenant_ids[tloc]:05}")
+        elif self._metric_keys is not None:
+            _metrics.registry.inc_series(self._metric_keys[tloc][0])
+
+    def _cold_pull(self, tloc: int, img: int, node: int, t: float,
+                   stats: TenantStats) -> float:
+        """Pull through the real registry; returns the startup cost."""
+        catalog = self.catalog
+        node_layers = self.node_layers[node]
+        missing = 0
+        for digest, size in zip(catalog.layer_digests[img], catalog.layer_sizes[img]):
+            if digest not in node_layers:
+                missing += size
+        repo = self._repos[tloc][img]
+        policy = self._retry
+        attempts = 0
+        elapsed = 0.0
+        while True:
+            attempts += 1
+            try:
+                _image, cost = self.registry.pull_image(
+                    repo, "v1", now=t + elapsed, have_digests=node_layers,
+                )
+                break
+            except RegistryUnavailable as exc:
+                elapsed += exc.cost
+                self.result.retry_attempts += 1
+                _faults.note_retry("fleet.registry")
+                if policy.gives_up(attempts, elapsed):
+                    raise RetryExhausted("fleet.registry", attempts, elapsed, exc) from exc
+                delay = policy.delay(attempts - 1)
+                if exc.retry_after is not None and exc.retry_after > delay:
+                    delay = exc.retry_after
+                elapsed += delay
+        node_layers.update(catalog.layer_digests[img])
+        stats.cold_pulls += 1
+        stats.pulled_bytes += missing
+        if self._metric_keys is not None:
+            _metrics.registry.inc_series(self._metric_keys[tloc][1])
+        elif self._naive and _metrics.registry.enabled:
+            _metrics.registry.inc(
+                "fleet.cold_pulls", tenant=f"t{self.tenant_ids[tloc]:05}"
+            )
+        return elapsed + cost + missing * self._inv_unpack + self._warm_start_s
+
+    def _complete(self, slot: int, end_t: float) -> None:
+        node = self._slot_node[slot]
+        req = self._slot_req[slot]
+        stats = self.stats[self._slot_tenant[slot]]
+        self.index.release(node, req)
+        stats.completions += 1
+        stats.cpu_seconds += self._slot_busy[slot] * req
+        self._live -= 1
+        self._free_slots.append(slot)
+        pending = self._pending
+        while pending:
+            k, arrival_t = pending[0]
+            req2 = self._cpus[k]
+            node2 = self.index.alloc(req2)
+            if node2 is None:
+                break
+            pending.popleft()
+            self._place(k, arrival_t, end_t, node2, req2)
+
+    # -- naive (pre-optimization) drivers ------------------------------------
+    def _naive_schedule_arrivals(self) -> None:
+        """One simulator event per arrival, straight onto the heap."""
+        env = self.env
+        for k, t in enumerate(self._times):
+            event = Event(env)
+            event.callbacks.append(self._naive_arrival)
+            event._value = k
+            env._schedule_at(event, t)
+
+    def _naive_arrival(self, event: Event) -> None:
+        k = _t.cast(int, event._value)
+        self._arrive(k, self._times[k])
+        self._note_naive_pressure()
+
+    def _naive_completion(self, event: Event) -> None:
+        slot, end = _t.cast(tuple, event._value)
+        self._cal_size -= 1
+        self._complete(slot, end)
+        self._note_naive_pressure()
+
+    def _note_naive_pressure(self) -> None:
+        prof = _profile.counters
+        if prof.enabled:
+            env = self.env
+            depth = len(env._queue) + len(env._immediate) + len(self._pending)
+            if depth > prof.event_queue_peak:
+                prof.event_queue_peak = depth
+            live = self._live + len(self._pending)
+            if live > prof.live_objects_peak:
+                prof.live_objects_peak = live
+
+
+def run_fleet_shard(config: FleetConfig, shard: int) -> FleetShardResult:
+    """Build and run one shard in a fresh environment (the cell body)."""
+    env = Environment()
+    engine = FleetShardEngine(env, config, shard)
+    return engine.run()
+
+
+def fleet_cells(config: FleetConfig) -> list:
+    """The fixed cell partition for ``config`` (independent of --jobs)."""
+    from repro.shard.cells import FleetCell
+
+    config_json = config.to_json()
+    return [
+        FleetCell(config_json=config_json, shard=shard)
+        for shard in range(config.effective_shards)
+    ]
+
+
+def run_fleet(
+    config: FleetConfig, jobs: int = 1, metrics: bool = False
+) -> FleetResult:
+    """Run the whole fleet through the shard runner and merge."""
+    from repro.shard import ObsConfig, run_cells
+
+    result = run_cells(
+        fleet_cells(config), jobs=jobs, obs=ObsConfig(metrics=metrics)
+    )
+    return merge_shard_results(result.values(), config)
+
+
+# -- reporting ----------------------------------------------------------------
+
+def fleet_report_document(result: FleetResult) -> dict:
+    """JSON-ready report (schema ``repro-fleet-report/1``)."""
+    tenants = [
+        [gid, *map(_json_num, stats)]
+        for gid, stats in sorted(result.tenants.items())
+    ]
+    return {
+        "schema": "repro-fleet-report/1",
+        "config": json.loads(result.config.to_json()),
+        "summary": {
+            "shards": result.shards,
+            "starts": result.starts,
+            "completions": result.completions,
+            "failed": result.failed,
+            "warm_starts": result.warm_starts,
+            "warm_rate": round(result.warm_rate, 6),
+            "cold_pulls": result.cold_pulls,
+            "retry_attempts": result.retry_attempts,
+            "pulled_bytes": result.pulled_bytes,
+            "demand_bytes": result.demand_bytes,
+            "bytes_saved_ratio": round(result.bytes_saved_ratio, 6),
+            "pending_peak": result.pending_peak,
+            "live_peak": result.live_peak,
+            "mean_wait_s": round(result.mean_wait, 6),
+            "max_wait_s": round(result.wait_max, 6),
+            "makespan_s": round(result.makespan, 6),
+        },
+        "registry": {
+            "pushes": result.registry_pushes,
+            "pulls": result.registry_pulls,
+            "blob_uploads_skipped": result.blob_uploads_skipped,
+            "stored_bytes": result.stored_bytes,
+            "quota_used_bytes": result.quota_used,
+        },
+        "wait_histogram": {
+            "bounds_s": list(WAIT_BUCKETS),
+            "counts": list(result.wait_hist),
+        },
+        "leaks": list(result.leaks),
+        "tenant_columns": ["tenant", "starts", "completions", "failed",
+                           "cold_pulls", "pulled_bytes", "wait_sum_s",
+                           "wait_max_s", "cpu_seconds"],
+        "tenants": tenants,
+    }
+
+
+def _json_num(value):
+    return round(value, 6) if isinstance(value, float) else value
+
+
+def _human_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if value < 1000.0 or unit == "PB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1000.0
+    return f"{value:.1f} PB"
+
+
+def render_fleet_summary(result: FleetResult, top: int = 8) -> str:
+    """Deterministic human summary (identical for --jobs 1 and N)."""
+    cfg = result.config
+    lines = [
+        f"fleet: {cfg.nodes} nodes / {cfg.tenants} tenants / "
+        f"{cfg.starts} starts ({result.shards} cells, zipf s={cfg.zipf_s}, "
+        f"day={cfg.day:.0f}s)",
+        f"  completed:  {result.completions}/{result.starts} "
+        f"(failed {result.failed})   makespan {result.makespan:.1f}s",
+        f"  image cache: {result.warm_rate:.1%} warm starts, "
+        f"{result.cold_pulls} cold pulls, pulled {_human_bytes(result.pulled_bytes)} "
+        f"({result.bytes_saved_ratio:.1%} saved vs cache-free "
+        f"{_human_bytes(result.demand_bytes)})",
+        f"  registry:   {result.registry_pushes} pushes "
+        f"({result.blob_uploads_skipped} blob uploads deduped), "
+        f"{result.registry_pulls} pulls, stores {_human_bytes(result.stored_bytes)}, "
+        f"quota charged {_human_bytes(result.quota_used)}",
+        f"  queueing:   peak pending {result.pending_peak}, peak live "
+        f"{result.live_peak}, mean wait {result.mean_wait:.2f}s, "
+        f"max wait {result.wait_max:.1f}s",
+    ]
+    if result.retry_attempts:
+        lines.append(f"  retries:    {result.retry_attempts} registry retries")
+    if result.leaks:
+        lines.append(f"  LEAKS:      {len(result.leaks)}")
+        lines.extend(f"    - {leak}" for leak in result.leaks)
+    else:
+        lines.append("  leaks:      none")
+    ranked = sorted(result.tenants.items(), key=lambda kv: (-kv[1][0], kv[0]))
+    lines.append(f"  top tenants ({min(top, len(ranked))} of {len(ranked)}):")
+    for gid, stats in ranked[:top]:
+        starts, completions, _failed, cold, pulled = stats[:5]
+        lines.append(
+            f"    t{gid:05}  {starts:>8} starts  {completions:>8} done  "
+            f"{cold:>6} cold pulls  {_human_bytes(pulled):>10}"
+        )
+    return "\n".join(lines)

@@ -1,8 +1,26 @@
-"""Workload generators for scenario and benchmark runs."""
+"""Workload generators for scenario and benchmark runs.
+
+Two families live here:
+
+- the small-batch pod generators the §6 scenarios consume
+  (:class:`PodBatchGenerator`, :func:`poisson_arrivals`);
+- the fleet-scale stochastic models behind :mod:`repro.workload.fleet`:
+  a time-varying arrival process (:func:`modulated_poisson_arrivals`
+  over a :class:`DiurnalProfile`) and the Zipf popularity sampler
+  (:class:`ZipfSampler`) that drives registry pull storms — the paper's
+  §4 cache-economics claims are statements about *these distributions*,
+  not about any single container.
+
+Everything draws from named :class:`~repro.sim.rng.DeterministicRNG`
+streams, so every trace is an exact function of (seed, parameters).
+"""
 
 from __future__ import annotations
 
+import dataclasses
 import typing as _t
+
+import numpy as np
 
 from repro.k8s.objects import ContainerSpec, ObjectMeta, Pod, PodSpec, ResourceRequests
 from repro.sim.rng import DeterministicRNG
@@ -17,6 +35,150 @@ def poisson_arrivals(rng: DeterministicRNG, rate_per_second: float, count: int) 
         t += float(stream.exponential(1.0 / rate_per_second))
         times.append(t)
     return times
+
+
+@dataclasses.dataclass(frozen=True)
+class DiurnalProfile:
+    """A periodic rate-modulation profile: daily sinusoid plus bursts.
+
+    ``factor(t)`` multiplies a base arrival rate:
+
+    - a sinusoidal day/night swing of ``amplitude`` peaking at
+      ``peak_frac`` of the period (users submit during working hours);
+    - optional additive burst windows ``(start_frac, end_frac, boost)``
+      — the 9am pipeline kickoff, a gateway retry storm — expressed as
+      fractions of the period.
+
+    The profile is bounded: ``min_factor <= factor(t) <= max_factor``
+    for every ``t``, with ``min_factor > 0`` (``amplitude < 1``), so the
+    cumulative intensity is strictly increasing and the inverse-warp
+    arrival construction in :func:`modulated_poisson_arrivals` is well
+    defined.
+    """
+
+    amplitude: float = 0.6
+    peak_frac: float = 0.5
+    bursts: tuple[tuple[float, float, float], ...] = ((0.35, 0.40, 1.5),)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(f"amplitude must be in [0, 1), got {self.amplitude}")
+        for start, end, boost in self.bursts:
+            if not 0.0 <= start < end <= 1.0:
+                raise ValueError(f"burst window [{start}, {end}] not within the period")
+            if boost < 0.0:
+                raise ValueError(f"burst boost must be >= 0, got {boost}")
+
+    @property
+    def min_factor(self) -> float:
+        return 1.0 - self.amplitude
+
+    @property
+    def max_factor(self) -> float:
+        # burst windows may overlap, and factor() adds every matching
+        # boost — the sum is the bound that holds for any layout
+        return 1.0 + self.amplitude + sum(b for _, _, b in self.bursts)
+
+    def factor(self, t: float, period: float) -> float:
+        """The rate multiplier at time ``t`` for a day of ``period`` s."""
+        frac = (t / period) % 1.0
+        value = 1.0 + self.amplitude * float(
+            np.sin(2.0 * np.pi * (frac - self.peak_frac + 0.25))
+        )
+        for start, end, boost in self.bursts:
+            if start <= frac < end:
+                value += boost
+        return value
+
+    def factors(self, fracs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`factor` over period-fractions in [0, 1)."""
+        values = 1.0 + self.amplitude * np.sin(2.0 * np.pi * (fracs - self.peak_frac + 0.25))
+        for start, end, boost in self.bursts:
+            values = values + boost * ((fracs >= start) & (fracs < end))
+        return values
+
+
+def modulated_poisson_arrivals(
+    stream: np.random.Generator,
+    count: int,
+    base_rate: float,
+    profile: DiurnalProfile,
+    period: float,
+    grid_points: int = 4096,
+) -> np.ndarray:
+    """``count`` arrival times of a Poisson process with rate
+    ``base_rate * profile.factor(t)``.
+
+    Uses the time-warp construction: draw a unit-rate homogeneous
+    process, then map each point through the inverse of the cumulative
+    intensity ``Λ(t) = base_rate * ∫ factor``.  Λ is tabulated on a
+    periodic grid (``grid_points`` per day) and inverted with
+    :func:`numpy.interp`; because Λ is strictly increasing
+    (``profile.min_factor > 0``), the mapping preserves order, so the
+    returned array is strictly increasing, non-negative, and an exact
+    deterministic function of the stream state.
+    """
+    if count <= 0:
+        return np.empty(0, dtype=float)
+    if base_rate <= 0.0:
+        raise ValueError(f"base_rate must be positive, got {base_rate}")
+    unit = np.cumsum(stream.exponential(1.0, size=count))
+    # Tabulate Λ over whole periods until it covers the last unit point.
+    dt = period / grid_points
+    fracs = (np.arange(grid_points) + 0.5) / grid_points
+    day_rates = base_rate * profile.factors(fracs)
+    day_increments = day_rates * dt
+    day_total = float(day_increments.sum())
+    days = max(1, int(np.ceil(float(unit[-1]) / day_total)) + 1)
+    increments = np.tile(day_increments, days)
+    lam = np.concatenate(([0.0], np.cumsum(increments)))
+    t_grid = np.arange(lam.size) * dt
+    return np.interp(unit, lam, t_grid)
+
+
+def zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf(``s``) probabilities over ranks ``0..n-1``."""
+    if n <= 0:
+        raise ValueError(f"need at least one rank, got n={n}")
+    weights = (np.arange(1, n + 1, dtype=float)) ** (-float(s))
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with Zipf(``s``) popularity.
+
+    The paper's §4 registry claims (pull storms concentrate on a few hot
+    images; content-addressed caches absorb the head of the
+    distribution) are parameterized entirely by the skew ``s`` — this
+    sampler makes ``s`` an explicit experimental knob.  Sampling is
+    vectorized (inverse-CDF via ``searchsorted``) and deterministic for
+    a given stream state.
+    """
+
+    def __init__(self, n: int, s: float = 1.1):
+        self.n = int(n)
+        self.s = float(s)
+        self.weights = zipf_weights(self.n, self.s)
+        self._cdf = np.cumsum(self.weights)
+        self._cdf[-1] = 1.0  # guard float drift at the top bucket
+
+    def sample(self, stream: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` ranks, lower rank == more popular."""
+        if size <= 0:
+            return np.empty(0, dtype=np.int64)
+        return np.searchsorted(self._cdf, stream.random(size), side="right").astype(np.int64)
+
+
+def weighted_choice_indices(
+    stream: np.random.Generator, weights: np.ndarray, size: int
+) -> np.ndarray:
+    """``size`` indices drawn with the given (unnormalized) weights."""
+    cdf = np.cumsum(np.asarray(weights, dtype=float))
+    if cdf[-1] <= 0.0:
+        raise ValueError("weights must have positive mass")
+    cdf = cdf / cdf[-1]
+    cdf[-1] = 1.0
+    return np.searchsorted(cdf, stream.random(size), side="right").astype(np.int64)
 
 
 class PodBatchGenerator:

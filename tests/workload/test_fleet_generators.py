@@ -1,0 +1,127 @@
+"""Property tests for the fleet-scale workload generators (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.rng import DeterministicRNG
+from repro.workload.generators import (
+    DiurnalProfile,
+    ZipfSampler,
+    modulated_poisson_arrivals,
+    weighted_choice_indices,
+    zipf_weights,
+)
+
+# -- arrival process ----------------------------------------------------------
+
+arrival_params = st.tuples(
+    st.integers(min_value=0, max_value=2**31),        # seed
+    st.integers(min_value=1, max_value=400),          # count
+    st.floats(min_value=0.01, max_value=50.0),        # base rate (1/s)
+    st.floats(min_value=0.0, max_value=0.95),         # diurnal amplitude
+    st.floats(min_value=30.0, max_value=10_000.0),    # period (s)
+)
+
+
+def _arrivals(seed, count, rate, amplitude, period):
+    stream = DeterministicRNG(seed).stream("arrivals")
+    return modulated_poisson_arrivals(
+        stream, count, rate, DiurnalProfile(amplitude=amplitude), period
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrival_params)
+def test_arrivals_strictly_increasing_and_nonnegative(params):
+    times = _arrivals(*params)
+    assert len(times) == params[1]
+    assert times[0] >= 0.0
+    assert np.all(np.diff(times) > 0.0), "arrival times must be strictly increasing"
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrival_params)
+def test_arrivals_seed_deterministic(params):
+    assert np.array_equal(_arrivals(*params), _arrivals(*params))
+    seed, count, rate, amplitude, period = params
+    if count >= 10:
+        other = _arrivals(seed + 1, count, rate, amplitude, period)
+        assert not np.array_equal(_arrivals(*params), other)
+
+
+# -- diurnal modulation bounds ------------------------------------------------
+
+burst_strategy = st.builds(
+    lambda a, b, boost: (min(a, b), max(a, b) + 1e-3, boost),
+    st.floats(min_value=0.0, max_value=0.9),
+    st.floats(min_value=0.0, max_value=0.9),
+    st.floats(min_value=0.0, max_value=5.0),
+).filter(lambda w: w[1] <= 1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.floats(min_value=0.0, max_value=0.95),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.lists(burst_strategy, max_size=3),
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=1.0, max_value=1e5),
+)
+def test_diurnal_factor_within_bounds(amplitude, peak_frac, bursts, t, period):
+    profile = DiurnalProfile(
+        amplitude=amplitude, peak_frac=peak_frac, bursts=tuple(bursts)
+    )
+    value = profile.factor(t, period)
+    assert profile.min_factor - 1e-9 <= value <= profile.max_factor + 1e-9
+    assert profile.min_factor > 0.0, "cumulative intensity must stay increasing"
+    # the vectorized path the trace generator uses agrees with the scalar one
+    frac = (t / period) % 1.0
+    vec = profile.factors(np.asarray([frac]))[0]
+    assert abs(vec - value) < 1e-9
+
+
+# -- Zipf popularity ----------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=3.0),
+)
+def test_zipf_weights_normalized_and_ranked(n, s):
+    weights = zipf_weights(n, s)
+    assert weights.shape == (n,)
+    assert abs(float(weights.sum()) - 1.0) < 1e-9
+    assert np.all(np.diff(weights) <= 1e-12), "popularity must fall with rank"
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.integers(min_value=2, max_value=64),
+    st.floats(min_value=0.5, max_value=2.5),
+)
+def test_zipf_sampler_deterministic_in_range_and_head_heavy(seed, n, s):
+    sampler = ZipfSampler(n, s)
+    draws = sampler.sample(DeterministicRNG(seed).stream("imgs"), 4000)
+    again = sampler.sample(DeterministicRNG(seed).stream("imgs"), 4000)
+    assert np.array_equal(draws, again)
+    assert draws.min() >= 0 and draws.max() < n
+    counts = np.bincount(draws, minlength=n)
+    # rank 0 is the head of the distribution: at least as popular as the
+    # tail rank, and (loosely) near its expected share
+    assert counts[0] >= counts[n - 1]
+    expected_head = sampler.weights[0] * len(draws)
+    assert counts[0] > 0.5 * expected_head
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**31),
+    st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=20),
+)
+def test_weighted_choice_indices_in_range_and_deterministic(seed, weights):
+    arr = np.asarray(weights)
+    idx = weighted_choice_indices(DeterministicRNG(seed).stream("w"), arr, 500)
+    again = weighted_choice_indices(DeterministicRNG(seed).stream("w"), arr, 500)
+    assert np.array_equal(idx, again)
+    assert idx.min() >= 0 and idx.max() < len(weights)
