@@ -388,6 +388,56 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if not result.leaks else 1
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    """``replay``: fleet traces through the real §6.5 control plane.
+
+    Same byte-identity contract as ``fleet``: stdout and ``--out`` JSON
+    depend only on the merged shard results, so ``--jobs 1`` and
+    ``--jobs N`` produce identical output.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.scenarios.fleet_replay import (
+        render_replay_summary,
+        replay_report_document,
+        run_fleet_replay,
+    )
+    from repro.workload.fleet import FleetConfig
+    import json as _json
+
+    try:
+        config = FleetConfig(
+            tenants=args.tenants,
+            nodes=args.nodes,
+            starts=args.starts,
+            images=args.images,
+            zipf_s=args.zipf,
+            seed=args.seed,
+            shards=args.shards,
+            day=args.day,
+            naive=args.naive,
+        )
+    except ValueError as exc:
+        print(f"bad replay config: {exc}", file=sys.stderr)
+        return 2
+    if args.metrics:
+        from repro.sim import profile as sim_profile
+
+        sim_profile.counters.reset()
+        obs_metrics.registry.reset()
+    result = run_fleet_replay(config, jobs=args.jobs, metrics=args.metrics)
+    print(render_replay_summary(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(_json.dumps(replay_report_document(result), indent=2))
+            fh.write("\n")
+        print(f"  report:     {args.out}")
+    if args.metrics:
+        print()
+        print(obs_metrics.registry.render_table())
+        obs_metrics.registry.reset()
+    return 0 if not result.leaks else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -513,6 +563,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
     p_fleet.set_defaults(fn=_cmd_fleet)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay fleet traces through the real §6.5 control plane",
+        description="Feed the fleet workload's arrival traces (diurnal "
+                    "Poisson, Zipf tenants/images) through the real "
+                    "apiserver → scheduler → kubelet → engine → registry "
+                    "path: each shard is an independent §6.5 sub-cluster "
+                    "(kubelets in a WLM allocation).  Output is "
+                    "byte-identical for any --jobs.",
+    )
+    p_replay.add_argument("--tenants", type=int, default=16)
+    p_replay.add_argument("--nodes", type=int, default=32)
+    p_replay.add_argument("--starts", type=int, default=400,
+                          help="total pod starts across the fleet")
+    p_replay.add_argument("--images", type=int, default=12,
+                          help="catalog size tenants mirror and pull from")
+    p_replay.add_argument("--zipf", type=float, default=1.2,
+                          help="image-popularity Zipf skew (the §4 knob)")
+    p_replay.add_argument("--seed", type=int, default=0)
+    p_replay.add_argument("--shards", type=int, default=4,
+                          help="sub-clusters (fixed per config; NOT the "
+                               "worker count — see --jobs)")
+    p_replay.add_argument("--day", type=float, default=1800.0,
+                          help="diurnal period in virtual seconds")
+    p_replay.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (output is byte-identical "
+                               "to --jobs 1)")
+    p_replay.add_argument("--naive", action="store_true",
+                          help="run the retained linear-scan control plane "
+                               "(same results, much slower; the perf "
+                               "baseline)")
+    p_replay.add_argument("--out", default=None, metavar="REPORT.json",
+                          help="also write the replay report document as "
+                               "JSON (schema repro-fleet-replay-report/1)")
+    p_replay.add_argument("--metrics", action="store_true",
+                          help="print the labeled metrics registry afterwards")
+    p_replay.set_defaults(fn=_cmd_replay)
     return parser
 
 

@@ -144,7 +144,19 @@ class ContainerEngine:
         self._native_cache: dict[str, tuple[object, int]] = {}
         #: site-admin-installed hooks (GPU, MPI, WLM devices)
         self.site_hooks = HookRegistry()
-        self.stats = {"pulls": 0, "cache_hits": 0, "conversions": 0, "runs": 0}
+        #: single-flight table: (repository, tag) -> (start, end, result)
+        #: of the most recent pull, so a pull requested while one is
+        #: still in flight joins it instead of re-downloading
+        self._inflight_pulls: dict[
+            tuple[str, str], tuple[float, float, PulledImage]
+        ] = {}
+        self.stats = {
+            "pulls": 0,
+            "coalesced_pulls": 0,
+            "cache_hits": 0,
+            "conversions": 0,
+            "runs": 0,
+        }
 
     # ------------------------------------------------------------------- pull
     def pull(
@@ -170,11 +182,38 @@ class ContainerEngine:
         count, the elapsed virtual time, and the last cause — never the
         bare final exception.  Permanent errors (unknown image, auth)
         raise :class:`~repro.registry.RegistryError` immediately.
+
+        Pulls are *single-flight* per node: if the same ``repository:tag``
+        is requested while a strictly earlier pull of it is still in
+        flight (``now`` falls inside the open interval of the earlier
+        pull's window), the caller joins that download — its cost is
+        exactly the remaining time of the in-flight pull, and no
+        registry traffic is issued.
         """
         from repro.registry.distribution import RegistryUnavailable
         from repro.registry.storage import StorageError
 
         self.stats["pulls"] += 1
+        ref = (repository, tag)
+        inflight = self._inflight_pulls.get(ref)
+        if inflight is not None and inflight[0] < now < inflight[1]:
+            _start, end, result = inflight
+            remaining = end - now
+            self.stats["coalesced_pulls"] += 1
+            if _trace.tracer.enabled:
+                _trace.complete(
+                    "engine.pull",
+                    remaining,
+                    engine=self.info.name,
+                    ref=f"{repository}:{tag}",
+                    coalesced=True,
+                )
+            if _metrics.registry.enabled:
+                _metrics.inc("engine.pulls_coalesced", engine=self.info.name)
+                _metrics.observe(
+                    "engine.pull_seconds", remaining, engine=self.info.name
+                )
+            return dataclasses.replace(result, pull_cost=remaining)
         policy = self.pull_retry
         cost = 0.0
         attempts = 0
@@ -218,7 +257,11 @@ class ContainerEngine:
         if _metrics.registry.enabled:
             _metrics.inc("engine.pulls", engine=self.info.name)
             _metrics.observe("engine.pull_seconds", cost, engine=self.info.name)
-        return PulledImage(source_ref=f"{repository}:{tag}", image=image, pull_cost=cost)
+        pulled = PulledImage(
+            source_ref=f"{repository}:{tag}", image=image, pull_cost=cost
+        )
+        self._inflight_pulls[ref] = (now, now + cost, pulled)
+        return pulled
 
     # ------------------------------------------------------------------- cache
     def _cache_lookup(self, digest: str, user_uid: int) -> object | None:

@@ -8,6 +8,7 @@ import itertools
 import typing as _t
 
 from repro.k8s.objects import K8sNode, ObjectMeta, Pod
+from repro.sim import profile as _profile
 from repro.sim.signal import Signal
 
 
@@ -27,6 +28,26 @@ class WatchEvent:
 WatchCallback = _t.Callable[[WatchEvent], None]
 
 
+class _KindWatchers:
+    """Watch registrations for one kind, split by routing key.
+
+    ``unkeyed`` watchers see every event (the classic fan-out);
+    ``keyed`` watchers see only events whose object's ``node_name``
+    equals their key — the simulation's informer-cache shortcut, so a
+    thousand kubelets cost one dict probe per event instead of a
+    thousand predicate calls.  Registration order is preserved across
+    both groups by a per-kind sequence number, so the effectual
+    callback order is identical to the unkeyed fan-out.
+    """
+
+    __slots__ = ("unkeyed", "keyed", "seq")
+
+    def __init__(self) -> None:
+        self.unkeyed: list[tuple[int, WatchCallback]] = []
+        self.keyed: dict[str, list[tuple[int, WatchCallback]]] = {}
+        self.seq = 0
+
+
 class APIServer:
     """etcd + apiserver in one object.
 
@@ -40,7 +61,7 @@ class APIServer:
 
     def __init__(self) -> None:
         self._store: dict[str, dict[tuple[str, str], object]] = {}
-        self._watchers: dict[str, list[WatchCallback]] = {}
+        self._watchers: dict[str, _KindWatchers] = {}
         self._resource_version = itertools.count(1)
         self.stats = {"requests": 0, "watch_events": 0}
 
@@ -53,7 +74,23 @@ class APIServer:
         return meta
 
     def _notify(self, event: WatchEvent) -> None:
-        for callback in list(self._watchers.get(event.kind, [])):
+        watchers = self._watchers.get(event.kind)
+        if watchers is None:
+            return
+        if watchers.keyed:
+            # Keyed fast path: one dict probe routes the event to the
+            # watcher(s) registered for the object's node, skipping the
+            # fan-out over every other keyed watcher entirely.
+            if _profile.counters.enabled:
+                _profile.counters.watch_batched_notifies += 1
+            matches = watchers.keyed.get(getattr(event.obj, "node_name", None))
+            if matches:
+                targets = sorted([*watchers.unkeyed, *matches])
+            else:
+                targets = list(watchers.unkeyed)
+        else:
+            targets = list(watchers.unkeyed)
+        for _seq, callback in targets:
             self.stats["watch_events"] += 1
             callback(event)
 
@@ -100,17 +137,47 @@ class APIServer:
         return obj
 
     # -- watch ---------------------------------------------------------------------
-    def watch(self, kind: str, callback: WatchCallback, replay_existing: bool = True) -> None:
-        self._watchers.setdefault(kind, []).append(callback)
+    def watch(
+        self,
+        kind: str,
+        callback: WatchCallback,
+        replay_existing: bool = True,
+        key: str | None = None,
+    ) -> None:
+        """Register a watch callback.
+
+        With ``key`` set the callback is *keyed*: it only receives
+        events whose object's ``node_name`` equals the key (events with
+        no matching key reach no keyed watcher).  Replay ignores the
+        key — callers replaying existing objects filter themselves, as
+        they already must for the unkeyed path.
+        """
+        watchers = self._watchers.setdefault(kind, _KindWatchers())
+        entry = (watchers.seq, callback)
+        watchers.seq += 1
+        if key is None:
+            watchers.unkeyed.append(entry)
+        else:
+            watchers.keyed.setdefault(key, []).append(entry)
         if replay_existing:
             for obj in self._store.get(kind, {}).values():
                 callback(WatchEvent(WatchEventType.ADDED, kind, obj))
 
     def unwatch(self, kind: str, callback: WatchCallback) -> None:
-        try:
-            self._watchers.get(kind, []).remove(callback)
-        except ValueError:
-            pass
+        watchers = self._watchers.get(kind)
+        if watchers is None:
+            return
+        for i, (_seq, cb) in enumerate(watchers.unkeyed):
+            if cb is callback:
+                del watchers.unkeyed[i]
+                return
+        for key, entries in watchers.keyed.items():
+            for i, (_seq, cb) in enumerate(entries):
+                if cb is callback:
+                    del entries[i]
+                    if not entries:
+                        del watchers.keyed[key]
+                    return
 
     def watch_signal(
         self,
@@ -118,6 +185,7 @@ class APIServer:
         signal: Signal,
         predicate: _t.Callable[[WatchEvent], bool] | None = None,
         replay_existing: bool = False,
+        key: str | None = None,
     ) -> WatchCallback:
         """Fire ``signal`` on every matching watch event.
 
@@ -132,7 +200,7 @@ class APIServer:
             if predicate is None or predicate(event):
                 signal.fire(event)
 
-        self.watch(kind, callback, replay_existing=replay_existing)
+        self.watch(kind, callback, replay_existing=replay_existing, key=key)
         return callback
 
     # -- typed conveniences ------------------------------------------------------------

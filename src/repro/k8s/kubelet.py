@@ -58,6 +58,9 @@ class Kubelet:
         user_proc: SimProcess | None = None,
         #: delegated cgroup subtree for pod cgroups (rootless mode)
         cgroup_path: str | None = None,
+        #: retained pre-optimization mode: unkeyed watch fan-out and
+        #: full store scans per sync, instead of the keyed watch + inbox
+        naive: bool = False,
     ):
         self.env = env
         self.api = apiserver
@@ -74,6 +77,12 @@ class Kubelet:
         self._active_pods: dict[str, object] = {}
         #: fired by the apiserver watch when a pod lands on this node
         self._wakeup = Signal(env)
+        self.naive = naive
+        #: pods routed here by the keyed watch, drained by _sync — the
+        #: informer-cache stand-in that replaces per-sync store scans
+        self._inbox: list[Pod] = []
+        self._inbox_uids: set[str] = set()
+        self._metric_keys: tuple | None = None
         self.stats = {"pods_started": 0, "pods_finished": 0, "sync_loops": 0}
 
     @property
@@ -186,7 +195,28 @@ class Kubelet:
         self.k8s_node = node
         last_heartbeat = self.env.now
         wakeup = self._wakeup
-        watch_cb = self.api.watch_signal("Pod", wakeup, predicate=self._wants_pod_event)
+        watch_cb = self._on_pod_watch
+        self.api.watch(
+            "Pod",
+            watch_cb,
+            replay_existing=False,
+            key=None if self.naive else self.node_name,
+        )
+        if not self.naive:
+            # Seed the inbox from the store: pods bound to this node
+            # before the watch existed (e.g. left PENDING by a previous
+            # agent incarnation) must still be synced, exactly as the
+            # naive per-sync store scan would find them.
+            for pod in self.api.peek("Pod"):
+                if (
+                    isinstance(pod, Pod)
+                    and pod.node_name == self.node_name
+                    and pod.phase is PodPhase.PENDING
+                    and pod.metadata.uid not in self._active_pods
+                    and pod.metadata.uid not in self._inbox_uids
+                ):
+                    self._inbox_uids.add(pod.metadata.uid)
+                    self._inbox.append(pod)
         try:
             # Tickless sync loop.  With pending pods it polls on the same
             # 0.5 s grid as before; idle, it parks until either a pod
@@ -215,7 +245,7 @@ class Kubelet:
                         count_skipped_ticks(skipped)
                 self.stats["sync_loops"] += 1
                 if _metrics.registry.enabled:
-                    _metrics.inc("k8s.kubelet.sync_loops", node=self.node_name)
+                    _metrics.registry.inc_series(self._series_keys()[0])
                 yield from self._sync()
                 if self.env.now - last_heartbeat >= self.heartbeat_interval:
                     node.condition.last_heartbeat = self.env.now
@@ -238,7 +268,21 @@ class Kubelet:
             and obj.phase is PodPhase.PENDING
         )
 
+    def _on_pod_watch(self, event) -> None:
+        """The Pod watch callback: route matching events to the inbox
+        (fast mode) and fire the sync loop's wakeup signal."""
+        if not self._wants_pod_event(event):
+            return
+        if not self.naive:
+            uid = event.obj.metadata.uid
+            if uid not in self._inbox_uids and uid not in self._active_pods:
+                self._inbox_uids.add(uid)
+                self._inbox.append(event.obj)
+        self._wakeup.fire(event)
+
     def _pending_pods(self) -> bool:
+        if not self.naive:
+            return bool(self._inbox)
         for pod in self.api.peek("Pod"):
             if (
                 isinstance(pod, Pod)
@@ -251,11 +295,27 @@ class Kubelet:
 
     # -- pod sync --------------------------------------------------------------------
     def _sync(self):
-        for pod in self.api.pods():
-            if pod.node_name != self.node_name:
+        if self.naive:
+            for pod in self.api.pods():
+                if pod.node_name != self.node_name:
+                    continue
+                if pod.phase is PodPhase.PENDING and pod.metadata.uid not in self._active_pods:
+                    yield from self._start_pod(pod)
+            return
+        # Drain a snapshot: pods landing while a start yields belong to
+        # the next sync, exactly as the store-scan path snapshots the
+        # pod list at sync start.
+        batch = self._inbox
+        self._inbox = []
+        for pod in batch:
+            self._inbox_uids.discard(pod.metadata.uid)
+            if (
+                pod.node_name != self.node_name
+                or pod.phase is not PodPhase.PENDING
+                or pod.metadata.uid in self._active_pods
+            ):
                 continue
-            if pod.phase is PodPhase.PENDING and pod.metadata.uid not in self._active_pods:
-                yield from self._start_pod(pod)
+            yield from self._start_pod(pod)
 
     def _start_pod(self, pod: Pod):
         """Make a bound pod real: pull images, run containers, go RUNNING.
@@ -314,10 +374,9 @@ class Kubelet:
         self.api.update("Pod", pod)
         self.stats["pods_started"] += 1
         if _metrics.registry.enabled:
-            _metrics.inc("k8s.pods_started", node=self.node_name)
-            _metrics.observe(
-                "k8s.pod.start_seconds", self.env.now - started_at, node=self.node_name
-            )
+            keys = self._series_keys()
+            _metrics.registry.inc_series(keys[1])
+            _metrics.registry.observe_series(keys[2], self.env.now - started_at)
         if pod.spec.duration is not None:
             self.env.process(self._finish_pod_later(pod, results), name=f"pod-{pod.metadata.name}")
 
@@ -345,7 +404,7 @@ class Kubelet:
                 reason=reason,
             )
         if _metrics.registry.enabled:
-            _metrics.inc("k8s.pods_failed", node=self.node_name)
+            _metrics.registry.inc_series(self._series_keys()[3])
 
     def _finish_pod_later(self, pod: Pod, results: list):
         assert pod.spec.duration is not None
@@ -366,4 +425,20 @@ class Kubelet:
             "k8s.pod.finished", pod=pod.metadata.name, node=self.node_name
         )
         if _metrics.registry.enabled:
-            _metrics.inc("k8s.pods_finished", node=self.node_name)
+            _metrics.registry.inc_series(self._series_keys()[4])
+
+    def _series_keys(self) -> tuple:
+        """Interned per-node metric keys (built once, on first enabled
+        use) — the hot loops observe per pod and per sync, and a label
+        dict re-sorted per event is measurable at 1k nodes."""
+        keys = self._metric_keys
+        if keys is None:
+            reg = _metrics.registry
+            keys = self._metric_keys = (
+                reg.series_key("k8s.kubelet.sync_loops", node=self.node_name),
+                reg.series_key("k8s.pods_started", node=self.node_name),
+                reg.series_key("k8s.pod.start_seconds", node=self.node_name),
+                reg.series_key("k8s.pods_failed", node=self.node_name),
+                reg.series_key("k8s.pods_finished", node=self.node_name),
+            )
+        return keys

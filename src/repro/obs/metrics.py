@@ -189,6 +189,31 @@ class MetricsRegistry:
             return
         self._counters[key] = self._counters.get(key, 0.0) + value
 
+    def observe_series(
+        self,
+        key: _SeriesKey,
+        value: float,
+        buckets: tuple[float, ...] | None = None,
+    ) -> None:
+        """Histogram observation by pre-interned :meth:`series_key`.
+
+        Same storage as :meth:`observe` — interned and dict-labeled
+        observations land on the same series — without rebuilding and
+        re-sorting the label dict per call (the kubelet observes one
+        pod-start latency per pod).
+        """
+        if not self.enabled:
+            return
+        hist = self._histograms.get(key)
+        if hist is None:
+            name = key[0]
+            bounds = self._hist_buckets.get(name)
+            if bounds is None:
+                bounds = tuple(buckets) if buckets else DEFAULT_LATENCY_BUCKETS
+                self._hist_buckets[name] = bounds
+            hist = self._histograms[key] = Histogram(bounds)
+        hist.observe(value)
+
     def set_gauge(self, name: str, value: float, **labels: object) -> None:
         if not self.enabled:
             return

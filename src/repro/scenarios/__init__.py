@@ -8,11 +8,18 @@ from repro.scenarios.k8s_in_wlm import KubernetesInWLMScenario
 from repro.scenarios.bridge import BridgeOperatorScenario
 from repro.scenarios.knoc import KNoCScenario
 from repro.scenarios.kubelet_in_allocation import KubeletInAllocationScenario
+from repro.scenarios.fleet_replay import (
+    FleetReplayResult,
+    FleetReplayScenario,
+    run_fleet_replay,
+)
 from repro.scenarios.evaluate import ALL_SCENARIOS, evaluate_all, run_scenario
 
 __all__ = [
     "ALL_SCENARIOS",
     "BridgeOperatorScenario",
+    "FleetReplayResult",
+    "FleetReplayScenario",
     "IntegrationScenario",
     "KNoCScenario",
     "KubeletInAllocationScenario",
@@ -20,5 +27,6 @@ __all__ = [
     "OnDemandReallocationScenario",
     "ScenarioMetrics",
     "evaluate_all",
+    "run_fleet_replay",
     "run_scenario",
 ]

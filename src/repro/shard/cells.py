@@ -140,7 +140,30 @@ class FleetCell:
         return run_fleet_shard(FleetConfig.from_json(self.config_json), self.shard)
 
 
-Cell = _t.Union[ScenarioCell, ChaosCell, FleetCell]
+@dataclasses.dataclass(frozen=True)
+class FleetReplayCell:
+    """One fleet-replay shard: the shard's fleet trace pushed through a
+    real §6.5 sub-cluster (see :mod:`repro.scenarios.fleet_replay`).
+
+    Like :class:`FleetCell`, the partition is a pure function of the
+    config, so the cell list is independent of ``--jobs``.
+    """
+
+    config_json: str
+    shard: int
+
+    @property
+    def label(self) -> str:
+        return f"replay-shard={self.shard}"
+
+    def run(self) -> object:
+        from repro.scenarios.fleet_replay import run_replay_shard
+        from repro.workload.fleet import FleetConfig
+
+        return run_replay_shard(FleetConfig.from_json(self.config_json), self.shard)
+
+
+Cell = _t.Union[ScenarioCell, ChaosCell, FleetCell, FleetReplayCell]
 
 
 def scenario_matrix(

@@ -46,7 +46,18 @@ wall-clock noise:
   million future completions;
 - ``live_objects_peak``: high-water mark of live pooled records (e.g.
   running containers + queued starts) — the fleet memory-pressure
-  number.
+  number;
+- ``sched_index_hits``: placement queries (k8s pod binds, WLM job fits)
+  answered by the bucketed/ordered capacity indexes instead of a linear
+  node scan;
+- ``sched_linear_fallbacks``: placement queries where the index did not
+  short-circuit (the query degenerated into scanning most of the node
+  set — saturated clusters, exotic selectors);
+- ``watch_batched_notifies``: apiserver watch events dispatched through
+  the keyed fast path — one routed delivery instead of a fan-out
+  callback per registered watcher;
+- ``sched_pending_peak``: high-water mark of the k8s scheduler's
+  pending-pod queue (the control-plane backlog number).
 
 Counters are global (aggregated across all :class:`Environment` instances)
 so a benchmark that builds many environments still gets one roll-up.
@@ -84,11 +95,16 @@ _FIELDS = (
     "warm_replays",
     "event_queue_peak",
     "live_objects_peak",
+    "sched_index_hits",
+    "sched_linear_fallbacks",
+    "watch_batched_notifies",
+    "sched_pending_peak",
 )
 
 #: fields that are high-water marks: they merge by max, not by sum.
 PEAK_FIELDS = frozenset(
-    {"peak_queue_depth", "event_queue_peak", "live_objects_peak"}
+    {"peak_queue_depth", "event_queue_peak", "live_objects_peak",
+     "sched_pending_peak"}
 )
 
 

@@ -22,7 +22,7 @@ from repro.sim import Environment, Interrupt, Signal
 from repro.wlm.accounting import AccountingDB
 from repro.wlm.jobs import Job, JobSpec, JobState, JobStep
 from repro.wlm.nodes import NodeState, WLMNode
-from repro.wlm.scheduler import BackfillScheduler
+from repro.wlm.scheduler import BackfillScheduler, CompletionCalendar
 from repro.wlm.spank import SpankContext, SpankStack
 
 
@@ -45,6 +45,7 @@ class SlurmController:
         partition: str = "batch",
         backfill: bool = True,
         preemption: bool = False,
+        indexed: bool = True,
     ):
         #: PreemptMode=REQUEUE: a higher-priority job may requeue running
         #: lower-priority jobs when it cannot otherwise be placed (§6)
@@ -52,7 +53,10 @@ class SlurmController:
         self.env = env
         self.nodes = [WLMNode(h, partition) for h in hosts]
         self.partition = partition
-        self.scheduler = BackfillScheduler(backfill=backfill)
+        self.scheduler = BackfillScheduler(backfill=backfill, indexed=indexed)
+        #: projected end times of running jobs; feeds the indexed
+        #: scheduler's shadow-time lookup
+        self._calendar = CompletionCalendar()
         self.accounting = AccountingDB()
         self.spank = SpankStack()
         self.queue: list[Job] = []
@@ -124,7 +128,11 @@ class SlurmController:
             yield self._bell.wait()
             yield self.env.timeout(self.sched_latency)
             decisions = self.scheduler.schedule(
-                self.queue, self.nodes, self.env.now, running=list(self.running.values())
+                self.queue,
+                self.nodes,
+                self.env.now,
+                running=list(self.running.values()),
+                calendar=self._calendar if self.scheduler.indexed else None,
             )
             if _trace.tracer.enabled:
                 # The pass's think time elapsed just before the decision.
@@ -207,6 +215,7 @@ class SlurmController:
             job.node_procs[node.name] = user_proc
 
         job.start_time = self.env.now
+        self._calendar.add(job.job_id, self.env.now + spec.time_limit)
         job.set_state(JobState.RUNNING, self.env.now)
         if spec.on_start is not None:
             for node in placement:
@@ -257,6 +266,7 @@ class SlurmController:
             for node in placement:
                 node.release(job.job_id)
             self.running.pop(job.job_id, None)
+            self._calendar.remove(job.job_id)
             self._account_busy(-len(placement))
             job.start_time = None
             job.allocated_nodes = []
@@ -277,6 +287,7 @@ class SlurmController:
         for node in placement:
             node.release(job.job_id)
         self.running.pop(job.job_id, None)
+        self._calendar.remove(job.job_id)
         self._account_busy(-len(placement))
         cores = spec.cores_per_node or placement[0].total_cores
         self.accounting.record_job(job, cores_per_node=cores,

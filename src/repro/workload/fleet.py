@@ -172,6 +172,82 @@ class FleetConfig:
         return base
 
 
+@dataclasses.dataclass
+class ShardTrace:
+    """One shard's precomputed arrival trace as flat arrays.
+
+    ``tenants_local`` indexes into the shard's ``tenant_ids`` list (not
+    global tenant ids); ``image_arr`` is the numpy view of ``images``
+    kept for vectorized demand accounting.
+    """
+
+    times: list[float]
+    image_arr: "np.ndarray"
+    images: list[int]
+    tenants_local: list[int]
+    cpus: list[int]
+    durations: list[float]
+
+
+def generate_shard_trace(
+    config: FleetConfig,
+    shard: int,
+    n_starts: int | None = None,
+    tenant_ids: list[int] | None = None,
+) -> ShardTrace:
+    """Generate shard ``shard``'s arrival trace.
+
+    Stream names are keyed by shard only (``shard{N}.arrivals`` etc. off
+    a :class:`DeterministicRNG` seeded with ``config.seed``), so the
+    trace depends on the config alone — every consumer (the fleet
+    engine, the §6.5 replay bridge, tests) sees byte-identical arrays.
+    """
+    if n_starts is None:
+        n_starts = config.shard_start_counts()[shard]
+    if tenant_ids is None:
+        tenant_ids = config.shard_tenant_ids(shard)
+    rng = DeterministicRNG(config.seed)
+    n = n_starts
+    tag = f"shard{shard}"
+    if n == 0:
+        return ShardTrace(
+            times=[],
+            image_arr=np.empty(0, dtype=np.int64),
+            images=[],
+            tenants_local=[],
+            cpus=[],
+            durations=[],
+        )
+    base_rate = n / config.day
+    times = modulated_poisson_arrivals(
+        rng.stream(f"{tag}.arrivals"), n, base_rate,
+        config.profile(), config.day,
+    )
+    image_sampler = ZipfSampler(config.images, config.zipf_s)
+    images = image_sampler.sample(rng.stream(f"{tag}.images"), n)
+    tenant_weights = zipf_weights(config.tenants, config.tenant_skew)
+    local_weights = tenant_weights[np.asarray(tenant_ids)]
+    tenants_local = weighted_choice_indices(
+        rng.stream(f"{tag}.tenants"), local_weights, n
+    )
+    cpus = weighted_choice_indices(
+        rng.stream(f"{tag}.cpus"), np.asarray(config.cpu_shares), n
+    )
+    cpu_lookup = np.asarray(config.cpu_choices, dtype=np.int64)
+    durations = rng.stream(f"{tag}.durations").exponential(
+        config.duration_mean, size=n
+    )
+    # Python lists: element access in the hot loop skips np boxing.
+    return ShardTrace(
+        times=times.tolist(),
+        image_arr=images,
+        images=images.tolist(),
+        tenants_local=tenants_local.tolist(),
+        cpus=cpu_lookup[cpus].tolist(),
+        durations=durations.tolist(),
+    )
+
+
 class ImageCatalog:
     """The shared image catalog tenants mirror into their projects.
 
@@ -455,44 +531,16 @@ class FleetShardEngine:
 
     def _generate_trace(self) -> None:
         """Precompute the shard's whole arrival trace as flat arrays."""
-        config = self.config
-        rng = DeterministicRNG(config.seed)
-        n = self.n_starts
-        tag = f"shard{self.shard}"
-        if n == 0:
-            self._times = []
-            self._image_arr = np.empty(0, dtype=np.int64)
-            self._images = []
-            self._tenants_local = []
-            self._cpus = []
-            self._durations = []
-            return
-        base_rate = n / config.day
-        times = modulated_poisson_arrivals(
-            rng.stream(f"{tag}.arrivals"), n, base_rate,
-            config.profile(), config.day,
+        trace = generate_shard_trace(
+            self.config, self.shard, n_starts=self.n_starts,
+            tenant_ids=self.tenant_ids,
         )
-        image_sampler = ZipfSampler(config.images, config.zipf_s)
-        images = image_sampler.sample(rng.stream(f"{tag}.images"), n)
-        tenant_weights = zipf_weights(config.tenants, config.tenant_skew)
-        local_weights = tenant_weights[np.asarray(self.tenant_ids)]
-        tenants_local = weighted_choice_indices(
-            rng.stream(f"{tag}.tenants"), local_weights, n
-        )
-        cpus = weighted_choice_indices(
-            rng.stream(f"{tag}.cpus"), np.asarray(config.cpu_shares), n
-        )
-        cpu_lookup = np.asarray(config.cpu_choices, dtype=np.int64)
-        durations = rng.stream(f"{tag}.durations").exponential(
-            config.duration_mean, size=n
-        )
-        # Python lists: element access in the hot loop skips np boxing.
-        self._times = times.tolist()
-        self._image_arr = images
-        self._images = images.tolist()
-        self._tenants_local = tenants_local.tolist()
-        self._cpus = cpu_lookup[cpus].tolist()
-        self._durations = durations.tolist()
+        self._times = trace.times
+        self._image_arr = trace.image_arr
+        self._images = trace.images
+        self._tenants_local = trace.tenants_local
+        self._cpus = trace.cpus
+        self._durations = trace.durations
 
     # -- the run -------------------------------------------------------------
     def run(self) -> FleetShardResult:

@@ -1,0 +1,122 @@
+"""Single-flight pull coalescing: properties and exact-cost semantics.
+
+A pull requested while the same ``repository:tag`` is still in flight
+on the node joins the in-flight download: it costs exactly the
+remaining time and issues no registry traffic.  Combined with the
+layer cache, a node therefore never transfers the same layer digest
+twice — whatever the pull schedule, total bytes over the wire equal
+the distinct-digest bytes of the images it touched.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import HostNode
+from repro.engines import PodmanEngine
+from repro.oci import Builder
+from repro.oci.catalog import BaseImageCatalog
+from repro.registry import OCIDistributionRegistry
+
+REFS = (("hpc/solver", "v1"), ("hpc/py-pipeline", "v1"), ("hpc/solver", "v2"))
+
+
+def make_registry():
+    reg = OCIDistributionRegistry(name="site-registry")
+    builder = Builder(BaseImageCatalog())
+    solver = builder.build_dockerfile(
+        "FROM ubuntu:22.04\nRUN write /opt/app/solver 5000000\n"
+    )
+    reg.push_image("hpc/solver", "v1", solver)
+    # v2 shares the ubuntu base layers with v1 — cross-image dedup
+    solver2 = builder.build_dockerfile(
+        "FROM ubuntu:22.04\nRUN write /opt/app/solver 6000000\n"
+    )
+    reg.push_image("hpc/solver", "v2", solver2)
+    py = builder.build_dockerfile("FROM python:3.11\nRUN pip-install scipy 100")
+    reg.push_image("hpc/py-pipeline", "v1", py)
+    return reg
+
+
+schedule_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(REFS) - 1),
+        st.floats(min_value=0.001, max_value=5.0),  # gap to the next pull
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(schedule_strategy)
+def test_transferred_bytes_equal_distinct_digest_bytes(schedule):
+    registry = make_registry()
+    engine = PodmanEngine(HostNode(name="nid0001"))
+
+    # spy on the wire: bytes a pull would transfer given the node's cache
+    transferred = []
+    orig = registry.pull_image
+
+    def spy(repository, tag, **kwargs):
+        have = set(kwargs.get("have_digests") or ())
+        image, cost = orig(repository, tag, **kwargs)
+        transferred.append(
+            sum(l.compressed_size for l in image.layers if l.digest not in have)
+        )
+        return image, cost
+
+    registry.pull_image = spy
+
+    now = 0.0
+    pulled_layers = {}
+    for ref_idx, gap in schedule:
+        repo, tag = REFS[ref_idx]
+        result = engine.pull(repo, tag, registry, now=now)
+        assert result.pull_cost >= 0.0
+        for layer in result.image.layers:
+            pulled_layers[layer.digest] = layer.compressed_size
+        now += gap
+
+    # every distinct digest crossed the wire exactly once
+    assert sum(transferred) == sum(pulled_layers.values())
+    # coalesced pulls issued no registry request at all
+    assert registry.stats["pulls"] == (
+        engine.stats["pulls"] - engine.stats["coalesced_pulls"]
+    )
+
+
+def test_overlapping_same_ref_pull_joins_in_flight():
+    registry = make_registry()
+    engine = PodmanEngine(HostNode(name="nid0001"))
+
+    first = engine.pull("hpc/solver", "v1", registry, now=0.0)
+    assert first.pull_cost > 0.0
+
+    # strictly inside the first pull's window: join it
+    mid = first.pull_cost / 2
+    joined = engine.pull("hpc/solver", "v1", registry, now=mid)
+    assert joined.pull_cost == first.pull_cost - mid
+    assert joined.image is first.image
+    assert engine.stats["coalesced_pulls"] == 1
+    assert registry.stats["pulls"] == 1
+
+    # a different ref in the same window is NOT coalesced
+    other = engine.pull("hpc/py-pipeline", "v1", registry, now=mid)
+    assert other.image is not first.image
+    assert engine.stats["coalesced_pulls"] == 1
+
+    # after the window closes, the same ref is a fresh (cheap, layer-
+    # cached) pull, not a zero-cost join
+    later = engine.pull("hpc/solver", "v1", registry, now=first.pull_cost + 1.0)
+    assert later.pull_cost < first.pull_cost
+    assert engine.stats["coalesced_pulls"] == 1
+
+
+def test_same_instant_repull_keeps_layer_cache_semantics():
+    """Two pulls at the same ``now`` (the analytic default) never
+    coalesce — the second is the classic cheap layer-cache re-pull."""
+    registry = make_registry()
+    engine = PodmanEngine(HostNode(name="nid0001"))
+    first = engine.pull("hpc/solver", "v1", registry)
+    second = engine.pull("hpc/solver", "v1", registry)
+    assert second.pull_cost < first.pull_cost
+    assert engine.stats["coalesced_pulls"] == 0
