@@ -13,6 +13,9 @@ schema and baseline gate as ``bench_simcore_wallclock.py``):
   cells, the headline scale, with the sim counters
   (``event_queue_peak``, ``live_objects_peak``) proving the epoch
   batching kept simulator bookkeeping bounded.
+- ``fleet_flagship_1m_sampled`` — the same flagship with virtual-time
+  time-series sampling on (``repro.obs.timeseries``): the report must be
+  unchanged and the wall-clock overhead within ``SAMPLED_OVERHEAD_BAR``.
 - ``fleet_parallel_serial`` / ``fleet_parallel_jobs`` — the same fleet
   serial vs ``--jobs N``: merged report and counters must match exactly.
 - a ``zipf_sweep`` extra regenerating the §4 cache-economics shape:
@@ -39,7 +42,7 @@ import json
 import os
 import time
 
-from repro.shard import run_cells
+from repro.shard import ObsConfig, run_cells
 from repro.workload.fleet import (
     FleetConfig,
     FleetResult,
@@ -67,16 +70,24 @@ PARALLEL_CONFIG = FleetConfig(tenants=256, nodes=2_000, starts=100_000, shards=8
 ZIPF_SKEWS = (0.6, 1.1, 1.6)
 ZIPF_CONFIG = FleetConfig(tenants=64, nodes=1_000, starts=50_000, shards=4)
 
+#: sampling-enabled flagship acceptance bar: wall clock vs unsampled.
+SAMPLED_OVERHEAD_BAR = 1.25
 
-def timed_fleet(config: FleetConfig, jobs: int = 1):
+#: sampling interval for the sampled flagship entry (virtual seconds).
+SAMPLE_INTERVAL_S = 5.0
+
+
+def timed_fleet(config: FleetConfig, jobs: int = 1,
+                sample_interval: float | None = None):
     """Run a fleet through the shard runner; returns (wall, counters, result).
 
     The runner enables the profile counters inside every cell and merges
     them, so one pass yields both the timing and the machine-independent
     event counts."""
     cells = fleet_cells(config)
+    obs = ObsConfig(timeseries=sample_interval)
     t0 = time.perf_counter()
-    shard = run_cells(cells, jobs=jobs)
+    shard = run_cells(cells, jobs=jobs, obs=obs)
     wall = time.perf_counter() - t0
     return wall, shard.profile, merge_shard_results(shard.values(), config)
 
@@ -135,6 +146,36 @@ def run_fleet_suite() -> dict:
         wall, calibration_s, prof, res, jobs=1
     )
 
+    # -- flagship again with virtual-time sampling on ------------------------
+    from repro.obs.timeseries import recorder as _recorder
+
+    wall_sampled, prof_sampled, res_sampled = timed_fleet(
+        FLAGSHIP_CONFIG, sample_interval=SAMPLE_INTERVAL_S
+    )
+    if fleet_report_document(res_sampled) != fleet_report_document(res):
+        raise AssertionError("time-series sampling changed the fleet report")
+    if prof_sampled != prof:
+        raise AssertionError("time-series sampling changed the sim counters")
+    series_count = len(_recorder._points)
+    sample_ticks = _recorder.samples
+    _recorder.reset()  # drop the merged rings before re-timing
+    # Single-shot wall ratios jitter by several percent on a busy host;
+    # best-of-two on each side keeps the overhead gate honest without
+    # letting a lucky baseline hide a real regression.
+    wall_sampled_2, _, _ = timed_fleet(
+        FLAGSHIP_CONFIG, sample_interval=SAMPLE_INTERVAL_S
+    )
+    _recorder.reset()
+    wall_base_2, _, _ = timed_fleet(FLAGSHIP_CONFIG)
+    overhead = min(wall_sampled, wall_sampled_2) / min(wall, wall_base_2)
+    benchmarks["fleet_flagship_1m_sampled"] = {
+        **_entry(wall_sampled, calibration_s, prof_sampled, res_sampled, jobs=1),
+        "sample_interval_s": SAMPLE_INTERVAL_S,
+        "series": series_count,
+        "sample_ticks": sample_ticks,
+        "sampling_overhead": round(overhead, 3),
+    }
+
     # -- serial vs pooled: byte-identical merge ------------------------------
     jobs = _wallclock.shard_parallel_jobs()
     wall_ser, prof_ser, res_ser = timed_fleet(PARALLEL_CONFIG)
@@ -190,6 +231,15 @@ def check_fleet_invariants(result: dict) -> None:
     assert flagship["sim_counters"]["events_processed"] < 100_000
     assert flagship["sim_counters"]["event_queue_peak"] > 0
     assert flagship["sim_counters"]["live_objects_peak"] > 0
+
+    # sampling rides the epoch loop: points recorded, wall within budget
+    sampled = bench.get("fleet_flagship_1m_sampled")
+    if sampled is not None:
+        assert sampled["sample_ticks"] > 0 and sampled["series"] > 0
+        assert sampled["sampling_overhead"] <= SAMPLED_OVERHEAD_BAR, (
+            f"sampling overhead {sampled['sampling_overhead']}x exceeds the "
+            f"{SAMPLED_OVERHEAD_BAR}x bar"
+        )
 
     # §4 economics: more skew -> hotter cache -> fewer transferred bytes
     rows = result["zipf_sweep"]

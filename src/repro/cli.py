@@ -14,6 +14,9 @@
         --out report.json              # sharded chaos seed sweep + JSON report
     python -m repro fleet --tenants 2000 --nodes 10000 --starts 1000000 \
         --jobs 8                       # trace-driven multi-tenant fleet run
+    python -m repro slo kubelet_in_allocation --seed 42 --out scorecard.json
+                                       # chaos run sampled in virtual time and
+                                       # scored against declarative SLO rules
 """
 
 from __future__ import annotations
@@ -64,7 +67,8 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
     if args.list:
         return _print_scenario_list()
-    if args.metrics:
+    want_metrics = args.metrics or bool(args.metrics_out)
+    if want_metrics:
         from repro.obs import metrics as obs_metrics
         from repro.sim import profile as sim_profile
 
@@ -73,7 +77,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     result = run_cells(
         scenario_matrix(n_nodes=args.nodes, n_pods=args.pods),
         jobs=args.jobs,
-        obs=ObsConfig(metrics=args.metrics),
+        obs=ObsConfig(metrics=want_metrics),
         snapshot=WarmSnapshot.for_scenario_prefix(args.nodes),
     )
     metrics = result.values()
@@ -82,9 +86,13 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     for m in metrics:
         for note in m.notes:
             print(f"  [{m.scenario}] {note}")
-    if args.metrics:
-        print()
-        print(obs_metrics.registry.render_table())
+    if want_metrics:
+        if args.metrics:
+            print()
+            print(obs_metrics.registry.render_table())
+        if args.metrics_out:
+            _write_metrics_json(args.metrics_out)
+            print(f"  metrics: {args.metrics_out}")
         obs_metrics.registry.reset()
     return 0
 
@@ -96,7 +104,8 @@ def _cmd_startup(args: argparse.Namespace) -> int:
     from repro.oci.catalog import BaseImageCatalog
     from repro.registry import OCIDistributionRegistry
 
-    if args.metrics:
+    want_metrics = args.metrics or bool(args.metrics_out)
+    if want_metrics:
         from repro.obs import metrics as obs_metrics
 
         obs_metrics.enable()
@@ -119,9 +128,13 @@ def _cmd_startup(args: argparse.Namespace) -> int:
         warm = engine.run(engine.pull("cli/app", "v1", registry), user)
         print(f"{engine.info.name:>15} {cold.startup_seconds:8.3f}s "
               f"{warm.startup_seconds:8.3f}s  {cold.container.rootfs.driver.name}")
-    if args.metrics:
-        print()
-        print(obs_metrics.registry.render_table())
+    if want_metrics:
+        if args.metrics:
+            print()
+            print(obs_metrics.registry.render_table())
+        if args.metrics_out:
+            _write_metrics_json(args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
         obs_metrics.disable()
     return 0
 
@@ -174,6 +187,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.metrics:
         print()
         print(obs_metrics.registry.render_table())
+    if args.metrics_out:
+        _write_metrics_json(args.metrics_out)
+        print(f"  metrics written to {args.metrics_out}")
     if problems:
         for p in problems:
             print(f"invalid trace: {p}", file=sys.stderr)
@@ -190,6 +206,40 @@ def _write_chaos_report(reports: list, scenario: str, path: str) -> None:
     with open(path, "w") as fh:
         fh.write(_json.dumps(chaos_report_document(reports, scenario), indent=2))
         fh.write("\n")
+
+
+def _write_metrics_json(path: str) -> None:
+    """``--metrics-out``: the registry snapshot as a schema-tagged JSON doc."""
+    import json as _json
+
+    from repro.obs import metrics as obs_metrics
+
+    with open(path, "w") as fh:
+        fh.write(_json.dumps(
+            {"schema": "repro-metrics/1", "series": obs_metrics.registry.snapshot()},
+            indent=2, sort_keys=True))
+        fh.write("\n")
+
+
+def _write_timeseries_json(path: str) -> None:
+    """``--timeseries``: the sampled rings as a schema-tagged JSON doc."""
+    from repro.obs import timeseries as obs_timeseries
+
+    with open(path, "w") as fh:
+        fh.write(obs_timeseries.recorder.to_json())
+        fh.write("\n")
+
+
+def _sample_interval(args: argparse.Namespace):
+    """Effective sampling interval: ``--sample-interval``, or the default
+    when ``--timeseries PATH`` asks for an export without naming one."""
+    if args.sample_interval is not None:
+        return args.sample_interval
+    if getattr(args, "timeseries", None):
+        from repro.obs.timeseries import DEFAULT_INTERVAL
+
+        return DEFAULT_INTERVAL
+    return None
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -224,8 +274,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.save_plan:
         plan.to_file(args.save_plan)
         print(f"fault plan ({len(plan)} events) written to {args.save_plan}")
+    from repro.obs import timeseries as obs_timeseries
+
+    interval = _sample_interval(args)
     obs_trace.enable()
     obs_metrics.enable()
+    if interval is not None:
+        obs_timeseries.enable(interval=interval)
     try:
         _metrics, report = run_chaos(
             scenario_cls, plan, n_nodes=args.nodes, n_pods=args.pods, seed=args.seed
@@ -234,14 +289,23 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     finally:
         obs_metrics.disable()
         obs_trace.disable()
+        obs_timeseries.disable()
     print(report.render())
     print(f"  trace:           {args.trace}")
     if args.out:
         _write_chaos_report([report], scenario_cls.name, args.out)
         print(f"  report:          {args.out}")
+    if args.timeseries:
+        _write_timeseries_json(args.timeseries)
+        print(f"  timeseries:      {args.timeseries}")
+    if interval is not None:
+        obs_timeseries.reset()
     if args.metrics:
         print()
         print(obs_metrics.registry.render_table())
+    if args.metrics_out:
+        _write_metrics_json(args.metrics_out)
+        print(f"  metrics:         {args.metrics_out}")
     problems = validate_chrome_trace(_json.loads(doc))
     if problems:
         for p in problems:
@@ -286,16 +350,22 @@ def _chaos_sweep(args: argparse.Namespace, scenario_cls: type) -> int:
     if args.faults:
         plan_json = FaultPlan.from_file(args.faults).to_json()
         cells = [_dc.replace(cell, plan_json=plan_json) for cell in cells]
-    if args.metrics:
+    want_metrics = args.metrics or bool(args.metrics_out)
+    if want_metrics:
         from repro.sim import profile as sim_profile
 
         sim_profile.counters.reset()
         obs_metrics.registry.reset()
+    interval = _sample_interval(args)
+    if interval is not None:
+        from repro.obs import timeseries as obs_timeseries
+
+        obs_timeseries.reset()
     obs_trace.tracer.reset()
     result = run_cells(
         cells,
         jobs=args.jobs,
-        obs=ObsConfig(metrics=args.metrics, trace=True),
+        obs=ObsConfig(metrics=want_metrics, trace=True, timeseries=interval),
         snapshot=WarmSnapshot.for_scenario_prefix(args.nodes),
     )
     reports = result.values()
@@ -326,9 +396,18 @@ def _chaos_sweep(args: argparse.Namespace, scenario_cls: type) -> int:
             fh.write(_json.dumps(report_doc, indent=2))
             fh.write("\n")
         print(f"  report:          {args.out}")
-    if args.metrics:
-        print()
-        print(obs_metrics.registry.render_table())
+    if args.timeseries:
+        _write_timeseries_json(args.timeseries)
+        print(f"  timeseries:      {args.timeseries}")
+    if interval is not None:
+        obs_timeseries.reset()
+    if want_metrics:
+        if args.metrics:
+            print()
+            print(obs_metrics.registry.render_table())
+        if args.metrics_out:
+            _write_metrics_json(args.metrics_out)
+            print(f"  metrics:         {args.metrics_out}")
         obs_metrics.registry.reset()
     problems = validate_chrome_trace(_json.loads(doc_text))
     if problems:
@@ -369,21 +448,38 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad fleet config: {exc}", file=sys.stderr)
         return 2
-    if args.metrics:
+    want_metrics = args.metrics or bool(args.metrics_out)
+    if want_metrics:
         from repro.sim import profile as sim_profile
 
         sim_profile.counters.reset()
         obs_metrics.registry.reset()
-    result = run_fleet(config, jobs=args.jobs, metrics=args.metrics)
+    interval = _sample_interval(args)
+    if interval is not None:
+        from repro.obs import timeseries as obs_timeseries
+
+        obs_timeseries.reset()
+    result = run_fleet(
+        config, jobs=args.jobs, metrics=want_metrics, sample_interval=interval
+    )
     print(render_fleet_summary(result))
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(_json.dumps(fleet_report_document(result), indent=2))
             fh.write("\n")
         print(f"  report:     {args.out}")
-    if args.metrics:
-        print()
-        print(obs_metrics.registry.render_table())
+    if args.timeseries:
+        _write_timeseries_json(args.timeseries)
+        print(f"  timeseries: {args.timeseries}")
+    if interval is not None:
+        obs_timeseries.reset()
+    if want_metrics:
+        if args.metrics:
+            print()
+            print(obs_metrics.registry.render_table())
+        if args.metrics_out:
+            _write_metrics_json(args.metrics_out)
+            print(f"  metrics:    {args.metrics_out}")
         obs_metrics.registry.reset()
     return 0 if not result.leaks else 1
 
@@ -419,23 +515,105 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad replay config: {exc}", file=sys.stderr)
         return 2
-    if args.metrics:
+    want_metrics = args.metrics or bool(args.metrics_out)
+    if want_metrics:
         from repro.sim import profile as sim_profile
 
         sim_profile.counters.reset()
         obs_metrics.registry.reset()
-    result = run_fleet_replay(config, jobs=args.jobs, metrics=args.metrics)
+    interval = _sample_interval(args)
+    if interval is not None:
+        from repro.obs import timeseries as obs_timeseries
+
+        obs_timeseries.reset()
+    result = run_fleet_replay(
+        config, jobs=args.jobs, metrics=want_metrics, sample_interval=interval
+    )
     print(render_replay_summary(result))
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(_json.dumps(replay_report_document(result), indent=2))
             fh.write("\n")
         print(f"  report:     {args.out}")
-    if args.metrics:
-        print()
-        print(obs_metrics.registry.render_table())
+    if args.timeseries:
+        _write_timeseries_json(args.timeseries)
+        print(f"  timeseries: {args.timeseries}")
+    if interval is not None:
+        obs_timeseries.reset()
+    if want_metrics:
+        if args.metrics:
+            print()
+            print(obs_metrics.registry.render_table())
+        if args.metrics_out:
+            _write_metrics_json(args.metrics_out)
+            print(f"  metrics:    {args.metrics_out}")
         obs_metrics.registry.reset()
     return 0 if not result.leaks else 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """``slo``: a chaos run sampled in virtual time and scored against
+    declarative SLO rules.
+
+    Everything printed or written is a pure function of ``(scenario,
+    plan, rules, seed, interval)``, so double runs — and the CI
+    slo-smoke step's ``cmp`` — agree byte for byte.
+    """
+    from repro.faults.chaos import run_slo
+    from repro.faults.plan import FaultPlan
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import timeseries as obs_timeseries
+    from repro.obs.slo import SloRuleSet
+
+    if args.list:
+        return _print_scenario_list()
+    if args.scenario is None:
+        print("a scenario name is required (or --list)", file=sys.stderr)
+        return 2
+    scenarios = _scenario_classes()
+    scenario_cls = scenarios.get(args.scenario)
+    if scenario_cls is None:
+        names = ", ".join(sorted(c.name for c in set(scenarios.values())))
+        print(f"unknown scenario {args.scenario!r}; one of: {names}", file=sys.stderr)
+        return 2
+    if args.faults:
+        plan = FaultPlan.from_file(args.faults)
+    else:
+        node_names = [f"nid{i:04}" for i in range(args.nodes)]
+        plan = FaultPlan.generate(seed=args.seed, horizon=600.0, node_names=node_names)
+    rules = SloRuleSet.from_file(args.rules) if args.rules else None
+    obs_metrics.enable()
+    try:
+        _metrics, report, scorecard = run_slo(
+            scenario_cls,
+            plan,
+            rules=rules,
+            n_nodes=args.nodes,
+            n_pods=args.pods,
+            seed=args.seed,
+            sample_interval=args.sample_interval,
+        )
+        print(scorecard.render())
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(scorecard.to_json())
+                fh.write("\n")
+            print(f"  scorecard:  {args.out}")
+        if args.timeseries:
+            _write_timeseries_json(args.timeseries)
+            print(f"  timeseries: {args.timeseries}")
+        if args.metrics:
+            print()
+            print(obs_metrics.registry.render_table())
+        if args.metrics_out:
+            _write_metrics_json(args.metrics_out)
+            print(f"  metrics:    {args.metrics_out}")
+    finally:
+        obs_metrics.disable()
+        obs_metrics.registry.reset()
+        obs_timeseries.disable()
+        obs_timeseries.reset()
+    return 0 if report.clean else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -464,11 +642,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="list scenario names and exit")
     p_scen.add_argument("--metrics", action="store_true",
                         help="print the labeled metrics registry afterwards")
+    p_scen.add_argument("--metrics-out", default=None, metavar="METRICS.json",
+                        help="write the metrics registry snapshot as JSON "
+                             "(schema repro-metrics/1)")
     p_scen.set_defaults(fn=_cmd_scenarios)
 
     p_start = sub.add_parser("startup", help="cross-engine startup comparison")
     p_start.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
+    p_start.add_argument("--metrics-out", default=None, metavar="METRICS.json",
+                         help="write the metrics registry snapshot as JSON "
+                              "(schema repro-metrics/1)")
     p_start.set_defaults(fn=_cmd_startup)
 
     p_trace = sub.add_parser(
@@ -487,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="indent the JSON output")
     p_trace.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
+    p_trace.add_argument("--metrics-out", default=None, metavar="METRICS.json",
+                         help="write the metrics registry snapshot as JSON "
+                              "(schema repro-metrics/1)")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_chaos = sub.add_parser(
@@ -518,14 +705,66 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output path for the Chrome trace JSON")
     p_chaos.add_argument("--out", default=None, metavar="REPORT.json",
                          help="also write the chaos report document as JSON "
-                              "(schema repro-chaos-report/1)")
+                              "(schema repro-chaos-report/2)")
     p_chaos.add_argument("--list", action="store_true",
                          help="list scenario names and exit")
     p_chaos.add_argument("--pretty", action="store_true",
                          help="indent the trace JSON output")
+    p_chaos.add_argument("--sample-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="sample time-series every SECONDS of virtual "
+                              "time (enables SLO evaluation and detection "
+                              "latency in the report)")
+    p_chaos.add_argument("--timeseries", default=None, metavar="SERIES.json",
+                         help="write the sampled time-series as JSON (schema "
+                              "repro-timeseries/1; implies sampling at the "
+                              "default interval)")
     p_chaos.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
+    p_chaos.add_argument("--metrics-out", default=None, metavar="METRICS.json",
+                         help="write the metrics registry snapshot as JSON "
+                              "(schema repro-metrics/1)")
     p_chaos.set_defaults(fn=_cmd_chaos)
+
+    p_slo = sub.add_parser(
+        "slo",
+        help="score a chaos run against declarative SLO rules",
+        description="Run one scenario under a deterministic fault plan with "
+                    "virtual-time time-series sampling on, evaluate "
+                    "threshold / error-ratio / burn-rate SLO rules over the "
+                    "sampled series, and print a scorecard with per-rule "
+                    "breach time, per-entity health, and per-fault-kind "
+                    "detection latency.  Double runs agree byte for byte.",
+    )
+    p_slo.add_argument("scenario", metavar="scenario", nargs="?",
+                       help="scenario name (hyphens or underscores)")
+    p_slo.add_argument("--seed", type=int, default=0,
+                       help="seed for plan generation and the workload")
+    p_slo.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="load the fault plan from a JSON file instead of "
+                            "generating one from the seed")
+    p_slo.add_argument("--rules", default=None, metavar="RULES.json",
+                       help="load SLO rules from a JSON file (default: the "
+                            "built-in chaos rule set)")
+    p_slo.add_argument("--nodes", type=int, default=4)
+    p_slo.add_argument("--pods", type=int, default=8)
+    p_slo.add_argument("--sample-interval", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="virtual-time sampling interval (default 5.0)")
+    p_slo.add_argument("--out", default=None, metavar="SCORECARD.json",
+                       help="write the scorecard as JSON (schema "
+                            "repro-slo-scorecard/1)")
+    p_slo.add_argument("--timeseries", default=None, metavar="SERIES.json",
+                       help="write the sampled time-series as JSON (schema "
+                            "repro-timeseries/1)")
+    p_slo.add_argument("--list", action="store_true",
+                       help="list scenario names and exit")
+    p_slo.add_argument("--metrics", action="store_true",
+                       help="print the labeled metrics registry afterwards")
+    p_slo.add_argument("--metrics-out", default=None, metavar="METRICS.json",
+                       help="write the metrics registry snapshot as JSON "
+                            "(schema repro-metrics/1)")
+    p_slo.set_defaults(fn=_cmd_slo)
 
     p_fleet = sub.add_parser(
         "fleet",
@@ -560,8 +799,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument("--out", default=None, metavar="REPORT.json",
                          help="also write the fleet report document as JSON "
                               "(schema repro-fleet-report/1)")
+    p_fleet.add_argument("--sample-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="sample per-shard/per-tenant time-series every "
+                              "SECONDS of virtual time")
+    p_fleet.add_argument("--timeseries", default=None, metavar="SERIES.json",
+                         help="write the sampled time-series as JSON (schema "
+                              "repro-timeseries/1; implies sampling at the "
+                              "default interval)")
     p_fleet.add_argument("--metrics", action="store_true",
                          help="print the labeled metrics registry afterwards")
+    p_fleet.add_argument("--metrics-out", default=None, metavar="METRICS.json",
+                         help="write the metrics registry snapshot as JSON "
+                              "(schema repro-metrics/1)")
     p_fleet.set_defaults(fn=_cmd_fleet)
 
     p_replay = sub.add_parser(
@@ -598,8 +848,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--out", default=None, metavar="REPORT.json",
                           help="also write the replay report document as "
                                "JSON (schema repro-fleet-replay-report/1)")
+    p_replay.add_argument("--sample-interval", type=float, default=None,
+                          metavar="SECONDS",
+                          help="sample per-shard replay time-series every "
+                               "SECONDS of virtual time")
+    p_replay.add_argument("--timeseries", default=None, metavar="SERIES.json",
+                          help="write the sampled time-series as JSON (schema "
+                               "repro-timeseries/1; implies sampling at the "
+                               "default interval)")
     p_replay.add_argument("--metrics", action="store_true",
                           help="print the labeled metrics registry afterwards")
+    p_replay.add_argument("--metrics-out", default=None, metavar="METRICS.json",
+                          help="write the metrics registry snapshot as JSON "
+                               "(schema repro-metrics/1)")
     p_replay.set_defaults(fn=_cmd_replay)
     return parser
 

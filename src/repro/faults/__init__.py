@@ -26,6 +26,7 @@ from repro.faults.retry import RetryExhausted, RetryPolicy
 _LAZY = {
     "ChaosReport": "repro.faults.chaos",
     "run_chaos": "repro.faults.chaos",
+    "run_slo": "repro.faults.chaos",
     "container_leaks": "repro.faults.leaks",
     "find_leaks": "repro.faults.leaks",
     "kubelet_leaks": "repro.faults.leaks",
@@ -56,4 +57,5 @@ __all__ = [
     "kubelet_leaks",
     "mount_leaks",
     "run_chaos",
+    "run_slo",
 ]

@@ -17,9 +17,15 @@ import typing as _t
 from repro.faults.injector import injector
 from repro.faults.leaks import find_leaks
 from repro.faults.plan import FaultPlan
+from repro.obs import metrics as _metrics
+from repro.obs import timeseries as _timeseries
+from repro.obs import trace as _trace
 from repro.scenarios.base import WORKFLOW_IMAGE, IntegrationScenario, ScenarioMetrics
 from repro.sim import Environment
 from repro.workload.generators import PodBatchGenerator
+
+if _t.TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.obs.slo import SloEvaluation, SloRuleSet
 
 
 @dataclasses.dataclass
@@ -37,6 +43,17 @@ class ChaosReport:
     pods_failed: int
     leaks: list[str]
     end_time: float
+    #: SLO alerts that fired over the sampled series (0 when the
+    #: time-series recorder was off for the run)
+    alerts_fired: int = 0
+    #: fault kind -> virtual seconds from first injection to the first
+    #: alert fire at/after it; None = injected but never detected
+    detection: dict[str, float | None] = dataclasses.field(default_factory=dict)
+    #: the full SLO evaluation (alerts + breach windows) for scorecard
+    #: builders; excluded from equality and serialization
+    evaluation: "SloEvaluation | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def clean(self) -> bool:
@@ -62,6 +79,8 @@ class ChaosReport:
             "pods_failed": self.pods_failed,
             "leaks": list(self.leaks),
             "end_time": self.end_time,
+            "alerts_fired": self.alerts_fired,
+            "detection": dict(sorted(self.detection.items())),
             "clean": self.clean,
         }
 
@@ -83,6 +102,13 @@ class ChaosReport:
             f"  pods:            {self.pods_completed} completed, "
             f"{self.pods_failed} failed, {self.pods_submitted} submitted"
         )
+        if self.detection:
+            parts = ", ".join(
+                f"{k}={v:.6g}s" if v is not None else f"{k}=undetected"
+                for k, v in sorted(self.detection.items())
+            )
+            lines.append(f"  alerts fired:    {self.alerts_fired}")
+            lines.append(f"  detection:       {parts}")
         if self.leaks:
             lines.append(f"  LEAKS ({len(self.leaks)}):")
             lines.extend(f"    - {leak}" for leak in self.leaks)
@@ -108,8 +134,22 @@ def chaos_report_document(
             injected[kind] = injected.get(kind, 0) + count
         for kind, count in report.retries.items():
             retries[kind] = retries.get(kind, 0) + count
+    # detection roll-up: of the runs a kind was injected in, how many
+    # produced an alert at/after it, and the mean latency of those
+    detection: dict[str, object] = {}
+    for kind in sorted({k for r in reports for k in r.detection}):
+        latencies = [
+            r.detection[kind] for r in reports if r.detection.get(kind) is not None
+        ]
+        detection[kind] = {
+            "detected": len(latencies),
+            "of": sum(1 for r in reports if kind in r.detection),
+            "mean_latency": (
+                round(sum(latencies) / len(latencies), 6) if latencies else None
+            ),
+        }
     return {
-        "schema": "repro-chaos-report/1",
+        "schema": "repro-chaos-report/2",
         "scenario": scenario,
         "seeds": [report.seed for report in reports],
         "reports": [report.to_dict() for report in reports],
@@ -122,6 +162,8 @@ def chaos_report_document(
             "pods_completed": sum(r.pods_completed for r in reports),
             "pods_failed": sum(r.pods_failed for r in reports),
             "leaks": sum(len(r.leaks) for r in reports),
+            "alerts_fired": sum(r.alerts_fired for r in reports),
+            "detection": detection,
             "clean": all(r.clean for r in reports),
         },
     }
@@ -142,6 +184,7 @@ def run_chaos(
     n_pods: int = 8,
     seed: int = 0,
     horizon: float = 4000.0,
+    slo: "SloRuleSet | None" = None,
 ) -> tuple[ScenarioMetrics, ChaosReport]:
     """Provision, submit the standard pod batch, run to the horizon —
     all under ``plan`` — then audit and report.
@@ -149,9 +192,18 @@ def run_chaos(
     The injector is armed for the whole scenario lifetime (faults may
     hit provisioning too) and always disarmed on the way out, even if
     the scenario run raises.
+
+    When the :mod:`repro.obs.timeseries` recorder is enabled, a sampler
+    process ticks through the run, the ``slo`` rules (default:
+    :func:`~repro.obs.slo.default_chaos_rules`) are evaluated over the
+    sampled series, alert fire/resolve instants land in the trace, and
+    the report gains per-fault-kind detection latency.
     """
     env = Environment()
     injector.arm(plan, env)
+    rec = _timeseries.recorder
+    if rec.enabled:
+        _timeseries.install_sampler(env, _metrics.registry)
     try:
         scenario = scenario_cls(env, n_nodes=n_nodes, seed=seed)
         ready = scenario.provision()
@@ -180,6 +232,73 @@ def run_chaos(
             leaks=find_leaks(scenario),
             end_time=env.now,
         )
+        if rec.enabled:
+            from repro.obs import slo as _slo
+
+            rec.sample_due(env.now, _metrics.registry)
+            rules = slo if slo is not None else _slo.default_chaos_rules()
+            evaluation = _slo.evaluate(rules, rec, env.now)
+            if _trace.tracer.enabled:
+                for alert in evaluation.alerts:
+                    _trace.tracer.instant_at(
+                        "slo.alert",
+                        alert.at,
+                        rule=alert.rule,
+                        series=alert.series,
+                        state=alert.state,
+                    )
+            report.alerts_fired = evaluation.fires
+            report.detection = _slo.detection_latencies(
+                dict(injector.injected_at), evaluation
+            )
+            report.evaluation = evaluation
         return metrics, report
     finally:
         injector.disarm()
+
+
+def run_slo(
+    scenario_cls: type[IntegrationScenario],
+    plan: FaultPlan,
+    rules: "SloRuleSet | None" = None,
+    n_nodes: int = 4,
+    n_pods: int = 8,
+    seed: int = 0,
+    horizon: float = 4000.0,
+    sample_interval: float = 5.0,
+) -> tuple[ScenarioMetrics, ChaosReport, object]:
+    """A chaos run scored against SLO rules: the ``python -m repro slo``
+    entry point.
+
+    Enables the time-series recorder at ``sample_interval`` (resetting
+    it), runs :func:`run_chaos` under ``rules`` (default:
+    :func:`~repro.obs.slo.default_chaos_rules`), and builds the
+    :class:`~repro.obs.slo.ScorecardReport` from the evaluation.  The
+    recorder is left enabled so callers can export the sampled series;
+    they own disabling it.
+    """
+    from repro.obs import slo as _slo
+
+    ruleset = rules if rules is not None else _slo.default_chaos_rules()
+    _timeseries.recorder.enable(interval=sample_interval)
+    metrics, report = run_chaos(
+        scenario_cls,
+        plan,
+        n_nodes=n_nodes,
+        n_pods=n_pods,
+        seed=seed,
+        horizon=horizon,
+        slo=ruleset,
+    )
+    evaluation = report.evaluation
+    assert evaluation is not None  # recorder was enabled, so run_chaos evaluated
+    scorecard = _slo.ScorecardReport.build(
+        scenario=report.scenario,
+        ruleset=ruleset,
+        evaluation=evaluation,
+        rec=_timeseries.recorder,
+        registry=_metrics.registry,
+        seed=seed,
+        detection=report.detection,
+    )
+    return metrics, report, scorecard

@@ -59,6 +59,9 @@ class FaultInjector:
         self._handlers: dict[str, list[PushHandler]] = {}
         #: kind.value -> times a fault actually perturbed an operation
         self.injected_counts: dict[str, int] = {}
+        #: kind.value -> virtual time of the *first* injection (what SLO
+        #: detection latency is measured against)
+        self.injected_at: dict[str, float] = {}
         #: subsystem -> retry attempts recorded while armed
         self.retry_counts: dict[str, int] = {}
 
@@ -87,6 +90,7 @@ class FaultInjector:
         self._windows.clear()
         self._handlers.clear()
         self.injected_counts = {}
+        self.injected_at = {}
         self.retry_counts = {}
 
     # -- pull side ---------------------------------------------------------
@@ -108,7 +112,7 @@ class FaultInjector:
             at = self._env.now if self._env is not None else 0.0
         for event in events:
             if event.active_at(at) and event.matches(target):
-                self._record(event)
+                self._record(event, at)
                 return event
         return None
 
@@ -145,7 +149,7 @@ class FaultInjector:
             if not self.enabled:
                 return
             if phase == "crash":
-                self._record(event)
+                self._record(event, env.now)
             elif _trace.tracer.enabled:
                 _trace.tracer.instant(
                     "fault.cleared", kind=event.kind.value, target=event.target
@@ -154,9 +158,13 @@ class FaultInjector:
                 handler(event, phase)
 
     # -- accounting --------------------------------------------------------
-    def _record(self, event: FaultEvent) -> None:
+    def _record(self, event: FaultEvent, at: float | None = None) -> None:
         kind = event.kind.value
         self.injected_counts[kind] = self.injected_counts.get(kind, 0) + 1
+        if kind not in self.injected_at:
+            if at is None:
+                at = self._env.now if self._env is not None else event.at
+            self.injected_at[kind] = at
         if _metrics.registry.enabled:
             _metrics.inc("faults.injected", kind=kind)
         if _trace.tracer.enabled:

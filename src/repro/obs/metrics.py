@@ -79,6 +79,32 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation within the
+        bucket holding the target rank (the Prometheus
+        ``histogram_quantile`` rule): the rank's bucket is located by
+        cumulative count, then the value is interpolated between the
+        previous bound and the bucket's own bound, assuming observations
+        spread uniformly inside the bucket.  Observations in the +inf
+        overflow bucket clamp to the highest finite bound — a quantile
+        cannot exceed what the bucket layout can resolve."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cum = 0.0
+        prev_bound = 0.0
+        for i, bound in enumerate(self.buckets):
+            c = self.counts[i]
+            if c:
+                if cum + c >= rank:
+                    frac = (rank - cum) / c
+                    return prev_bound + (bound - prev_bound) * frac
+                cum += c
+            prev_bound = bound
+        return self.buckets[-1] if self.buckets else 0.0
+
     def snapshot(self) -> dict[str, object]:
         return {
             "buckets": list(self.buckets),
@@ -344,3 +370,80 @@ def observe(
     **labels: object,
 ) -> None:
     registry.observe(name, value, buckets=buckets, **labels)
+
+
+# -- OpenMetrics-style text exposition ---------------------------------------
+
+def _om_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _om_labels(labels: _LabelKey, extra: str = "") -> str:
+    parts = [f'{_om_name(k)}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _om_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_openmetrics(reg: MetricsRegistry | None = None, include_sim: bool = True) -> str:
+    """Render the registry in OpenMetrics-style text exposition.
+
+    Dots in metric names become underscores, counters gain the
+    conventional ``_total`` suffix, and histograms expose cumulative
+    ``le``-labeled buckets plus ``_sum``/``_count`` — close enough to the
+    wire format that standard dashboards parse it, while staying a pure
+    deterministic function of the run.  With ``include_sim`` the flat
+    :mod:`repro.sim.profile` counters are bridged in as ``sim_*``.
+    """
+    reg = registry if reg is None else reg
+    lines: list[str] = []
+    by_name: dict[str, list[tuple[_LabelKey, float]]] = {}
+    for (name, labels), value in reg._counters.items():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} counter")
+        for labels, value in sorted(by_name[name]):
+            lines.append(f"{om}_total{_om_labels(labels)} {_om_value(value)}")
+    by_name.clear()
+    for (name, labels), value in reg._gauges.items():
+        by_name.setdefault(name, []).append((labels, value))
+    for name in sorted(by_name):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} gauge")
+        for labels, value in sorted(by_name[name]):
+            lines.append(f"{om}{_om_labels(labels)} {_om_value(value)}")
+    by_hist: dict[str, list[tuple[_LabelKey, Histogram]]] = {}
+    for (name, labels), hist in reg._histograms.items():
+        by_hist.setdefault(name, []).append((labels, hist))
+    for name in sorted(by_hist):
+        om = _om_name(name)
+        lines.append(f"# TYPE {om} histogram")
+        for labels, hist in sorted(by_hist[name], key=lambda lv: lv[0]):
+            cum = 0
+            for bound, c in zip(hist.buckets, hist.counts):
+                cum += c
+                le = 'le="%s"' % _om_value(bound)
+                lines.append(f"{om}_bucket{_om_labels(labels, le)} {cum}")
+            cum += hist.counts[-1]
+            inf_le = 'le="+Inf"'
+            lines.append(f"{om}_bucket{_om_labels(labels, inf_le)} {cum}")
+            lines.append(f"{om}_sum{_om_labels(labels)} {_om_value(hist.total)}")
+            lines.append(f"{om}_count{_om_labels(labels)} {hist.count}")
+    if include_sim:
+        from repro.sim import profile as _profile
+
+        for cname, cvalue in _profile.counters.snapshot().items():
+            om = _om_name(f"sim.{cname}")
+            lines.append(f"# TYPE {om} counter")
+            lines.append(f"{om}_total {_om_value(float(cvalue))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

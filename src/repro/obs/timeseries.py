@@ -1,0 +1,339 @@
+"""Virtual-time time-series sampling over the metrics registry.
+
+:mod:`repro.obs.metrics` answers "how much, in total?" — point-in-time
+counters read once after the run.  Site operators asking "did registry
+pull latency degrade *during* the outage window?" need the axis the
+registry deliberately drops: virtual time.  This module adds it without
+touching the per-event hot path:
+
+- a process-wide :class:`TimeSeriesRecorder` holds a ring buffer of
+  ``(t, value)`` points per ``name{label=}`` series;
+- a **sampler** visits the recorder at a fixed virtual-time interval and
+  turns the registry's current state into points — gauges verbatim,
+  counters as **rates** (``name.rate``, delta over the sampling gap) and
+  histograms as running quantiles (``name.p50`` / ``name.p99`` via
+  :meth:`~repro.obs.metrics.Histogram.quantile`);
+- engines register **probes** — callbacks invoked at each sample tick —
+  to publish state the registry never sees (queue depths, live slots).
+
+Sampling is driven two ways, matching the two execution styles in the
+tree.  Event-dense engines (the fleet pump) call :meth:`sample_due`
+inline once per epoch — one predicate check and a float compare when
+disabled or not yet due.  Process-based scenarios install a dedicated
+simulation process via :func:`install_sampler` that wakes at each grid
+boundary and **self-terminates when it is the only pending work**, so
+``env.run()`` drains and ``env.run(until=...)`` deadlines behave exactly
+as they would without it.
+
+Sample timestamps are snapped to the grid (``floor(now/interval) *
+interval``), so a cell sampled inline at irregular epoch times and a
+cell sampled by the process land points on the same time axis.  Like the
+registry, the recorder is **global, off by default, and shard-mergeable**:
+:meth:`capture_state` / :meth:`install_state` mirror the registry's
+contract, and ``merge=True`` concatenates per-series points in the order
+cells are merged (deterministic cell-index order), keeping ``--jobs N``
+byte-identical to serial.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import typing as _t
+from collections import deque
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    _label_key,
+    _LabelKey,
+    _om_labels,
+    _om_name,
+    _om_value,
+    _SeriesKey,
+    format_series,
+)
+
+if _t.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+#: default sampling interval (virtual seconds)
+DEFAULT_INTERVAL = 5.0
+
+#: default ring-buffer capacity (points per series)
+DEFAULT_CAPACITY = 4096
+
+#: schema tag for the JSON export
+TIMESERIES_SCHEMA = "repro-timeseries/1"
+
+#: histogram quantiles sampled as ``name.p50`` / ``name.p99`` series
+_QUANTILES: tuple[tuple[str, float], ...] = ((".p50", 0.5), (".p99", 0.99))
+
+
+class TimeSeriesRecorder:
+    """Ring-buffered ``(t, value)`` points per labeled series."""
+
+    __slots__ = (
+        "enabled",
+        "interval",
+        "capacity",
+        "samples",
+        "_points",
+        "_last_counters",
+        "_last_t",
+        "_next_due",
+        "_probes",
+    )
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.interval = DEFAULT_INTERVAL
+        self.capacity = DEFAULT_CAPACITY
+        #: total sample ticks taken (merged additively across shards)
+        self.samples = 0
+        self._points: dict[_SeriesKey, deque[tuple[float, float]]] = {}
+        #: counter values at the previous tick, for rate computation
+        self._last_counters: dict[_SeriesKey, float] = {}
+        self._last_t: float | None = None
+        self._next_due = 0.0
+        self._probes: list[_t.Callable[[float], None]] = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def enable(
+        self,
+        interval: float = DEFAULT_INTERVAL,
+        capacity: int = DEFAULT_CAPACITY,
+        reset: bool = True,
+    ) -> "TimeSeriesRecorder":
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        if reset:
+            self.reset()
+        self.enabled = True
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        return self
+
+    def disable(self) -> "TimeSeriesRecorder":
+        self.enabled = False
+        return self
+
+    def reset(self) -> None:
+        self.samples = 0
+        self._points.clear()
+        self._last_counters.clear()
+        self._last_t = None
+        self._next_due = 0.0
+        self._probes.clear()
+
+    # -- probes --------------------------------------------------------------
+    def add_probe(self, fn: _t.Callable[[float], None]) -> None:
+        """Register a callback invoked with the grid timestamp at every
+        sample tick (engines publish queue depths, live counts...).
+        Probes are cleared by :meth:`reset` — they hold references to the
+        engines that registered them, which must not outlive the run."""
+        self._probes.append(fn)
+
+    # -- point recording -----------------------------------------------------
+    def series_key(self, name: str, **labels: object) -> _SeriesKey:
+        """Intern a series identity (same storage key as the registry)."""
+        return (name, _label_key(labels))
+
+    def record(self, name: str, t: float, value: float, **labels: object) -> None:
+        """Append one point; creates the series ring buffer on first use."""
+        self.record_series((name, _label_key(labels)), t, value)
+
+    def record_series(self, key: _SeriesKey, t: float, value: float) -> None:
+        points = self._points.get(key)
+        if points is None:
+            points = self._points[key] = deque(maxlen=self.capacity)
+        points.append((t, float(value)))
+
+    # -- sampling ------------------------------------------------------------
+    def due(self, now: float) -> bool:
+        """One predicate + one compare — the inline hot-path gate."""
+        return self.enabled and now >= self._next_due
+
+    def sample_due(self, now: float, registry: MetricsRegistry | None = None) -> float | None:
+        """Sample iff ``now`` has crossed the next grid boundary.
+
+        Returns the grid timestamp used, or ``None`` when disabled / not
+        yet due.  This is the inline driver: event-dense engines call it
+        once per batch and pay ``due()`` when nothing happens.
+        """
+        if not self.enabled or now < self._next_due:
+            return None
+        return self.sample(now, registry)
+
+    def sample(self, now: float, registry: MetricsRegistry | None = None) -> float:
+        """Take one sample tick, stamped at the grid point below ``now``."""
+        interval = self.interval
+        t = math.floor(now / interval) * interval
+        for probe in self._probes:
+            probe(t)
+        if registry is not None:
+            self._sample_registry(t, registry)
+        self._last_t = t
+        self._next_due = t + interval
+        self.samples += 1
+        return t
+
+    def _sample_registry(self, t: float, registry: MetricsRegistry) -> None:
+        # Counters become rate series: delta since the previous tick over
+        # the actual gap (ticks can skip grid points when nothing ran).
+        last_t = self._last_t
+        dt = (t - last_t) if last_t is not None and t > last_t else self.interval
+        last = self._last_counters
+        for key, value in registry._counters.items():
+            prev = last.get(key, 0.0)
+            if value != prev or key in last:
+                self.record_series((key[0] + ".rate", key[1]), t, (value - prev) / dt)
+            last[key] = value
+        for key, value in registry._gauges.items():
+            self.record_series(key, t, value)
+        for key, hist in registry._histograms.items():
+            if hist.count:
+                for suffix, q in _QUANTILES:
+                    self.record_series((key[0] + suffix, key[1]), t, hist.quantile(q))
+
+    # -- readers -------------------------------------------------------------
+    def points(self, name: str, **labels: object) -> list[tuple[float, float]]:
+        return list(self._points.get((name, _label_key(labels)), ()))
+
+    def series(self, prefix: str = "") -> list[str]:
+        out = [format_series(name, labels) for name, labels in self._points]
+        return sorted(s for s in out if s.startswith(prefix))
+
+    def match(self, name: str, labels: _LabelKey = ()) -> list[_SeriesKey]:
+        """Every stored series with this name whose labels are a superset
+        of ``labels`` — the SLO engine's selector primitive."""
+        want = set(labels)
+        return sorted(
+            key
+            for key in self._points
+            if key[0] == name and want.issubset(key[1])
+        )
+
+    def snapshot(self) -> dict[str, list[list[float]]]:
+        """``{formatted_series: [[t, value], ...]}`` in stored order."""
+        return {
+            format_series(name, labels): [[t, v] for t, v in pts]
+            for (name, labels), pts in sorted(self._points.items())
+        }
+
+    def document(self) -> dict[str, object]:
+        """The JSON-export document (schema-tagged, deterministic)."""
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "interval": self.interval,
+            "samples": self.samples,
+            "series": self.snapshot(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.document(), indent=indent, sort_keys=True)
+
+    def to_openmetrics(self) -> str:
+        """OpenMetrics-style exposition of the *latest* point per series,
+        with the sample's virtual timestamp in the timestamp column."""
+        lines: list[str] = []
+        for (name, labels), pts in sorted(self._points.items()):
+            if not pts:  # pragma: no cover - rings never stay empty
+                continue
+            t, v = pts[-1]
+            om = _om_name(name)
+            lines.append(f"# TYPE {om} gauge")
+            lines.append(f"{om}{_om_labels(labels)} {_om_value(v)} {_om_value(t)}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    # -- state transfer (shard runner) ---------------------------------------
+    def capture_state(self) -> dict[str, object]:
+        """A picklable copy of every series ring (plain tuples/lists).
+
+        The rate bookkeeping (``_last_counters`` / ``_last_t``) and the
+        probe callbacks are deliberately left behind: captured cells are
+        finished runs, and probes hold references to per-cell engines.
+        """
+        return {
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "samples": self.samples,
+            "points": {key: list(pts) for key, pts in self._points.items()},
+        }
+
+    def install_state(self, state: dict[str, object], merge: bool = False) -> None:
+        """Load a :meth:`capture_state` blob back into the recorder.
+
+        With ``merge=False`` the recorder is replaced wholesale (interval
+        and capacity restored from the blob).  With ``merge=True`` each
+        series' points are *appended* in blob order — callers merge cells
+        in deterministic cell-index order, so the combined rings (and any
+        export of them) are identical whether cells ran serially or
+        across N workers.
+        """
+        if not merge:
+            self.reset()
+            self.interval = _t.cast(float, state["interval"])
+            self.capacity = _t.cast(int, state["capacity"])
+        self.samples += _t.cast(int, state["samples"])
+        for key, pts in _t.cast(dict, state["points"]).items():
+            ring = self._points.get(key)
+            if ring is None:
+                ring = self._points[key] = deque(maxlen=self.capacity)
+            ring.extend(pts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TimeSeriesRecorder {'on' if self.enabled else 'off'} "
+            f"interval={self.interval} series={len(self._points)} "
+            f"samples={self.samples}>"
+        )
+
+
+#: The process-wide recorder (mirrors ``metrics.registry`` / ``trace.tracer``).
+recorder = TimeSeriesRecorder()
+
+
+def enable(
+    interval: float = DEFAULT_INTERVAL,
+    capacity: int = DEFAULT_CAPACITY,
+    reset: bool = True,
+) -> TimeSeriesRecorder:
+    return recorder.enable(interval=interval, capacity=capacity, reset=reset)
+
+
+def disable() -> TimeSeriesRecorder:
+    return recorder.disable()
+
+
+def reset() -> None:
+    recorder.reset()
+
+
+def install_sampler(
+    env: "Environment", registry: MetricsRegistry | None = None
+) -> object | None:
+    """Install a sampler process on ``env`` ticking at the grid interval.
+
+    The process wakes at each ``k * interval`` boundary, samples, and
+    returns as soon as it is the only work left in the environment —
+    so it never keeps ``env.run()`` spinning past the scenario's real
+    end, and ``env.run(until=event)`` still sees the queue drain when
+    the scenario deadlocks.  Returns the process (or ``None`` when the
+    recorder is disabled).
+    """
+    rec = recorder
+    if not rec.enabled:
+        return None
+
+    def _tick():
+        while rec.enabled:
+            boundary = math.floor(env.now / rec.interval + 1.0) * rec.interval
+            if boundary < rec._next_due:
+                boundary = rec._next_due
+            yield env.timeout_until(boundary)
+            rec.sample_due(env.now, registry)
+            if not env._queue and not env._immediate:
+                return
+
+    return env.process(_tick(), name="obs.sampler")

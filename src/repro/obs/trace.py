@@ -226,6 +226,15 @@ class Tracer:
             return
         self._record("i", name, self.now(), self._tid(), labels or None, None)
 
+    def instant_at(self, name: str, ts: float, **labels: object) -> None:
+        """An ``i`` marker at an explicit timestamp — for events derived
+        *after* the run (SLO alert fire/resolve points evaluated over the
+        sampled series); the export sorts by ts, so they interleave into
+        the timeline as if recorded live."""
+        if not self.enabled:
+            return
+        self._record("i", name, ts, self._tid(), labels or None, None)
+
     # -- state transfer (shard runner) ---------------------------------------
     def capture_state(self) -> dict[str, object]:
         """A picklable copy of the recorded events and thread names.
@@ -321,6 +330,10 @@ def complete_at(name: str, start: float, duration: float, **labels: object) -> N
 
 def instant(name: str, **labels: object) -> None:
     tracer.instant(name, **labels)
+
+
+def instant_at(name: str, ts: float, **labels: object) -> None:
+    tracer.instant_at(name, ts, **labels)
 
 
 def export_json(path: str | None = None, indent: int | None = None) -> str:

@@ -36,6 +36,8 @@ from repro.k8s.objects import (
     ResourceRequests,
 )
 from repro.k8s.apiserver import WatchEvent, WatchEventType
+from repro.obs import metrics as _metrics
+from repro.obs import timeseries as _timeseries
 from repro.scenarios.kubelet_in_allocation import KubeletInAllocationScenario
 from repro.sim import Environment
 from repro.workload.fleet import FleetConfig, ImageCatalog, generate_shard_trace
@@ -117,6 +119,11 @@ class FleetReplayScenario:
     # -- the run -------------------------------------------------------------
     def run(self) -> FleetReplayShardResult:
         env = self.env
+        rec = _timeseries.recorder
+        if rec.enabled:
+            rec.add_probe(self._sample_timeseries)
+            registry = _metrics.registry if _metrics.registry.enabled else None
+            _timeseries.install_sampler(env, registry)
         ready = self.scenario.provision()
         env.run(until=ready)
         self.result.provision_time = self.scenario.steady_state_provision_time
@@ -136,6 +143,16 @@ class FleetReplayScenario:
         env.run(until=env.now + 100.0)
         self._collect_stats()
         return self.result
+
+    def _sample_timeseries(self, t: float) -> None:
+        """Probe: per-shard replay state the registry never sees."""
+        rec = _timeseries.recorder
+        shard = f"s{self.shard}"
+        res = self.result
+        rec.record("replay.inflight", t, float(len(self._live_uids)), shard=shard)
+        rec.record("replay.submitted_total", t, float(res.submitted), shard=shard)
+        rec.record("replay.harvested_total", t, float(self._harvested), shard=shard)
+        rec.record("replay.wait_max", t, res.wait_max, shard=shard)
 
     def _collect_stats(self) -> None:
         from repro.oci.runtime import ContainerState
@@ -311,13 +328,18 @@ def replay_cells(config: FleetConfig) -> list:
 
 
 def run_fleet_replay(
-    config: FleetConfig, jobs: int = 1, metrics: bool = False
+    config: FleetConfig,
+    jobs: int = 1,
+    metrics: bool = False,
+    sample_interval: float | None = None,
 ) -> FleetReplayResult:
     """Run every shard through the shard runner and merge."""
     from repro.shard import ObsConfig, run_cells
 
     result = run_cells(
-        replay_cells(config), jobs=jobs, obs=ObsConfig(metrics=metrics)
+        replay_cells(config),
+        jobs=jobs,
+        obs=ObsConfig(metrics=metrics, timeseries=sample_interval),
     )
     return FleetReplayResult(config=config, shards=result.values())
 

@@ -44,6 +44,10 @@ class ObsConfig:
     metrics: bool = False
     trace: bool = False
     trace_wall: bool = False
+    #: time-series sampling interval (virtual seconds) or None = off;
+    #: cells enable the recorder at this interval, and the parent merges
+    #: the sampled rings in cell-index order
+    timeseries: float | None = None
 
 
 @dataclasses.dataclass
@@ -57,6 +61,7 @@ class CellResult:
     profile: dict[str, int]
     metrics: dict | None
     trace: dict | None
+    timeseries: dict | None = None
 
 
 @dataclasses.dataclass
@@ -102,6 +107,7 @@ def _execute_cell(
     the same code path; it deliberately clobbers the process-wide state
     (the parent saves/restores around the whole batch)."""
     from repro.obs.metrics import registry as _registry
+    from repro.obs.timeseries import recorder as _recorder
     from repro.obs.trace import tracer as _tracer
 
     counters = _profile.counters
@@ -118,6 +124,11 @@ def _execute_cell(
     _tracer.reset()
     _tracer.enabled = obs.trace
     _tracer.wall_clock = obs.trace_wall
+    _recorder.reset()
+    if obs.timeseries is not None:
+        _recorder.enable(interval=obs.timeseries, reset=False)
+    else:
+        _recorder.enabled = False
     try:
         value = cell.run()
     finally:
@@ -127,6 +138,8 @@ def _execute_cell(
         _registry.enabled = False
         trace_state = _tracer.capture_state() if obs.trace else None
         _tracer.enabled = False
+        ts_state = _recorder.capture_state() if obs.timeseries is not None else None
+        _recorder.enabled = False
     return CellResult(
         index=index,
         label=cell.label,
@@ -134,6 +147,7 @@ def _execute_cell(
         profile=profile_snap,
         metrics=metrics_state,
         trace=trace_state,
+        timeseries=ts_state,
     )
 
 
@@ -175,6 +189,7 @@ def run_cells(
     obs = obs or ObsConfig()
     counters = _profile.counters
     from repro.obs.metrics import registry as _registry
+    from repro.obs.timeseries import recorder as _recorder
     from repro.obs.trace import tracer as _tracer
 
     saved_world = WorldState.capture()
@@ -186,6 +201,8 @@ def run_cells(
     saved_trace_enabled = _tracer.enabled
     saved_wall_clock = _tracer.wall_clock
     saved_next_tid = _tracer._next_tid
+    saved_ts = _recorder.capture_state()
+    saved_ts_enabled = _recorder.enabled
     try:
         if jobs <= 1 or len(cells) <= 1:
             results = [
@@ -214,6 +231,8 @@ def run_cells(
         _tracer._next_tid = saved_next_tid
         _tracer.enabled = saved_trace_enabled
         _tracer.wall_clock = saved_wall_clock
+        _recorder.install_state(saved_ts)
+        _recorder.enabled = saved_ts_enabled
 
     merged = merge_profiles(result.profile for result in results)
     counters.merge(merged)
@@ -223,4 +242,7 @@ def run_cells(
     if obs.trace:
         for result in results:
             _tracer.absorb(result.trace, label=result.label)
+    if obs.timeseries is not None:
+        for result in results:
+            _recorder.install_state(result.timeseries, merge=True)
     return ShardResult(results=results, profile=merged, jobs=jobs)

@@ -69,6 +69,7 @@ from repro.cluster.capacity import CapacityIndex, LinearCapacityScan
 from repro.faults.injector import injector as _faults
 from repro.faults.retry import RetryExhausted, RetryPolicy
 from repro.obs import metrics as _metrics
+from repro.obs import timeseries as _timeseries
 from repro.registry.distribution import (
     OCIDistributionRegistry,
     RegistryUnavailable,
@@ -88,6 +89,11 @@ from repro.workload.generators import (
 
 #: queue-wait histogram bounds (seconds); +inf bucket is implicit
 WAIT_BUCKETS: tuple[float, ...] = (0.0, 1.0, 5.0, 15.0, 60.0, 300.0)
+
+#: per-tenant time series are sampled only when a shard owns at most this
+#: many tenants — smoke-scale runs get full tenant detail, the 2000-tenant
+#: flagship keeps its per-tick sampling cost at O(shard aggregates)
+TENANT_SERIES_MAX = 16
 
 
 @dataclasses.dataclass(frozen=True)
@@ -499,6 +505,9 @@ class FleetShardEngine:
             np.asarray(self.catalog.compressed_sizes)[self._image_arr].sum()
         ) if self.n_starts else 0
         self._naive_records: list[dict] = []  # naive mode only, by design
+        #: time-series sampling (fast mode only: the retained naive engine
+        #: predates the recorder and must keep producing identical reports)
+        self._rec = _timeseries.recorder
         self._metric_keys = None
         if _metrics.registry.enabled and not config.naive:
             reg = _metrics.registry
@@ -550,6 +559,8 @@ class FleetShardEngine:
             else:
                 self.env.process(self._pump(), name=f"fleet-pump-{self.shard}")
             self.env.run()
+            if not self._naive and self._rec.due(self.env.now):
+                self._sample_timeseries(self._rec)  # final-state tick
         res = self.result
         res.warm_starts = self._warm_starts
         res.makespan = self._makespan
@@ -654,6 +665,9 @@ class FleetShardEngine:
             i = j
             self._local_epoch = -1
             self.result.epochs += 1
+            rec = self._rec
+            if rec.enabled and env.now >= rec._next_due:
+                self._sample_timeseries(rec)
             if prof.enabled:
                 depth = (len(env._queue) + len(env._immediate)
                          + self._cal_size + len(pending))
@@ -662,6 +676,58 @@ class FleetShardEngine:
                 live = self._live + len(pending)
                 if live > prof.live_objects_peak:
                     prof.live_objects_peak = live
+
+    def _sample_timeseries(self, rec: "_timeseries.TimeSeriesRecorder") -> None:
+        """One sampler tick, inline at an epoch boundary (fast mode).
+
+        The fleet pump is its own clock — one simulator event per epoch —
+        so instead of a sampler process it ticks the recorder directly
+        whenever an epoch crosses the sampling grid.  Costs one predicate
+        and one float compare per epoch while sampling is off.
+        """
+        reg = _metrics.registry
+        t = rec.sample(self.env.now, reg if reg.enabled else None)
+        shard = str(self.shard)
+        stats = self.stats
+        starts = sum(s.starts for s in stats)
+        cold = sum(s.cold_pulls for s in stats)
+        wait_sum = sum(s.wait_sum for s in stats)
+        rec.record("fleet.pending", t, len(self._pending), shard=shard)
+        rec.record("fleet.live", t, self._live, shard=shard)
+        rec.record("fleet.starts_total", t, starts, shard=shard)
+        rec.record("fleet.cold_pulls_total", t, cold, shard=shard)
+        rec.record(
+            "fleet.warm_rate", t,
+            (self._warm_starts / starts) if starts else 0.0, shard=shard,
+        )
+        rec.record(
+            "fleet.pulled_bytes_total", t,
+            sum(s.pulled_bytes for s in stats), shard=shard,
+        )
+        rec.record(
+            "fleet.wait_mean", t, (wait_sum / starts) if starts else 0.0,
+            shard=shard,
+        )
+        rec.record(
+            "fleet.wait_max", t,
+            max((s.wait_max for s in stats), default=0.0), shard=shard,
+        )
+        rec.record("fleet.quota_used", t, self._quota_total, shard=shard)
+        if len(self.tenant_ids) <= TENANT_SERIES_MAX:
+            for gid, st in zip(self.tenant_ids, stats):
+                tenant = f"t{gid:05}"
+                rec.record("fleet.tenant.starts", t, st.starts, tenant=tenant)
+                rec.record("fleet.tenant.cold_pulls", t, st.cold_pulls, tenant=tenant)
+                rec.record(
+                    "fleet.tenant.warm_rate", t,
+                    ((st.starts - st.cold_pulls) / st.starts) if st.starts else 0.0,
+                    tenant=tenant,
+                )
+                rec.record(
+                    "fleet.tenant.wait_mean", t,
+                    (st.wait_sum / st.starts) if st.starts else 0.0,
+                    tenant=tenant,
+                )
 
     def _arrive(self, k: int, t: float) -> None:
         req = self._cpus[k]
@@ -871,13 +937,24 @@ def fleet_cells(config: FleetConfig) -> list:
 
 
 def run_fleet(
-    config: FleetConfig, jobs: int = 1, metrics: bool = False
+    config: FleetConfig,
+    jobs: int = 1,
+    metrics: bool = False,
+    sample_interval: float | None = None,
 ) -> FleetResult:
-    """Run the whole fleet through the shard runner and merge."""
+    """Run the whole fleet through the shard runner and merge.
+
+    ``sample_interval`` (virtual seconds) turns on per-shard time-series
+    sampling inside each cell; the runner merges the sampled rings into
+    the parent recorder in cell-index order, so ``--jobs N`` exports are
+    byte-identical to serial.
+    """
     from repro.shard import ObsConfig, run_cells
 
     result = run_cells(
-        fleet_cells(config), jobs=jobs, obs=ObsConfig(metrics=metrics)
+        fleet_cells(config),
+        jobs=jobs,
+        obs=ObsConfig(metrics=metrics, timeseries=sample_interval),
     )
     return merge_shard_results(result.values(), config)
 

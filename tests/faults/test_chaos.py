@@ -2,6 +2,7 @@
 
 import json
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cli import main
@@ -86,3 +87,95 @@ def test_no_leaks_under_any_seeded_plan(seed):
     _, report = run_chaos(KubeletInAllocationScenario, plan, seed=seed, n_pods=4)
     assert report.clean, report.leaks
     assert report.pods_completed + report.pods_failed <= report.pods_submitted
+
+
+# -- SLO sampling, detection latency, and run_slo -----------------------------
+
+
+@pytest.fixture
+def _sampling_on():
+    from repro.obs import metrics as _metrics
+    from repro.obs import timeseries as _timeseries
+
+    _metrics.enable()
+    _timeseries.enable(interval=5.0)
+    yield
+    _metrics.disable()
+    _metrics.reset()
+    _timeseries.disable()
+    _timeseries.reset()
+
+
+def test_chaos_without_recorder_reports_no_detection():
+    _, report = run_chaos(KubeletInAllocationScenario, crash_plan(), seed=42)
+    assert report.alerts_fired == 0
+    assert report.detection == {}
+    assert report.evaluation is None
+
+
+def test_chaos_with_recorder_scores_node_crash_detection(_sampling_on):
+    _, report = run_chaos(KubeletInAllocationScenario, crash_plan(), seed=42)
+    assert report.alerts_fired >= 1
+    latency = report.detection.get("node_crash")
+    # symptom series are sampled on a 5s grid, so the crash is noticed
+    # within one tick of injection
+    assert latency is not None and 0.0 <= latency <= 5.0
+    assert report.evaluation is not None
+    assert report.evaluation.fires == report.alerts_fired
+
+
+def test_chaos_report_document_rolls_up_detection(_sampling_on):
+    from repro.faults.chaos import chaos_report_document
+
+    _, report = run_chaos(KubeletInAllocationScenario, crash_plan(), seed=42)
+    doc = chaos_report_document([report], report.scenario)
+    assert doc["schema"] == "repro-chaos-report/2"
+    agg = doc["aggregate"]["detection"]["node_crash"]
+    assert agg == {
+        "detected": 1,
+        "of": 1,
+        "mean_latency": report.detection["node_crash"],
+    }
+    assert doc["reports"][0]["alerts_fired"] == report.alerts_fired
+
+
+def test_run_slo_is_deterministic_and_scores_the_run():
+    from repro.faults.chaos import run_slo
+    from repro.obs import metrics as _metrics
+    from repro.obs import timeseries as _timeseries
+
+    plan = crash_plan()
+    try:
+        _metrics.enable()
+        _, r1, s1 = run_slo(KubeletInAllocationScenario, plan, seed=42)
+        scorecard_1 = s1.to_json()
+        series_1 = _timeseries.recorder.to_json()
+        _metrics.disable()
+        _metrics.enable()  # reset between runs, like a second CLI invocation
+        _, r2, s2 = run_slo(KubeletInAllocationScenario, plan, seed=42)
+        assert s2.to_json() == scorecard_1
+        assert _timeseries.recorder.to_json() == series_1
+        assert r1.to_dict() == r2.to_dict()
+        assert s1.detection == r1.detection
+        assert any(row["fires"] for row in s1.to_dict()["rules"])
+    finally:
+        _metrics.disable()
+        _metrics.reset()
+        _timeseries.disable()
+        _timeseries.reset()
+
+
+def test_alert_instants_land_in_the_trace(tmp_path, _sampling_on):
+    from repro.obs import trace as _trace
+
+    _trace.enable()
+    try:
+        _, report = run_chaos(KubeletInAllocationScenario, crash_plan(), seed=42)
+        doc = json.loads(_trace.export_json(str(tmp_path / "t.json")))
+    finally:
+        _trace.disable()
+        _trace.reset()
+    alerts = [e for e in doc["traceEvents"] if e.get("name") == "slo.alert"]
+    # every fire edge (and any resolve edges) lands as an instant
+    assert len(alerts) >= report.alerts_fired >= 1
+    assert all(e["ph"] == "i" for e in alerts)

@@ -3,7 +3,7 @@ test must leave them disabled and empty."""
 
 import pytest
 
-from repro.obs import metrics, trace
+from repro.obs import metrics, timeseries, trace
 from repro.sim import profile
 
 
@@ -14,6 +14,8 @@ def _obs_off_after():
     trace.reset()
     metrics.registry.enabled = False
     metrics.reset()
+    timeseries.disable()
+    timeseries.reset()
     # Tests may enable via metrics.enable() (which arms profile too);
     # drain any leftover nesting depth so the next test starts balanced.
     while profile.enable_depth() > 0:

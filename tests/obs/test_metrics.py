@@ -122,3 +122,162 @@ def test_series_prefix_filter():
     reg.inc("fs.io.files")
     reg.observe("fs.io.latency", 0.1)
     assert reg.series("fs.") == ["fs.io.files", "fs.io.latency"]
+
+
+# -- Histogram.quantile -------------------------------------------------------
+
+
+def test_quantile_rejects_out_of_range():
+    h = Histogram((1.0,))
+    import pytest
+
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    with pytest.raises(ValueError):
+        h.quantile(1.1)
+
+
+def test_quantile_of_empty_histogram_is_zero():
+    assert Histogram((1.0, 10.0)).quantile(0.5) == 0.0
+
+
+def test_quantile_interpolates_within_the_bucket():
+    h = Histogram((10.0,))
+    for _ in range(4):
+        h.observe(5.0)
+    # rank 2 of 4 in the (0, 10] bucket -> halfway through it
+    assert h.quantile(0.5) == 5.0
+    assert h.quantile(0.25) == 2.5
+    assert h.quantile(1.0) == 10.0
+
+
+def test_quantile_walks_cumulative_buckets():
+    h = Histogram((1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    # counts: [1, 2, 1, 0]; p50 rank=2 lands in the (1, 2] bucket
+    assert h.quantile(0.5) == 1.5
+    assert h.quantile(0.99) > 2.0
+
+
+def test_quantile_overflow_clamps_to_highest_finite_bound():
+    h = Histogram((1.0, 10.0))
+    for _ in range(10):
+        h.observe(1e9)  # everything in +inf
+    assert h.quantile(0.99) == 10.0
+
+
+def test_quantile_is_monotone_in_q():
+    h = Histogram((0.1, 0.5, 1.0, 5.0))
+    for v in (0.05, 0.3, 0.3, 0.8, 2.0, 9.0):
+        h.observe(v)
+    qs = [h.quantile(q / 20) for q in range(21)]
+    assert qs == sorted(qs)
+
+
+# -- install_state(merge=True) edge cases (the shard-merge contract) ----------
+
+
+def _reg_with(counter=0.0, gauge=None, obs=()):
+    reg = MetricsRegistry()
+    reg.enabled = True
+    if counter:
+        reg.inc("c", counter, tenant="a")
+    if gauge is not None:
+        reg.set_gauge("g", gauge, shard="s0")
+    for v in obs:
+        reg.observe("h", v, buckets=(1.0, 10.0))
+    return reg
+
+
+def test_merge_adds_counters_and_histogram_buckets():
+    target = MetricsRegistry()
+    target.install_state(_reg_with(counter=3, obs=(0.5,)).capture_state())
+    target.install_state(
+        _reg_with(counter=4, obs=(5.0, 50.0)).capture_state(), merge=True
+    )
+    assert target.get_counter("c", tenant="a") == 7
+    hist = target.get_histogram("h")
+    assert hist.counts == [1, 1, 1]
+    assert hist.count == 3
+    assert hist.total == 55.5
+
+
+def test_merge_gauge_conflict_last_writer_wins():
+    target = MetricsRegistry()
+    target.install_state(_reg_with(gauge=1.0).capture_state())
+    target.install_state(_reg_with(gauge=9.0).capture_state(), merge=True)
+    assert target.get_gauge("g", shard="s0") == 9.0
+
+
+def test_merge_rejects_mismatched_histogram_buckets():
+    import pytest
+
+    a = MetricsRegistry()
+    a.enabled = True
+    a.observe("h", 0.5, buckets=(1.0, 2.0))
+    b = MetricsRegistry()
+    b.enabled = True
+    b.observe("h", 0.5, buckets=(7.0, 8.0))
+    target = MetricsRegistry()
+    target.install_state(a.capture_state())
+    with pytest.raises(ValueError):
+        target.install_state(b.capture_state(), merge=True)
+
+
+def test_interned_series_keys_survive_capture_install():
+    """series_key() identities are the storage keys, so an interned key
+    minted before a capture/install round-trip still addresses the same
+    series afterwards."""
+    reg = MetricsRegistry()
+    reg.enabled = True
+    key = reg.series_key("fleet.starts", tenant="t00001")
+    reg.inc_series(key, 5)
+    blob = reg.capture_state()
+    fresh = MetricsRegistry()
+    fresh.enabled = True
+    fresh.install_state(blob)
+    fresh.inc_series(key, 2)
+    assert fresh.get_counter("fleet.starts", tenant="t00001") == 7
+    assert key in fresh._counters
+
+
+def test_merge_property_counter_sums_match_any_split():
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        shards=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["a", "b", "c"]),
+                    # integer-valued so sums are exact under any grouping
+                    st.integers(0, 10**6).map(float),
+                ),
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def run(shards):
+        merged = MetricsRegistry()
+        merged.install_state(MetricsRegistry().capture_state())
+        totals = {}
+        last_gauge = None
+        for incs in shards:
+            cell = MetricsRegistry()
+            cell.enabled = True
+            for tenant, v in incs:
+                cell.inc("starts", v, tenant=tenant)
+                totals[tenant] = totals.get(tenant, 0.0) + v
+                cell.set_gauge("last", v)
+                last_gauge = v
+            merged.install_state(cell.capture_state(), merge=True)
+        for tenant, total in totals.items():
+            assert merged.get_counter("starts", tenant=tenant) == total
+        if last_gauge is not None:
+            assert merged.get_gauge("last") == last_gauge
+
+    run()

@@ -1,0 +1,226 @@
+"""Virtual-time time-series recorder (repro.obs.timeseries)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder, install_sampler, recorder
+from repro.sim import Environment
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.enabled = True
+    return reg
+
+
+def test_disabled_recorder_is_inert():
+    rec = TimeSeriesRecorder()
+    assert not rec.due(1e9)
+    assert rec.sample_due(1e9, _registry()) is None
+    assert rec.snapshot() == {}
+    assert rec.samples == 0
+
+
+def test_enable_rejects_nonpositive_interval():
+    rec = TimeSeriesRecorder()
+    with pytest.raises(ValueError):
+        rec.enable(interval=0.0)
+    with pytest.raises(ValueError):
+        rec.enable(interval=-1.0)
+
+
+def test_samples_stamp_on_the_grid():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    assert rec.sample(12.3) == 10.0
+    assert rec._next_due == 15.0
+    assert not rec.due(14.999)
+    assert rec.due(15.0)
+
+
+def test_counter_rate_appears_only_once_the_counter_moves():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    reg = _registry()
+    reg.inc("flat.counter", 0)  # present but never moves from zero
+    rec.sample(5.0, reg)
+    assert rec.points("flat.counter.rate") == []
+    reg.inc("flat.counter", 10)
+    rec.sample(10.0, reg)
+    assert rec.points("flat.counter.rate") == [(10.0, 2.0)]  # 10 over 5s
+    # flat *after* appearing keeps recording 0.0 (so ">0" alerts resolve)
+    rec.sample(15.0, reg)
+    assert rec.points("flat.counter.rate")[-1] == (15.0, 0.0)
+
+
+def test_counter_rate_uses_the_actual_tick_gap():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    reg = _registry()
+    reg.inc("c", 5)
+    rec.sample(5.0, reg)
+    reg.inc("c", 30)
+    rec.sample(20.0, reg)  # skipped two grid points; gap = 15s
+    assert rec.points("c.rate") == [(5.0, 1.0), (20.0, 2.0)]
+
+
+def test_gauges_and_histogram_quantiles_are_sampled():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    reg = _registry()
+    reg.set_gauge("depth", 7.0, node="n0")
+    for v in (0.1, 0.2, 0.3, 0.4):
+        reg.observe("lat", v, buckets=(0.25, 0.5, 1.0))
+    rec.sample(5.0, reg)
+    assert rec.points("depth", node="n0") == [(5.0, 7.0)]
+    (t, p50), = rec.points("lat.p50")
+    (_, p99), = rec.points("lat.p99")
+    assert t == 5.0
+    assert 0.0 < p50 <= p99 <= 1.0
+
+
+def test_probes_run_with_grid_timestamp_and_reset_clears_them():
+    rec = TimeSeriesRecorder().enable(interval=10.0)
+    seen = []
+    rec.add_probe(lambda t: seen.append(t))
+    rec.sample(23.0)
+    assert seen == [20.0]
+    rec.reset()
+    assert rec._probes == []
+
+
+def test_match_is_a_label_subset_filter():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    rec.record("w", 5.0, 1.0, tenant="a", shard="s0")
+    rec.record("w", 5.0, 2.0, tenant="b", shard="s0")
+    rec.record("other", 5.0, 3.0, tenant="a")
+    keys = rec.match("w", (("tenant", "a"),))
+    assert [k[0] for k in keys] == ["w"]
+    assert len(keys) == 1
+    assert len(rec.match("w")) == 2
+    assert rec.match("w", (("tenant", "zz"),)) == []
+
+
+def test_ring_buffer_caps_points_per_series():
+    rec = TimeSeriesRecorder().enable(interval=1.0, capacity=4)
+    for i in range(10):
+        rec.record("g", float(i), float(i))
+    pts = rec.points("g")
+    assert len(pts) == 4
+    assert pts == [(6.0, 6.0), (7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+
+
+def test_document_and_json_are_deterministic():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    rec.record("b", 5.0, 1.0, node="n1")
+    rec.record("a", 5.0, 2.0)
+    doc = rec.document()
+    assert doc["schema"] == "repro-timeseries/1"
+    assert list(doc["series"]) == ["a", 'b{node="n1"}']
+    assert rec.to_json() == rec.to_json()
+
+
+def test_openmetrics_exposes_latest_point_with_timestamp():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    rec.record("fleet.pending", 5.0, 3.0, shard="s0")
+    rec.record("fleet.pending", 10.0, 4.0, shard="s0")
+    text = rec.to_openmetrics()
+    assert 'fleet_pending{shard="s0"} 4 10' in text
+    assert text.endswith("# EOF\n")
+
+
+def test_install_state_replaces_wholesale_without_merge():
+    rec = TimeSeriesRecorder().enable(interval=2.0, capacity=128)
+    rec.record("x", 2.0, 1.0)
+    blob = rec.capture_state()
+    other = TimeSeriesRecorder().enable(interval=9.0)
+    other.record("y", 9.0, 5.0)
+    other.install_state(blob)
+    assert other.interval == 2.0
+    assert other.capacity == 128
+    assert other.points("x") == [(2.0, 1.0)]
+    assert other.points("y") == []
+
+
+def test_install_state_merge_appends_in_blob_order():
+    a = TimeSeriesRecorder().enable(interval=5.0)
+    a.record("w", 5.0, 1.0, shard="s0")
+    a.sample(5.0)
+    b = TimeSeriesRecorder().enable(interval=5.0)
+    b.record("w", 5.0, 2.0, shard="s0")
+    b.record("w", 5.0, 9.0, shard="s1")
+    b.sample(5.0)
+    merged = TimeSeriesRecorder()
+    merged.install_state(a.capture_state())
+    merged.install_state(b.capture_state(), merge=True)
+    assert merged.points("w", shard="s0") == [(5.0, 1.0), (5.0, 2.0)]
+    assert merged.points("w", shard="s1") == [(5.0, 9.0)]
+    assert merged.samples == 2
+
+
+def test_capture_state_leaves_rate_bookkeeping_and_probes_behind():
+    rec = TimeSeriesRecorder().enable(interval=5.0)
+    reg = _registry()
+    reg.inc("c", 5)
+    rec.add_probe(lambda t: None)
+    rec.sample(5.0, reg)
+    blob = rec.capture_state()
+    assert "points" in blob and "samples" in blob
+    assert not any(k.startswith("_last") for k in blob)
+    fresh = TimeSeriesRecorder()
+    fresh.install_state(blob)
+    assert fresh._probes == []
+    assert fresh._last_counters == {}
+
+
+def test_install_sampler_ticks_and_self_terminates():
+    rec = recorder
+    rec.enable(interval=5.0)
+    env = Environment()
+    reg = _registry()
+
+    def work():
+        reg.inc("busy", 1)
+        yield env.timeout(12.0)
+        reg.inc("busy", 1)
+
+    env.process(work())
+    install_sampler(env, reg)
+    env.run()  # terminates: the sampler exits once it is the only work
+    assert rec.samples >= 2
+    assert all(t % 5.0 == 0.0 for t, _ in rec.points("busy.rate"))
+
+
+def test_install_sampler_is_a_noop_when_disabled():
+    assert not recorder.enabled
+    env = Environment()
+    assert install_sampler(env, _registry()) is None
+    env.run()  # empty queue; nothing was scheduled
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shards=st.lists(
+        st.lists(
+            st.tuples(
+                st.floats(0.0, 100.0, allow_nan=False),
+                st.floats(-1e6, 1e6, allow_nan=False),
+            ),
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_merge_order_is_concatenation(shards):
+    """Merging N captured recorders in order == recording every point
+    into one recorder in the same order (the shard-runner contract)."""
+    merged = TimeSeriesRecorder()
+    merged.install_state(TimeSeriesRecorder().enable(interval=5.0).capture_state())
+    direct = TimeSeriesRecorder().enable(interval=5.0)
+    for pts in shards:
+        cell = TimeSeriesRecorder().enable(interval=5.0)
+        for t, v in pts:
+            cell.record("s", t, v, shard="x")
+            direct.record("s", t, v, shard="x")
+        merged.install_state(cell.capture_state(), merge=True)
+    assert merged.points("s", shard="x") == direct.points("s", shard="x")

@@ -57,13 +57,15 @@ def test_unknown_command():
 @pytest.fixture
 def _obs_clean():
     yield
-    from repro.obs import metrics, trace
+    from repro.obs import metrics, timeseries, trace
     from repro.sim import profile
 
     trace.disable()
     trace.reset()
     metrics.registry.enabled = False
     metrics.reset()
+    timeseries.disable()
+    timeseries.reset()
     while profile.enable_depth() > 0:
         profile.disable()
     profile.counters.reset()
@@ -155,7 +157,7 @@ def test_chaos_sweep_report_and_trace(tmp_path, capsys, _obs_clean):
     out = capsys.readouterr().out
     assert "chaos sweep: kubelet-in-allocation seeds 0..2 (3 run(s))" in out
     doc = json.loads(report.read_text())
-    assert doc["schema"] == "repro-chaos-report/1"
+    assert doc["schema"] == "repro-chaos-report/2"
     assert doc["seeds"] == [0, 1, 2]
     assert len(doc["reports"]) == 3
     assert doc["aggregate"]["runs"] == 3
@@ -201,3 +203,140 @@ def test_chaos_single_seed_writes_report(tmp_path, capsys, _obs_clean):
     doc = json.loads(report.read_text())
     assert doc["seeds"] == [7]
     assert doc["reports"][0]["scenario"] == "kubelet-in-allocation"
+
+
+# -- slo / time-series flags --------------------------------------------------
+
+
+def test_slo_writes_scorecard_and_timeseries(tmp_path, capsys, _obs_clean):
+    scorecard = tmp_path / "scorecard.json"
+    series = tmp_path / "series.json"
+    code = main(["slo", "kubelet-in-allocation", "--seed", "42",
+                 "--out", str(scorecard), "--timeseries", str(series)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "SLO scorecard: kubelet-in-allocation" in out
+    assert "detection latency" in out
+    doc = json.loads(scorecard.read_text())
+    assert doc["schema"] == "repro-slo-scorecard/1"
+    assert doc["interval"] == 5.0
+    assert doc["detection"].get("node_crash") is not None
+    ts = json.loads(series.read_text())
+    assert ts["schema"] == "repro-timeseries/1"
+    assert ts["samples"] > 0
+    assert any(name.startswith("wlm.") for name in ts["series"])
+
+
+def test_slo_double_run_byte_identical(tmp_path, capsys, _obs_clean):
+    def run(tag):
+        scorecard = tmp_path / f"sc{tag}.json"
+        assert main(["slo", "kubelet-in-allocation", "--seed", "3",
+                     "--nodes", "2", "--pods", "2",
+                     "--out", str(scorecard)]) == 0
+        return capsys.readouterr().out, scorecard.read_bytes()
+
+    out_1, bytes_1 = run(1)
+    out_2, bytes_2 = run(2)
+    assert bytes_1 == bytes_2
+    assert ([l for l in out_1.splitlines() if str(tmp_path) not in l]
+            == [l for l in out_2.splitlines() if str(tmp_path) not in l])
+
+
+def test_slo_list_and_missing_scenario(capsys, _obs_clean):
+    assert main(["slo", "--list"]) == 0
+    assert "kubelet-in-allocation" in capsys.readouterr().out
+    assert main(["slo"]) == 2
+    assert "scenario name" in capsys.readouterr().err
+
+
+def test_slo_accepts_rules_file(tmp_path, capsys, _obs_clean):
+    from repro.obs.slo import SloRule, SloRuleSet
+
+    rules = tmp_path / "rules.json"
+    SloRuleSet([SloRule(name="only-requeues", series="wlm.job_requeues.rate",
+                        value=0.0)]).to_file(str(rules))
+    assert main(["slo", "kubelet-in-allocation", "--seed", "42",
+                 "--rules", str(rules)]) == 0
+    out = capsys.readouterr().out
+    assert "only-requeues" in out
+    assert "retry-storm" not in out  # default rules were replaced
+
+
+def test_slo_leaves_obs_disabled(tmp_path, _obs_clean):
+    from repro.obs import metrics, timeseries
+
+    main(["slo", "kubelet-in-allocation", "--seed", "3",
+          "--nodes", "2", "--pods", "2"])
+    assert not metrics.registry.enabled
+    assert not timeseries.recorder.enabled
+    assert timeseries.recorder.snapshot() == {}
+
+
+def test_chaos_sample_interval_reports_detection(tmp_path, capsys, _obs_clean):
+    assert main(["chaos", "kubelet-in-allocation", "--seed", "42",
+                 "--sample-interval", "5",
+                 "--trace", str(tmp_path / "t.json")]) == 0
+    out = capsys.readouterr().out
+    assert "alerts fired:" in out
+    assert "node_crash=" in out
+    doc = json.loads((tmp_path / "t.json").read_text())
+    assert any(e.get("name") == "slo.alert" for e in doc["traceEvents"])
+
+
+def test_chaos_sweep_timeseries_jobs_identical(tmp_path, capsys, _obs_clean):
+    def run(jobs):
+        series = tmp_path / f"series{jobs}.json"
+        assert main([
+            "chaos", "kubelet-in-allocation", "--seeds", "0..2",
+            "--nodes", "2", "--pods", "2", "--jobs", str(jobs),
+            "--sample-interval", "10",
+            "--trace", str(tmp_path / f"t{jobs}.json"),
+            "--timeseries", str(series),
+        ]) == 0
+        capsys.readouterr()
+        return series.read_bytes()
+
+    assert run(1) == run(2)
+
+
+def test_metrics_out_roundtrip(tmp_path, _obs_clean):
+    first = tmp_path / "m1.json"
+    second = tmp_path / "m2.json"
+    argv = ["scenarios", "--nodes", "2", "--pods", "2"]
+    assert main([*argv, "--metrics-out", str(first)]) == 0
+    assert main([*argv, "--metrics-out", str(second)]) == 0
+    doc = json.loads(first.read_text())
+    assert doc["schema"] == "repro-metrics/1"
+    assert any(k.startswith("k8s.pods_started") for k in doc["series"])
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_startup_metrics_out(tmp_path, capsys, _obs_clean):
+    path = tmp_path / "metrics.json"
+    assert main(["startup", "--metrics-out", str(path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert any(k.startswith("engine.pulls") for k in doc["series"])
+
+
+def test_fleet_timeseries_includes_tenant_series(tmp_path, capsys, _obs_clean):
+    path = tmp_path / "series.json"
+    assert main(["fleet", "--tenants", "4", "--nodes", "8", "--starts", "200",
+                 "--shards", "2", "--day", "300",
+                 "--sample-interval", "10", "--timeseries", str(path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    names = list(doc["series"])
+    assert any(n.startswith("fleet.pending{shard=") for n in names)
+    # 4 tenants is under the per-tenant cap, so tenant series exist
+    assert any(n.startswith("fleet.tenant.starts{tenant=") for n in names)
+
+
+def test_replay_timeseries_out(tmp_path, capsys, _obs_clean):
+    path = tmp_path / "series.json"
+    assert main(["replay", "--tenants", "2", "--nodes", "4", "--starts", "30",
+                 "--shards", "2", "--day", "300",
+                 "--timeseries", str(path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert any(n.startswith("replay.inflight{shard=") for n in doc["series"])
