@@ -18,6 +18,11 @@ schema and baseline gate as ``bench_simcore_wallclock.py``):
   unchanged and the wall-clock overhead within ``SAMPLED_OVERHEAD_BAR``.
 - ``fleet_parallel_serial`` / ``fleet_parallel_jobs`` — the same fleet
   serial vs ``--jobs N``: merged report and counters must match exactly.
+- ``fleet_chaos_seeded`` — a seeded fault plan (node crashes + registry
+  windows, PR 10) armed over a mid-size fleet: the run must stay
+  deterministic (double run compared), drain leak-free, and the chaos
+  accounting (crashes / requeues / injections) is recorded as
+  machine-independent gate numbers.
 - a ``zipf_sweep`` extra regenerating the §4 cache-economics shape:
   warm-start rate rises and pulled bytes fall monotonically with image-
   popularity skew.
@@ -48,6 +53,7 @@ from repro.workload.fleet import (
     FleetResult,
     fleet_cells,
     fleet_report_document,
+    generate_fleet_plan,
     merge_shard_results,
 )
 
@@ -70,6 +76,11 @@ PARALLEL_CONFIG = FleetConfig(tenants=256, nodes=2_000, starts=100_000, shards=8
 ZIPF_SKEWS = (0.6, 1.1, 1.6)
 ZIPF_CONFIG = FleetConfig(tenants=64, nodes=1_000, starts=50_000, shards=4)
 
+#: seeded chaos shape: big enough that the generated node crashes land
+#: on busy nodes (nonzero requeues), small enough to run twice.
+CHAOS_CONFIG = FleetConfig(tenants=64, nodes=1_000, starts=100_000, shards=4)
+CHAOS_SEED = 3
+
 #: sampling-enabled flagship acceptance bar: wall clock vs unsampled.
 SAMPLED_OVERHEAD_BAR = 1.25
 
@@ -78,13 +89,13 @@ SAMPLE_INTERVAL_S = 5.0
 
 
 def timed_fleet(config: FleetConfig, jobs: int = 1,
-                sample_interval: float | None = None):
+                sample_interval: float | None = None, plan=None):
     """Run a fleet through the shard runner; returns (wall, counters, result).
 
     The runner enables the profile counters inside every cell and merges
     them, so one pass yields both the timing and the machine-independent
     event counts."""
-    cells = fleet_cells(config)
+    cells = fleet_cells(config, plan=plan)
     obs = ObsConfig(timeseries=sample_interval)
     t0 = time.perf_counter()
     shard = run_cells(cells, jobs=jobs, obs=obs)
@@ -191,6 +202,23 @@ def run_fleet_suite() -> dict:
         wall_par, calibration_s, prof_par, res_par, jobs=jobs
     )
 
+    # -- seeded chaos: armed fault plan, deterministic accounting ------------
+    plan = generate_fleet_plan(CHAOS_CONFIG, seed=CHAOS_SEED)
+    wall_chaos, prof_chaos, res_chaos = timed_fleet(CHAOS_CONFIG, plan=plan)
+    if res_chaos.leaks:
+        raise AssertionError(f"chaos fleet leaked: {res_chaos.leaks}")
+    _, _, res_chaos_again = timed_fleet(CHAOS_CONFIG, plan=plan)
+    if fleet_report_document(res_chaos) != fleet_report_document(res_chaos_again):
+        raise AssertionError("seeded chaos fleet run is not deterministic")
+    benchmarks["fleet_chaos_seeded"] = {
+        **_entry(wall_chaos, calibration_s, prof_chaos, res_chaos, jobs=1),
+        "chaos_seed": CHAOS_SEED,
+        "crashes": res_chaos.crashes,
+        "requeues": res_chaos.requeues,
+        "failed": res_chaos.failed,
+        "injected": dict(sorted(res_chaos.injected.items())),
+    }
+
     # -- §4 cache economics vs popularity skew -------------------------------
     zipf_rows = []
     for skew in ZIPF_SKEWS:
@@ -240,6 +268,14 @@ def check_fleet_invariants(result: dict) -> None:
             f"sampling overhead {sampled['sampling_overhead']}x exceeds the "
             f"{SAMPLED_OVERHEAD_BAR}x bar"
         )
+
+    # chaos entries are gate numbers, not luck: the seeded plan must
+    # actually crash busy nodes and the requeued starts must all land
+    chaos = bench.get("fleet_chaos_seeded")
+    if chaos is not None:
+        assert chaos["crashes"] > 0, "seeded chaos plan crashed no node"
+        assert chaos["requeues"] > 0, "node crashes requeued no starts"
+        assert chaos["injected"].get("node_crash") == chaos["crashes"]
 
     # §4 economics: more skew -> hotter cache -> fewer transferred bytes
     rows = result["zipf_sweep"]

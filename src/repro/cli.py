@@ -14,6 +14,10 @@
         --out report.json              # sharded chaos seed sweep + JSON report
     python -m repro fleet --tenants 2000 --nodes 10000 --starts 1000000 \
         --jobs 8                       # trace-driven multi-tenant fleet run
+    python -m repro fleet --chaos --seed 7 --slo --slo-out scorecard.json
+                                       # fleet run under a seeded node-crash /
+                                       # registry-outage plan, scored against
+                                       # the fleet SLO rules
     python -m repro slo kubelet_in_allocation --seed 42 --out scorecard.json
                                        # chaos run sampled in virtual time and
                                        # scored against declarative SLO rules
@@ -420,16 +424,22 @@ def _chaos_sweep(args: argparse.Namespace, scenario_cls: type) -> int:
 def _cmd_fleet(args: argparse.Namespace) -> int:
     """``fleet``: the trace-driven multi-tenant fleet workload.
 
-    Stdout (and ``--out`` JSON) depends only on the merged shard
-    results, so ``--jobs 1`` and ``--jobs N`` are byte-identical — the
-    CI fleet-smoke step ``cmp``'s exactly that.
+    Stdout (and ``--out`` / ``--slo-out`` JSON) depends only on the
+    merged shard results, so ``--jobs 1`` and ``--jobs N`` are
+    byte-identical — the CI fleet-smoke and fleet-chaos steps ``cmp``
+    exactly that.  ``--chaos`` / ``--faults`` deliver a fault plan into
+    every shard; ``--slo`` scores the sampled ``fleet.*`` series.
     """
+    from repro.faults.plan import FaultPlan
     from repro.obs import metrics as obs_metrics
+    from repro.obs import timeseries as obs_timeseries
     from repro.workload.fleet import (
         FleetConfig,
         fleet_report_document,
+        generate_fleet_plan,
         render_fleet_summary,
         run_fleet,
+        score_fleet_slo,
     )
     import json as _json
 
@@ -448,6 +458,21 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad fleet config: {exc}", file=sys.stderr)
         return 2
+    if args.faults and args.chaos:
+        print("--faults and --chaos are mutually exclusive", file=sys.stderr)
+        return 2
+    plan = None
+    if args.faults:
+        plan = FaultPlan.from_file(args.faults)
+    elif args.chaos:
+        plan = generate_fleet_plan(config, seed=args.seed)
+    if args.save_plan:
+        if plan is None:
+            print("--save-plan needs --chaos or --faults", file=sys.stderr)
+            return 2
+        plan.to_file(args.save_plan)
+        print(f"fault plan ({len(plan)} events) written to {args.save_plan}")
+    want_slo = args.slo or bool(args.slo_out)
     want_metrics = args.metrics or bool(args.metrics_out)
     if want_metrics:
         from repro.sim import profile as sim_profile
@@ -455,14 +480,33 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         sim_profile.counters.reset()
         obs_metrics.registry.reset()
     interval = _sample_interval(args)
-    if interval is not None:
-        from repro.obs import timeseries as obs_timeseries
+    if want_slo and interval is None:
+        from repro.obs.timeseries import DEFAULT_INTERVAL
 
+        interval = DEFAULT_INTERVAL
+    if interval is not None:
         obs_timeseries.reset()
     result = run_fleet(
-        config, jobs=args.jobs, metrics=want_metrics, sample_interval=interval
+        config, jobs=args.jobs, metrics=want_metrics, sample_interval=interval,
+        plan=plan,
     )
     print(render_fleet_summary(result))
+    if want_slo:
+        from repro.obs.slo import SloRuleSet
+
+        rules = SloRuleSet.from_file(args.rules) if args.rules else None
+        # the cell merge appends points but not the interval — pin it so
+        # the scorecard names the grid the cells actually sampled on
+        obs_timeseries.recorder.enable(interval=interval, reset=False)
+        scorecard = score_fleet_slo(result, rules=rules)
+        obs_timeseries.disable()
+        print()
+        print(scorecard.render())
+        if args.slo_out:
+            with open(args.slo_out, "w") as fh:
+                fh.write(scorecard.to_json())
+                fh.write("\n")
+            print(f"  scorecard:  {args.slo_out}")
     if args.out:
         with open(args.out, "w") as fh:
             fh.write(_json.dumps(fleet_report_document(result), indent=2))
@@ -515,6 +559,11 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"bad replay config: {exc}", file=sys.stderr)
         return 2
+    plan = None
+    if args.faults:
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan.from_file(args.faults)
     want_metrics = args.metrics or bool(args.metrics_out)
     if want_metrics:
         from repro.sim import profile as sim_profile
@@ -527,7 +576,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
         obs_timeseries.reset()
     result = run_fleet_replay(
-        config, jobs=args.jobs, metrics=want_metrics, sample_interval=interval
+        config, jobs=args.jobs, metrics=want_metrics, sample_interval=interval,
+        plan=plan,
     )
     print(render_replay_summary(result))
     if args.out:
@@ -796,9 +846,28 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the pre-optimization engine (one event "
                               "per start, linear node scans) — same results, "
                               "much slower; exists for the perf baseline")
+    p_fleet.add_argument("--chaos", action="store_true",
+                         help="generate a fleet-sized fault plan from --seed "
+                              "(node crashes + registry windows) and deliver "
+                              "it into every shard")
+    p_fleet.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="load the fault plan from a JSON file instead "
+                              "of generating one with --chaos")
+    p_fleet.add_argument("--save-plan", default=None, metavar="PLAN.json",
+                         help="write the effective fault plan to a JSON file")
+    p_fleet.add_argument("--slo", action="store_true",
+                         help="sample fleet.* time-series and score them "
+                              "against the fleet SLO rules (pending depth, "
+                              "warm-rate floor, wait budgets, chaos symptoms)")
+    p_fleet.add_argument("--slo-out", default=None, metavar="SCORECARD.json",
+                         help="write the SLO scorecard as JSON (schema "
+                              "repro-slo-scorecard/1; implies --slo)")
+    p_fleet.add_argument("--rules", default=None, metavar="RULES.json",
+                         help="load SLO rules from a JSON file (default: the "
+                              "built-in fleet rule set)")
     p_fleet.add_argument("--out", default=None, metavar="REPORT.json",
                          help="also write the fleet report document as JSON "
-                              "(schema repro-fleet-report/1)")
+                              "(schema repro-fleet-report/2)")
     p_fleet.add_argument("--sample-interval", type=float, default=None,
                          metavar="SECONDS",
                          help="sample per-shard/per-tenant time-series every "
@@ -845,6 +914,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="run the retained linear-scan control plane "
                                "(same results, much slower; the perf "
                                "baseline)")
+    p_replay.add_argument("--faults", default=None, metavar="PLAN.json",
+                          help="deliver a fault plan's registry windows into "
+                               "the replay pull path (node crashes in the "
+                               "plan are ignored — fleet node ids don't name "
+                               "replay sub-cluster nodes)")
     p_replay.add_argument("--out", default=None, metavar="REPORT.json",
                           help="also write the replay report document as "
                                "JSON (schema repro-fleet-replay-report/1)")

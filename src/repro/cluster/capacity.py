@@ -22,6 +22,16 @@ with the *identical* policy.  It exists for two reasons: it is the
 pre-optimization baseline :mod:`benchmarks.bench_fleet` measures the
 index against, and it is the oracle the property tests compare every
 placement decision to.
+
+Both implementations understand **down nodes** (the fleet chaos path):
+:meth:`~CapacityIndex.remove_node` takes a node out of the pool — its
+free capacity drops to zero, so neither allocator will ever pick it —
+and :meth:`~CapacityIndex.restore_node` returns it fully free.  The
+caller owns the slots that were running on the node when it crashed
+(they are killed, not released), so removal never calls ``release``;
+restoration recreates the node's full capacity in one step.  The
+``down`` set is part of the leak-audit surface: a clean run ends with
+it empty.
 """
 
 from __future__ import annotations
@@ -32,11 +42,13 @@ from heapq import heappop, heappush
 class LinearCapacityScan:
     """Reference best-fit placement: scan every node per request."""
 
-    __slots__ = ("free", "cap")
+    __slots__ = ("free", "cap", "down")
 
     def __init__(self, n_nodes: int, node_cpus: int):
         self.cap = int(node_cpus)
         self.free = [self.cap] * int(n_nodes)
+        #: node ids currently crashed (zero free capacity, never picked)
+        self.down: set[int] = set()
 
     def alloc(self, req: int) -> int | None:
         """Claim ``req`` cores on the best-fitting node (lowest id on
@@ -56,6 +68,27 @@ class LinearCapacityScan:
     def release(self, node: int, req: int) -> None:
         self.free[node] += req
 
+    def remove_node(self, node: int) -> int:
+        """Crash ``node``: drop its free capacity to zero so the scan
+        never picks it.  Returns the cores that were free at removal.
+        No-op (returning 0) when the node is already down — overlapping
+        crash windows must not double-remove."""
+        if node in self.down:
+            return 0
+        self.down.add(node)
+        freed = self.free[node]
+        self.free[node] = 0
+        return freed
+
+    def restore_node(self, node: int) -> None:
+        """Reboot ``node``: it rejoins the pool fully free.  The slots
+        that were killed at crash time were never released, so this is
+        the single step that recreates the node's capacity."""
+        if node not in self.down:
+            return
+        self.down.discard(node)
+        self.free[node] = self.cap
+
     @property
     def total_free(self) -> int:
         return sum(self.free)
@@ -64,7 +97,7 @@ class LinearCapacityScan:
 class CapacityIndex:
     """Bucketed lazy-deletion index with the same policy as the scan."""
 
-    __slots__ = ("free", "cap", "_buckets")
+    __slots__ = ("free", "cap", "_buckets", "down")
 
     def __init__(self, n_nodes: int, node_cpus: int):
         self.cap = int(node_cpus)
@@ -74,6 +107,8 @@ class CapacityIndex:
         self._buckets: list[list[int]] = [[] for _ in range(self.cap + 1)]
         # every node starts fully free: ascending range is a valid heap
         self._buckets[self.cap].extend(range(int(n_nodes)))
+        #: node ids currently crashed (zero free capacity, never picked)
+        self.down: set[int] = set()
 
     def alloc(self, req: int) -> int | None:
         """Best-fit claim, identical decisions to the linear scan."""
@@ -98,6 +133,26 @@ class CapacityIndex:
         remaining = self.free[node] + req
         self.free[node] = remaining
         heappush(self._buckets[remaining], node)
+
+    def remove_node(self, node: int) -> int:
+        """Crash ``node``: setting its free capacity to zero invalidates
+        every bucket entry it may have (level 0 has no bucket), so the
+        lazy-deletion check discards them on pop.  Returns the cores
+        that were free at removal; no-op when already down."""
+        if node in self.down:
+            return 0
+        self.down.add(node)
+        freed = self.free[node]
+        self.free[node] = 0
+        return freed
+
+    def restore_node(self, node: int) -> None:
+        """Reboot ``node`` fully free and re-index it at the top level."""
+        if node not in self.down:
+            return
+        self.down.discard(node)
+        self.free[node] = self.cap
+        heappush(self._buckets[self.cap], node)
 
     @property
     def total_free(self) -> int:

@@ -122,6 +122,19 @@ class FaultInjector:
             self.retry_counts[subsystem] = self.retry_counts.get(subsystem, 0) + 1
 
     # -- push side ---------------------------------------------------------
+    def record_push(self, event: FaultEvent, at: float) -> None:
+        """Record one push-fault injection delivered *outside* the driver
+        process.
+
+        Engines that batch time (the fleet pump) cannot ride the driver:
+        it would wake at exact fault times and perturb their event
+        schedule, breaking fast-vs-naive equivalence.  They consume the
+        plan's push events as an edge stream of their own and call this
+        at each crash edge, so ``injected_counts`` / ``injected_at`` (and
+        the metrics/trace marks) stay identical to driver delivery."""
+        if self.enabled:
+            self._record(event, at)
+
     def register(self, point: str, handler: PushHandler) -> None:
         """Subscribe a live component to push faults at ``point`` (no-op
         unless armed — call sites guard on :attr:`enabled` anyway)."""

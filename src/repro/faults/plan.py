@@ -177,23 +177,37 @@ class FaultPlan:
         horizon: float = 600.0,
         node_names: _t.Sequence[str] = (),
         kinds: _t.Sequence[FaultKind] | None = None,
+        targets: _t.Mapping[FaultKind, _t.Sequence[str]] | None = None,
     ) -> "FaultPlan":
         """A deterministic default plan for chaos runs.
 
         Draws every schedule parameter from a named sub-stream of
         :class:`DeterministicRNG`, so the plan depends only on the
         arguments — two invocations with the same seed agree event for
-        event.  One event per requested kind; node crashes need
-        ``node_names`` to pick a victim from.
+        event.  One event per requested kind.
+
+        ``targets`` is the per-kind victim pool: when a kind has a pool,
+        the event's ``target`` is drawn from it uniformly.  This is how
+        non-scenario node namespaces (the fleet engine's synthetic
+        ``fleet-node-NNNNN`` ids, a specific registry name) get targeted
+        plans without forking the taxonomy.  ``node_names`` is the
+        historical spelling of ``targets[NODE_CRASH]`` and is kept as a
+        convenience; an explicit ``targets`` entry wins.  Kinds that
+        need a victim but have an empty pool are skipped.
         """
         rng = DeterministicRNG(seed).stream("faultplan")
+        pools: dict[FaultKind, _t.Sequence[str]] = {}
+        if node_names:
+            pools[FaultKind.NODE_CRASH] = node_names
+        if targets:
+            pools.update(targets)
         if kinds is None:
             kinds = [
                 FaultKind.REGISTRY_429,
                 FaultKind.MDS_DEGRADED,
                 FaultKind.HOOK_FAILURE,
             ]
-            if node_names:
+            if pools.get(FaultKind.NODE_CRASH):
                 kinds = [FaultKind.NODE_CRASH, *kinds]
         events: list[FaultEvent] = []
         for kind in kinds:
@@ -201,11 +215,12 @@ class FaultPlan:
             duration = round(float(rng.uniform(0.02, 0.12)) * horizon, 3)
             target: str | None = None
             factor = 1.0
-            if kind is FaultKind.NODE_CRASH:
-                if not node_names:
-                    continue
-                target = node_names[int(rng.integers(0, len(node_names)))]
-            elif kind in (FaultKind.MDS_DEGRADED, FaultKind.REGISTRY_SLOW_BLOB):
+            pool = pools.get(kind)
+            if pool:
+                target = pool[int(rng.integers(0, len(pool)))]
+            elif kind is FaultKind.NODE_CRASH:
+                continue  # a crash needs a victim; nothing to draw from
+            if kind in (FaultKind.MDS_DEGRADED, FaultKind.REGISTRY_SLOW_BLOB):
                 factor = round(float(rng.uniform(3.0, 12.0)), 2)
             events.append(
                 FaultEvent(kind=kind, at=at, duration=duration, target=target, factor=factor)

@@ -84,7 +84,25 @@ def parse_selector(text: str) -> tuple[str, _LabelKey]:
 
 @dataclasses.dataclass(frozen=True)
 class SloRule:
-    """One named rule; see the module docstring for the three kinds."""
+    """One named alerting rule over sampled series.
+
+    Three kinds.  **threshold** watches every stored series matching
+    ``series`` (a ``name{label=}`` selector) and compares each sampled
+    value ``op`` (``">"`` / ``"<"``) against ``value`` — e.g. "page when
+    ``fleet.pending{shard=3}`` exceeds 512" or, with ``op="<"``, "page
+    when ``fleet.warm_rate`` drops below 0.5".  **error_ratio** divides
+    the windowed increments of the ``numerator`` counter by the
+    ``denominator`` counter over the trailing ``window_s`` and compares
+    that ratio.  **burn_rate** is the same ratio divided by the error
+    budget ``1 - objective`` — a value of 2.0 means the budget burns at
+    twice the sustainable rate.
+
+    ``for_s`` is the hold time: the condition must stay true for that
+    many virtual seconds of consecutive samples before the alert fires
+    (0 fires on the first breaching sample).  Rules are frozen/hashable
+    and JSON-roundtrip via :meth:`to_dict` / :meth:`from_dict`, so a
+    ruleset file is reviewable configuration, not code.
+    """
 
     name: str
     kind: str = "threshold"
@@ -153,7 +171,15 @@ class SloRule:
 
 
 class SloRuleSet:
-    """An ordered list of :class:`SloRule`\\ s (JSON-roundtrip)."""
+    """An ordered, name-unique list of :class:`SloRule`\\ s.
+
+    Mirrors :class:`~repro.faults.plan.FaultPlan`'s serialization
+    contract — ``to_json`` / ``from_json`` / ``to_file`` / ``from_file``
+    — so scorecards can name the exact ruleset they were scored against
+    and CI can pin rule files next to fault plans.  Iteration order is
+    construction order; duplicate rule names raise at construction so an
+    evaluation never silently merges two rules' breach windows.
+    """
 
     def __init__(self, rules: _t.Iterable[SloRule] = (), name: str | None = None):
         self.rules: list[SloRule] = list(rules)
@@ -238,6 +264,50 @@ def default_chaos_rules() -> SloRuleSet:
             ),
         ],
         name="default-chaos",
+    )
+
+
+def default_fleet_rules() -> SloRuleSet:
+    """The out-of-the-box rule set for fleet chaos runs (``fleet --slo``).
+
+    Watches the ``fleet.*`` series the shard engines sample: queueing
+    symptoms (pending-depth ceiling, per-start wait budgets), cache
+    economics (warm-rate floor), and the chaos-facing delta series
+    (requeues, failures, retry activity, nodes down).  All threshold
+    rules — the fleet engine records per-tick deltas itself, so no
+    ``.rate`` derivation is needed.  Like :func:`default_chaos_rules`,
+    every rule watches a *symptom* a site dashboard would page on, so
+    detection latency measures the stack noticing the fault.
+    """
+    return SloRuleSet(
+        [
+            # Queueing symptoms: a deep placement backlog or blown wait
+            # budgets mean capacity loss or a pull storm.
+            SloRule(name="pending-depth", series="fleet.pending", value=512.0),
+            SloRule(name="wait-budget", series="fleet.wait_mean", value=30.0),
+            SloRule(
+                name="tenant-wait-budget",
+                series="fleet.tenant.wait_mean",
+                value=60.0,
+            ),
+            # Cache economics: the warm-start rate dropping below half
+            # (held 2 min to skip the cold-cache ramp) is a cache wipe
+            # or an image-popularity shift.
+            SloRule(
+                name="warm-rate-floor",
+                series="fleet.warm_rate",
+                op="<",
+                value=0.5,
+                for_s=120.0,
+            ),
+            # Chaos symptoms: crashed nodes, requeue sweeps, start
+            # failures, registry retry storms.
+            SloRule(name="nodes-down", series="fleet.nodes_down", value=0.0),
+            SloRule(name="requeue-sweep", series="fleet.requeues", value=0.0),
+            SloRule(name="start-failures", series="fleet.failures", value=0.0),
+            SloRule(name="registry-retry-storm", series="fleet.retries", value=0.0),
+        ],
+        name="default-fleet",
     )
 
 

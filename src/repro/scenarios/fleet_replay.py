@@ -257,10 +257,32 @@ class FleetReplayScenario:
             self._done.succeed(self.env.now)
 
 
-def run_replay_shard(config: FleetConfig, shard: int) -> FleetReplayShardResult:
-    """Run one replay shard in a fresh environment (cell entry point)."""
+def run_replay_shard(
+    config: FleetConfig, shard: int, plan_json: str | None = None
+) -> FleetReplayShardResult:
+    """Run one replay shard in a fresh environment (cell entry point).
+
+    ``plan_json`` arms the plan's *pull-style* window events (registry
+    outages/429/slow-blob hit the real engine pull path).  Push-style
+    node crashes are dropped here: fleet ``fleet-node-NNNNN`` targets
+    don't name the replay sub-cluster's WLM nodes, so delivering them
+    would be a silent no-op pretending to be coverage.
+    """
+    from repro.faults.injector import injector as _faults
+    from repro.faults.plan import PUSH_KINDS, FaultPlan
+
     env = Environment()
-    return FleetReplayScenario(env, config, shard).run()
+    plan = FaultPlan.from_json(plan_json) if plan_json else None
+    if plan is not None:
+        pull_plan = FaultPlan(
+            [e for e in plan if e.kind not in PUSH_KINDS], seed=plan.seed
+        )
+        _faults.arm(pull_plan, env)
+    try:
+        return FleetReplayScenario(env, config, shard).run()
+    finally:
+        if plan is not None:
+            _faults.disarm()
 
 
 # -- fleet-level orchestration ------------------------------------------------
@@ -317,12 +339,13 @@ class FleetReplayResult:
         return out
 
 
-def replay_cells(config: FleetConfig) -> list:
+def replay_cells(config: FleetConfig, plan=None) -> list:
     from repro.shard.cells import FleetReplayCell
 
     text = config.to_json()
+    plan_json = plan.to_json(indent=None) if plan is not None else None
     return [
-        FleetReplayCell(config_json=text, shard=shard)
+        FleetReplayCell(config_json=text, shard=shard, plan_json=plan_json)
         for shard in range(config.effective_shards)
     ]
 
@@ -332,12 +355,14 @@ def run_fleet_replay(
     jobs: int = 1,
     metrics: bool = False,
     sample_interval: float | None = None,
+    plan=None,
 ) -> FleetReplayResult:
-    """Run every shard through the shard runner and merge."""
+    """Run every shard through the shard runner and merge.  ``plan``
+    delivers a fault plan's pull windows (see :func:`run_replay_shard`)."""
     from repro.shard import ObsConfig, run_cells
 
     result = run_cells(
-        replay_cells(config),
+        replay_cells(config, plan=plan),
         jobs=jobs,
         obs=ObsConfig(metrics=metrics, timeseries=sample_interval),
     )

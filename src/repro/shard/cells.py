@@ -124,11 +124,14 @@ class FleetCell:
     The partition is a pure function of the config — the cell list for a
     given :class:`~repro.workload.fleet.FleetConfig` is identical
     whatever ``--jobs`` is, which is what makes serial and parallel
-    fleet runs byte-identical after the merge.
+    fleet runs byte-identical after the merge.  ``plan_json`` carries an
+    optional fault plan (armed inside whichever process runs the cell,
+    like :class:`ChaosCell`), so chaos runs keep the same contract.
     """
 
     config_json: str
     shard: int
+    plan_json: str | None = None
 
     @property
     def label(self) -> str:
@@ -137,7 +140,10 @@ class FleetCell:
     def run(self) -> object:
         from repro.workload.fleet import FleetConfig, run_fleet_shard
 
-        return run_fleet_shard(FleetConfig.from_json(self.config_json), self.shard)
+        return run_fleet_shard(
+            FleetConfig.from_json(self.config_json), self.shard,
+            plan_json=self.plan_json,
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -146,11 +152,14 @@ class FleetReplayCell:
     real §6.5 sub-cluster (see :mod:`repro.scenarios.fleet_replay`).
 
     Like :class:`FleetCell`, the partition is a pure function of the
-    config, so the cell list is independent of ``--jobs``.
+    config, so the cell list is independent of ``--jobs``; ``plan_json``
+    optionally carries a fault plan whose pull windows hit the replay's
+    real registry path.
     """
 
     config_json: str
     shard: int
+    plan_json: str | None = None
 
     @property
     def label(self) -> str:
@@ -160,7 +169,10 @@ class FleetReplayCell:
         from repro.scenarios.fleet_replay import run_replay_shard
         from repro.workload.fleet import FleetConfig
 
-        return run_replay_shard(FleetConfig.from_json(self.config_json), self.shard)
+        return run_replay_shard(
+            FleetConfig.from_json(self.config_json), self.shard,
+            plan_json=self.plan_json,
+        )
 
 
 Cell = _t.Union[ScenarioCell, ChaosCell, FleetCell, FleetReplayCell]

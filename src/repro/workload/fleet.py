@@ -53,12 +53,31 @@ therefore
 one event per arrival and completion, linear capacity scans, per-start
 dict records and label formatting — byte-identical results, an order of
 magnitude slower.  ``benchmarks/bench_fleet.py`` records the ratio.
+
+**Chaos.**  A :class:`~repro.faults.plan.FaultPlan` can be delivered
+into a fleet run (``python -m repro fleet --chaos`` / ``--faults``).
+Pull-style registry windows (429, timeout, slow-blob) are polled by the
+real pull path the engine already uses — cold pulls retry with
+jitter-free backoff and charge :class:`TenantStats.failed` when the
+:class:`~repro.faults.retry.RetryPolicy` gives up.  Push-style
+``NODE_CRASH`` events target synthetic ``fleet-node-NNNNN`` ids (see
+:func:`fleet_node_name`): the engine merges the plan's crash/restore
+edges as a third stream into the epoch merge (edges win ties over
+completions, completions over arrivals — exactly the URGENT-before-
+NORMAL order of the naive engine, so fast-vs-naive equivalence holds
+under chaos too).  A crash kills every slot on the node (their starts
+requeue through placement, the capacity ledger forgets the node), a
+restore returns the node fully free; slot records are generation-
+counted so a killed slot's stale completion is skipped wherever it
+surfaces.  Disarmed runs pay one integer compare per epoch and per
+merge step.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import typing as _t
 from collections import deque
 from heapq import heapify, heappop, heappush
@@ -67,6 +86,7 @@ import numpy as np
 
 from repro.cluster.capacity import CapacityIndex, LinearCapacityScan
 from repro.faults.injector import injector as _faults
+from repro.faults.plan import PUSH_KINDS, FaultEvent, FaultKind, FaultPlan
 from repro.faults.retry import RetryExhausted, RetryPolicy
 from repro.obs import metrics as _metrics
 from repro.obs import timeseries as _timeseries
@@ -98,7 +118,25 @@ TENANT_SERIES_MAX = 16
 
 @dataclasses.dataclass(frozen=True)
 class FleetConfig:
-    """Everything that defines a fleet run (plain JSON-able values)."""
+    """Everything that defines a fleet run (plain JSON-able values).
+
+    The config *is* the run: traces, shard partitions and therefore
+    every result are pure functions of it, which is what the CLI's
+    "byte-identical for any ``--jobs``" contract rests on.  Scale knobs:
+    ``tenants`` / ``nodes`` / ``starts`` / ``images`` size the fleet;
+    ``zipf_s`` (image popularity) and ``tenant_skew`` (tenant sizes) set
+    the §4 skew; ``day`` is the diurnal period the Poisson arrival rate
+    swings over, and ``amplitude`` its day/night swing.  Placement knobs:
+    ``node_cpus`` per node, with per-start requests drawn from
+    ``cpu_choices`` weighted by ``cpu_shares``, and busy time of
+    ``duration_mean``-exponential seconds plus the startup cost (a warm
+    start costs ``warm_start_s``; a cold pull adds transfer plus unpack
+    at ``unpack_bandwidth``).  Execution knobs: ``shards`` fixes the
+    cell partition (NOT the worker count), ``epoch`` is the fast
+    engine's batching grain (results are exact, not approximated, at any
+    epoch length), and ``naive=True`` swaps in the retained
+    pre-optimization engine — same results, one event per start.
+    """
 
     tenants: int = 64
     nodes: int = 128
@@ -164,6 +202,13 @@ class FleetConfig:
         shards = self.effective_shards
         return self.nodes // shards + (1 if shard < self.nodes % shards else 0)
 
+    def shard_node_base(self, shard: int) -> int:
+        """First global node id owned by ``shard`` — shards own
+        contiguous id blocks, so fault-plan targets (global
+        ``fleet-node-NNNNN`` names) map to exactly one shard."""
+        shards = self.effective_shards
+        return (self.nodes // shards) * shard + min(shard, self.nodes % shards)
+
     def shard_start_counts(self) -> list[int]:
         """Starts per shard, proportional to tenant count (largest-
         remainder rounding, so the counts always sum to ``starts``)."""
@@ -207,6 +252,13 @@ def generate_shard_trace(
     a :class:`DeterministicRNG` seeded with ``config.seed``), so the
     trace depends on the config alone — every consumer (the fleet
     engine, the §6.5 replay bridge, tests) sees byte-identical arrays.
+    ``n_starts`` / ``tenant_ids`` default to the config's own partition
+    (:meth:`FleetConfig.shard_start_counts` /
+    :meth:`FleetConfig.shard_tenant_ids`); overriding them reuses the
+    generator for custom partitions without changing the stream keying.
+    Returns a :class:`ShardTrace` of parallel flat arrays — arrival
+    times (diurnal Poisson), image ids (Zipf), shard-local tenant
+    indexes (Zipf-weighted), cpu requests, and busy durations.
     """
     if n_starts is None:
         n_starts = config.shard_start_counts()[shard]
@@ -251,6 +303,50 @@ def generate_shard_trace(
         tenants_local=tenants_local.tolist(),
         cpus=cpu_lookup[cpus].tolist(),
         durations=durations.tolist(),
+    )
+
+
+# -- fault-plan targeting ------------------------------------------------------
+
+def fleet_node_name(node: int) -> str:
+    """The synthetic name of global fleet node ``node`` — the namespace
+    fault plans target (``FaultEvent.target``) for fleet node crashes."""
+    return f"fleet-node-{node:05}"
+
+
+def fleet_node_names(config: FleetConfig) -> list[str]:
+    """Every node name in ``config``'s fleet, in global id order."""
+    return [fleet_node_name(i) for i in range(config.nodes)]
+
+
+def generate_fleet_plan(
+    config: FleetConfig,
+    seed: int | None = None,
+    kinds: _t.Sequence["FaultKind"] | None = None,
+) -> FaultPlan:
+    """A deterministic default fault plan sized for ``config``.
+
+    Wraps :meth:`FaultPlan.generate` with the fleet's target pool (the
+    synthetic node names) and a horizon inside the arrival window, so
+    crashes land while slots are live.  Default kinds: two node crashes
+    plus a registry 429 window and a slow-blob window — the §6 failure
+    modes the fleet path exercises.  ``seed`` defaults to
+    ``config.seed``; the plan is a pure function of its arguments.
+    """
+    if seed is None:
+        seed = config.seed
+    if kinds is None:
+        kinds = [
+            FaultKind.NODE_CRASH,
+            FaultKind.NODE_CRASH,
+            FaultKind.REGISTRY_429,
+            FaultKind.REGISTRY_SLOW_BLOB,
+        ]
+    return FaultPlan.generate(
+        seed=seed,
+        horizon=config.day,
+        kinds=kinds,
+        targets={FaultKind.NODE_CRASH: fleet_node_names(config)},
     )
 
 
@@ -368,6 +464,12 @@ class FleetShardResult:
     makespan: float = 0.0
     epochs: int = 0
     leaks: list[str] = dataclasses.field(default_factory=list)
+    #: chaos accounting (all zero/empty when no plan was armed)
+    crashes: int = 0
+    requeues: int = 0
+    injected: dict[str, int] = dataclasses.field(default_factory=dict)
+    injected_at: dict[str, float] = dataclasses.field(default_factory=dict)
+    fault_retries: dict[str, int] = dataclasses.field(default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -398,6 +500,12 @@ class FleetResult:
     makespan: float
     epochs: int
     leaks: list[str]
+    #: chaos accounting (all zero/empty when no plan was armed)
+    crashes: int = 0
+    requeues: int = 0
+    injected: dict[str, int] = dataclasses.field(default_factory=dict)
+    injected_at: dict[str, float] = dataclasses.field(default_factory=dict)
+    fault_retries: dict[str, int] = dataclasses.field(default_factory=dict)
 
     @property
     def warm_rate(self) -> float:
@@ -426,13 +534,16 @@ def merge_shard_results(
                   cold_pulls=0, retry_attempts=0, pulled_bytes=0,
                   demand_bytes=0, registry_pushes=0, registry_pulls=0,
                   blob_uploads_skipped=0, stored_bytes=0, quota_used=0,
-                  epochs=0)
+                  epochs=0, crashes=0, requeues=0)
     wait_sum = 0.0
     wait_max = 0.0
     makespan = 0.0
     pending_peak = 0
     live_peak = 0
     leaks: list[str] = []
+    injected: dict[str, int] = {}
+    injected_at: dict[str, float] = {}
+    fault_retries: dict[str, int] = {}
     for res in sorted(results, key=lambda r: r.shard):
         tenants.update(res.tenants)
         for key in totals:
@@ -445,18 +556,27 @@ def merge_shard_results(
         pending_peak = max(pending_peak, res.pending_peak)
         live_peak = max(live_peak, res.live_peak)
         leaks.extend(f"shard {res.shard}: {leak}" for leak in res.leaks)
+        for kind, count in res.injected.items():
+            injected[kind] = injected.get(kind, 0) + count
+        for kind, at in res.injected_at.items():
+            if kind not in injected_at or at < injected_at[kind]:
+                injected_at[kind] = at
+        for subsystem, count in res.fault_retries.items():
+            fault_retries[subsystem] = fault_retries.get(subsystem, 0) + count
     return FleetResult(
         config=config, shards=len(results), tenants=tenants,
         pending_peak=pending_peak, live_peak=live_peak, wait_hist=hist,
         wait_sum=wait_sum, wait_max=wait_max, makespan=makespan,
-        leaks=leaks, **totals,
+        leaks=leaks, injected=injected, injected_at=injected_at,
+        fault_retries=fault_retries, **totals,
     )
 
 
 class FleetShardEngine:
     """Simulates one fleet shard: its tenants, nodes, and registry."""
 
-    def __init__(self, env: Environment, config: FleetConfig, shard: int):
+    def __init__(self, env: Environment, config: FleetConfig, shard: int,
+                 plan: FaultPlan | None = None):
         self.env = env
         self.config = config
         self.shard = shard
@@ -478,15 +598,34 @@ class FleetShardEngine:
         self._slot_tenant: list[int] = []
         self._slot_busy: list[float] = []
         self._free_slots: list[int] = []
+        #: trace index each slot is running (for requeue on node crash)
+        self._slot_k: list[int] = []
+        #: slot occupancy flag (crash kill-scan looks only at live slots)
+        self._slot_live: list[bool] = []
+        #: generation counter, bumped when a crash kills the slot — stale
+        #: completion records carry the old generation and are skipped
+        self._slot_gen: list[int] = []
         # -- completion calendar (per-epoch buckets) ------------------------
-        self._calendar: dict[int, list[tuple[float, int, int]]] = {}
+        self._calendar: dict[int, list[tuple[float, int, int, int]]] = {}
         self._cal_heap: list[int] = []
         self._cal_size = 0
-        self._local_heap: list[tuple[float, int, int]] = []
+        self._local_heap: list[tuple[float, int, int, int]] = []
         self._local_epoch = -1
         self._comp_seq = 0
         self._pending: deque[tuple[int, float]] = deque()
         self._live = 0
+        # -- chaos: the plan's crash/restore edges as a third merge stream --
+        self._fault_edges = self._index_plan(plan)
+        #: crash bookkeeping (slot_k/slot_live writes, generation reads)
+        #: is skipped wholesale on the disarmed hot path — with no crash
+        #: edges every generation stays 0, so the records are identical
+        self._armed = bool(self._fault_edges)
+        self._edge_i = 0
+        self._crashes = 0
+        self._requeues = 0
+        self._last_requeues = 0
+        self._last_failed = 0
+        self._last_retries = 0
         # -- hot-loop constants (one attribute hop instead of a chain) ------
         self._naive = config.naive
         self._epoch_len = config.epoch
@@ -551,10 +690,90 @@ class FleetShardEngine:
         self._cpus = trace.cpus
         self._durations = trace.durations
 
+    # -- chaos: push-fault edge stream ---------------------------------------
+    def _index_plan(
+        self, plan: FaultPlan | None
+    ) -> list[tuple[float, int, int, int, FaultEvent]]:
+        """The plan's push events as ``(t, seq, local_node, phase, event)``
+        edges — phase 0 is the crash, phase 1 the restore (always paired,
+        even for duration-0 events, so a crashed node never stays down).
+        Targets outside this shard's contiguous node block are dropped;
+        the list is sorted by ``(t, seq)`` so overlapping events keep
+        plan order, matching the injector driver's delivery order."""
+        if plan is None:
+            return []
+        base = self.config.shard_node_base(self.shard)
+        local_by_name = {
+            fleet_node_name(base + i): i for i in range(self.n_nodes)
+        }
+        edges: list[tuple[float, int, int, int, FaultEvent]] = []
+        order = 0
+        for event in plan.push_events():
+            if event.target is None:
+                continue  # a fleet crash needs a concrete victim
+            node = local_by_name.get(event.target)
+            if node is None:
+                continue  # some other shard owns this node
+            edges.append((event.at, order, node, 0, event))
+            edges.append((event.until, order + 1, node, 1, event))
+            order += 2
+        edges.sort(key=lambda edge: (edge[0], edge[1]))
+        return edges
+
+    def _deliver_edge(self, edge: tuple[float, int, int, int, FaultEvent]) -> None:
+        t, _seq, node, phase, event = edge
+        if phase == 0:
+            _faults.record_push(event, t)
+            self._crash_node(node, t)
+        else:
+            self._restore_node(node, t)
+
+    def _crash_node(self, node: int, t: float) -> None:
+        """Kill every live slot on ``node`` and take it out of the pool.
+
+        Killed slots requeue their starts (wait restarts at crash time),
+        bump their generation so the stale completion record is skipped
+        wherever it surfaces, and return to the free list.  Their cores
+        are *not* released — :meth:`_restore_node` recreates the node's
+        full capacity in one step."""
+        index = self.index
+        if node in index.down:
+            return  # overlapping crash windows: first one owns the node
+        slot_node = self._slot_node
+        slot_live = self._slot_live
+        slot_gen = self._slot_gen
+        slot_k = self._slot_k
+        free_slots = self._free_slots
+        pending = self._pending
+        killed = 0
+        for slot in range(len(slot_node)):
+            if slot_live[slot] and slot_node[slot] == node:
+                slot_live[slot] = False
+                slot_gen[slot] += 1
+                free_slots.append(slot)
+                self._cal_size -= 1
+                pending.append((slot_k[slot], t))
+                killed += 1
+        self._live -= killed
+        index.remove_node(node)
+        self._crashes += 1
+        self._requeues += killed
+        if len(pending) > self._pending_peak:
+            self._pending_peak = len(pending)
+        self._drain_pending(t)
+
+    def _restore_node(self, node: int, t: float) -> None:
+        """Reboot ``node`` fully free and drain the placement queue."""
+        if node not in self.index.down:
+            return
+        self.index.restore_node(node)
+        self._drain_pending(t)
+
     # -- the run -------------------------------------------------------------
     def run(self) -> FleetShardResult:
-        if self.n_starts:
+        if self.n_starts or self._fault_edges:
             if self.config.naive:
+                self._naive_schedule_edges()
                 self._naive_schedule_arrivals()
             else:
                 self.env.process(self._pump(), name=f"fleet-pump-{self.shard}")
@@ -562,6 +781,8 @@ class FleetShardEngine:
             if not self._naive and self._rec.due(self.env.now):
                 self._sample_timeseries(self._rec)  # final-state tick
         res = self.result
+        res.crashes = self._crashes
+        res.requeues = self._requeues
         res.warm_starts = self._warm_starts
         res.makespan = self._makespan
         res.pending_peak = self._pending_peak
@@ -600,6 +821,10 @@ class FleetShardEngine:
             leaks.append(
                 f"{self._cal_size + len(self._local_heap)} completion(s) never delivered"
             )
+        if self.index.down:
+            leaks.append(
+                f"{len(self.index.down)} node(s) still down after drain"
+            )
         total = self.n_nodes * self.config.node_cpus
         if self.index.total_free != total:
             leaks.append(
@@ -617,10 +842,17 @@ class FleetShardEngine:
         calendar = self._calendar
         cal_heap = self._cal_heap
         pending = self._pending
+        edges = self._fault_edges
+        ne = len(edges)
+        slot_gen = self._slot_gen
+        armed = self._armed
         prof = _profile.counters
         i = 0
-        while i < n or self._cal_size or self._local_heap or pending:
-            # next epoch with work: earliest arrival or completion bucket
+        while (i < n or self._cal_size or self._local_heap or pending
+               or self._edge_i < ne):
+            e = self._edge_i
+            # next epoch with work: earliest arrival, completion bucket,
+            # or fault edge
             epoch = None
             if i < n:
                 epoch = int(times[i] // epoch_len)
@@ -628,6 +860,10 @@ class FleetShardEngine:
                 heappop(cal_heap)  # bucket consumed into a local heap earlier
             if cal_heap and (epoch is None or cal_heap[0] < epoch):
                 epoch = cal_heap[0]
+            if e < ne:
+                edge_epoch = int(edges[e][0] // epoch_len)
+                if epoch is None or edge_epoch < epoch:
+                    epoch = edge_epoch
             if epoch is None:
                 raise RuntimeError(
                     "fleet pump stalled: pending starts but no completions due"
@@ -649,14 +885,28 @@ class FleetShardEngine:
             j = i
             while j < n and times[j] < boundary:
                 j += 1
-            # exact two-stream merge; completions win ties (free before
-            # place — matches the naive event ordering, URGENT < NORMAL)
+            # exact three-stream merge; fault edges win all ties and
+            # completions win ties over arrivals (free before place) —
+            # matching the naive event ordering: edges are init-scheduled
+            # URGENT events (lowest seq), completions run-scheduled
+            # URGENT, arrivals NORMAL
             complete = self._complete
             arrive = self._arrive
             k = i
-            while local or k < j:
+            while local or k < j or (e < ne and edges[e][0] < boundary):
+                if e < ne:
+                    edge = edges[e]
+                    et = edge[0]
+                    if (et < boundary and (not local or et <= local[0][0])
+                            and (k >= j or et <= times[k])):
+                        e += 1
+                        self._edge_i = e
+                        self._deliver_edge(edge)
+                        continue
                 if local and (k >= j or local[0][0] <= times[k]):
-                    end_t, _seq, slot = heappop(local)
+                    end_t, _seq, slot, gen = heappop(local)
+                    if armed and slot_gen[slot] != gen:
+                        continue  # slot killed by a crash; counted there
                     self._cal_size -= 1
                     complete(slot, end_t)
                 else:
@@ -713,6 +963,24 @@ class FleetShardEngine:
             max((s.wait_max for s in stats), default=0.0), shard=shard,
         )
         rec.record("fleet.quota_used", t, self._quota_total, shard=shard)
+        # chaos-facing series: absolute gauges plus per-tick deltas (the
+        # SLO rules threshold the deltas — probe-recorded series get no
+        # automatic .rate derivation)
+        failed = sum(s.failed for s in stats)
+        rec.record("fleet.failed_total", t, failed, shard=shard)
+        rec.record("fleet.nodes_down", t, len(self.index.down), shard=shard)
+        rec.record(
+            "fleet.requeues", t, self._requeues - self._last_requeues,
+            shard=shard,
+        )
+        self._last_requeues = self._requeues
+        rec.record("fleet.failures", t, failed - self._last_failed, shard=shard)
+        self._last_failed = failed
+        retries = self.result.retry_attempts
+        rec.record(
+            "fleet.retries", t, retries - self._last_retries, shard=shard
+        )
+        self._last_retries = retries
         if len(self.tenant_ids) <= TENANT_SERIES_MAX:
             for gid, st in zip(self.tenant_ids, stats):
                 tenant = f"t{gid:05}"
@@ -760,6 +1028,7 @@ class FleetShardEngine:
             node_set.add(digest)
         busy = startup + self._durations[k]
         end = place_t + busy
+        armed = self._armed
         free_slots = self._free_slots
         if free_slots:
             slot = free_slots.pop()
@@ -767,12 +1036,19 @@ class FleetShardEngine:
             self._slot_req[slot] = req
             self._slot_tenant[slot] = tloc
             self._slot_busy[slot] = busy
+            if armed:
+                self._slot_k[slot] = k
+                self._slot_live[slot] = True
         else:
             slot = len(self._slot_node)
             self._slot_node.append(node)
             self._slot_req.append(req)
             self._slot_tenant.append(tloc)
             self._slot_busy.append(busy)
+            self._slot_gen.append(0)
+            if armed:
+                self._slot_k.append(k)
+                self._slot_live.append(True)
         live = self._live + 1
         self._live = live
         if live > self._live_peak:
@@ -780,11 +1056,12 @@ class FleetShardEngine:
         seq = self._comp_seq
         self._comp_seq = seq + 1
         self._cal_size += 1
-        record = (end, seq, slot)
+        gen = self._slot_gen[slot] if armed else 0
+        record = (end, seq, slot, gen)
         if self._naive:
             event = Event(self.env)
             event.callbacks.append(self._naive_completion)
-            event._value = (slot, end)
+            event._value = (slot, end, gen)
             self.env._schedule_at(event, end, priority=Environment.URGENT)
         else:
             epoch = int(end // self._epoch_len)
@@ -870,20 +1147,44 @@ class FleetShardEngine:
         node = self._slot_node[slot]
         req = self._slot_req[slot]
         stats = self.stats[self._slot_tenant[slot]]
-        self.index.release(node, req)
+        index = self.index
+        index.release(node, req)
         stats.completions += 1
         stats.cpu_seconds += self._slot_busy[slot] * req
         self._live -= 1
+        if self._armed:
+            self._slot_live[slot] = False
         self._free_slots.append(slot)
+        # FIFO head-blocking drain, inlined (this runs once per
+        # completion; _drain_pending is the same loop for the rare
+        # crash-requeue and node-restore paths)
         pending = self._pending
+        if pending:
+            cpus = self._cpus
+            while pending:
+                k, arrival_t = pending[0]
+                req2 = cpus[k]
+                node2 = index.alloc(req2)
+                if node2 is None:
+                    break
+                pending.popleft()
+                self._place(k, arrival_t, end_t, node2, req2)
+
+    def _drain_pending(self, place_t: float) -> None:
+        """Place queued starts head-first until the head no longer fits
+        (FIFO head-blocking, the shared drain for completions, crash
+        requeues and node restores)."""
+        pending = self._pending
+        index = self.index
+        cpus = self._cpus
         while pending:
             k, arrival_t = pending[0]
-            req2 = self._cpus[k]
-            node2 = self.index.alloc(req2)
-            if node2 is None:
+            req = cpus[k]
+            node = index.alloc(req)
+            if node is None:
                 break
             pending.popleft()
-            self._place(k, arrival_t, end_t, node2, req2)
+            self._place(k, arrival_t, place_t, node, req)
 
     # -- naive (pre-optimization) drivers ------------------------------------
     def _naive_schedule_arrivals(self) -> None:
@@ -895,15 +1196,34 @@ class FleetShardEngine:
             event._value = k
             env._schedule_at(event, t)
 
+    def _naive_schedule_edges(self) -> None:
+        """Fault edges as plain URGENT events.  Scheduled before the
+        arrivals (and before any run-time completion), so at equal times
+        their lower sequence numbers deliver them first — the tie order
+        the fast pump's three-stream merge reproduces."""
+        env = self.env
+        for edge in self._fault_edges:
+            event = Event(env)
+            event.callbacks.append(self._naive_edge)
+            event._value = edge
+            env._schedule_at(event, edge[0], priority=Environment.URGENT)
+        self._edge_i = len(self._fault_edges)
+
     def _naive_arrival(self, event: Event) -> None:
         k = _t.cast(int, event._value)
         self._arrive(k, self._times[k])
         self._note_naive_pressure()
 
     def _naive_completion(self, event: Event) -> None:
-        slot, end = _t.cast(tuple, event._value)
+        slot, end, gen = _t.cast(tuple, event._value)
+        if self._slot_gen[slot] != gen:
+            return  # slot killed by a crash; counted at kill time
         self._cal_size -= 1
         self._complete(slot, end)
+        self._note_naive_pressure()
+
+    def _naive_edge(self, event: Event) -> None:
+        self._deliver_edge(_t.cast(tuple, event._value))
         self._note_naive_pressure()
 
     def _note_naive_pressure(self) -> None:
@@ -918,20 +1238,49 @@ class FleetShardEngine:
                 prof.live_objects_peak = live
 
 
-def run_fleet_shard(config: FleetConfig, shard: int) -> FleetShardResult:
-    """Build and run one shard in a fresh environment (the cell body)."""
+def run_fleet_shard(
+    config: FleetConfig, shard: int, plan_json: str | None = None
+) -> FleetShardResult:
+    """Build and run one shard in a fresh environment (the cell body).
+
+    ``plan_json`` arms a :class:`FaultPlan` inside this shard: the
+    pull-style window events go to the process-wide injector (the cold
+    pull path polls it through the registry), while the push-style
+    ``NODE_CRASH`` events are consumed by the engine's own edge stream —
+    the injector is armed with the pull subset only, so its driver
+    process never perturbs the pump's event schedule.
+    """
     env = Environment()
-    engine = FleetShardEngine(env, config, shard)
-    return engine.run()
+    plan = FaultPlan.from_json(plan_json) if plan_json else None
+    if plan is not None:
+        pull_plan = FaultPlan(
+            [e for e in plan if e.kind not in PUSH_KINDS], seed=plan.seed
+        )
+        _faults.arm(pull_plan, env)
+    try:
+        engine = FleetShardEngine(env, config, shard, plan=plan)
+        result = engine.run()
+        if plan is not None:
+            result.injected = dict(_faults.injected_counts)
+            result.injected_at = dict(_faults.injected_at)
+            result.fault_retries = dict(_faults.retry_counts)
+        return result
+    finally:
+        if plan is not None:
+            _faults.disarm()
 
 
-def fleet_cells(config: FleetConfig) -> list:
-    """The fixed cell partition for ``config`` (independent of --jobs)."""
+def fleet_cells(config: FleetConfig, plan: FaultPlan | None = None) -> list:
+    """The fixed cell partition for ``config`` (independent of --jobs).
+
+    ``plan`` rides along as compact JSON in every cell, so worker
+    processes arm byte-identical fault schedules."""
     from repro.shard.cells import FleetCell
 
     config_json = config.to_json()
+    plan_json = plan.to_json(indent=None) if plan is not None else None
     return [
-        FleetCell(config_json=config_json, shard=shard)
+        FleetCell(config_json=config_json, shard=shard, plan_json=plan_json)
         for shard in range(config.effective_shards)
     ]
 
@@ -941,34 +1290,73 @@ def run_fleet(
     jobs: int = 1,
     metrics: bool = False,
     sample_interval: float | None = None,
+    plan: FaultPlan | None = None,
 ) -> FleetResult:
     """Run the whole fleet through the shard runner and merge.
 
     ``sample_interval`` (virtual seconds) turns on per-shard time-series
     sampling inside each cell; the runner merges the sampled rings into
     the parent recorder in cell-index order, so ``--jobs N`` exports are
-    byte-identical to serial.
+    byte-identical to serial.  ``plan`` delivers a fault plan into every
+    shard (see :func:`run_fleet_shard`).
     """
     from repro.shard import ObsConfig, run_cells
 
     result = run_cells(
-        fleet_cells(config),
+        fleet_cells(config, plan=plan),
         jobs=jobs,
         obs=ObsConfig(metrics=metrics, timeseries=sample_interval),
     )
     return merge_shard_results(result.values(), config)
 
 
+def score_fleet_slo(
+    result: FleetResult,
+    rules=None,
+    rec: "_timeseries.TimeSeriesRecorder | None" = None,
+):
+    """Score a sampled fleet run against SLO rules (the chaos scorecard).
+
+    Evaluates ``rules`` (default :func:`repro.obs.slo.default_fleet_rules`)
+    over the recorder's ``fleet.*`` series up to the run's makespan, and
+    wires per-fault-kind detection latency from the merged
+    ``injected_at`` map the way ``run_chaos`` does.  Returns a
+    :class:`repro.obs.slo.ScorecardReport`; the caller owns recorder
+    setup (sampling must have been enabled for the run).
+    """
+    from repro.obs import slo as _slo
+
+    if rules is None:
+        rules = _slo.default_fleet_rules()
+    if rec is None:
+        rec = _timeseries.recorder
+    evaluation = _slo.evaluate(rules, rec, end_time=result.makespan)
+    # alert timestamps are snapped to the sampling grid (floor), so snap
+    # the injection instants the same way — otherwise a fault injected
+    # mid-tick can "pre-date" the very alert that detected it and the
+    # latency table silently attributes the next, unrelated fire
+    interval = rec.interval
+    injected_at = {
+        kind: math.floor(at / interval) * interval
+        for kind, at in result.injected_at.items()
+    }
+    detection = _slo.detection_latencies(injected_at, evaluation)
+    return _slo.ScorecardReport.build(
+        scenario="fleet", ruleset=rules, evaluation=evaluation, rec=rec,
+        seed=result.config.seed, detection=detection,
+    )
+
+
 # -- reporting ----------------------------------------------------------------
 
 def fleet_report_document(result: FleetResult) -> dict:
-    """JSON-ready report (schema ``repro-fleet-report/1``)."""
+    """JSON-ready report (schema ``repro-fleet-report/2``)."""
     tenants = [
         [gid, *map(_json_num, stats)]
         for gid, stats in sorted(result.tenants.items())
     ]
     return {
-        "schema": "repro-fleet-report/1",
+        "schema": "repro-fleet-report/2",
         "config": json.loads(result.config.to_json()),
         "summary": {
             "shards": result.shards,
@@ -987,6 +1375,21 @@ def fleet_report_document(result: FleetResult) -> dict:
             "mean_wait_s": round(result.mean_wait, 6),
             "max_wait_s": round(result.wait_max, 6),
             "makespan_s": round(result.makespan, 6),
+            "crashes": result.crashes,
+            "requeues": result.requeues,
+        },
+        "faults": {
+            "injected": {
+                kind: result.injected[kind] for kind in sorted(result.injected)
+            },
+            "first_injected_at": {
+                kind: round(result.injected_at[kind], 6)
+                for kind in sorted(result.injected_at)
+            },
+            "retries": {
+                name: result.fault_retries[name]
+                for name in sorted(result.fault_retries)
+            },
         },
         "registry": {
             "pushes": result.registry_pushes,
@@ -1041,6 +1444,14 @@ def render_fleet_summary(result: FleetResult, top: int = 8) -> str:
         f"{result.live_peak}, mean wait {result.mean_wait:.2f}s, "
         f"max wait {result.wait_max:.1f}s",
     ]
+    if result.crashes or result.injected:
+        injected = ", ".join(
+            f"{kind}×{count}" for kind, count in sorted(result.injected.items())
+        )
+        lines.append(
+            f"  chaos:      {result.crashes} node crash(es), "
+            f"{result.requeues} requeued start(s), injected {injected or 'none'}"
+        )
     if result.retry_attempts:
         lines.append(f"  retries:    {result.retry_attempts} registry retries")
     if result.leaks:

@@ -51,6 +51,65 @@ def test_index_matches_linear_oracle(n_nodes, ops):
     assert index.total_free == n_nodes * NODE_CPUS
 
 
+# crash/restore script: -1 crashes the next node round-robin, -2
+# restores the oldest downed node, 0 releases, 1..cap allocates
+chaos_script = st.lists(
+    st.integers(min_value=-2, max_value=NODE_CPUS), max_size=120
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=1, max_value=24), chaos_script)
+def test_index_matches_oracle_through_crash_restore(n_nodes, ops):
+    """Down-node bookkeeping must be oracle-exact too: a crashed node is
+    invisible to alloc, and restoring it brings back its full capacity
+    in one step regardless of what was live when it died."""
+    index = CapacityIndex(n_nodes, NODE_CPUS)
+    oracle = LinearCapacityScan(n_nodes, NODE_CPUS)
+    live: list[tuple[int, int]] = []
+    downed: list[int] = []
+    next_crash = 0
+
+    for op in ops:
+        if op == -1:
+            node = next_crash % n_nodes
+            next_crash += 1
+            assert index.remove_node(node) == oracle.remove_node(node)
+            if node not in downed:
+                downed.append(node)
+                # claims on the dead node die with it: the restore
+                # resets free to full capacity, never via release
+                live = [(n, r) for n, r in live if n != node]
+        elif op == -2:
+            if not downed:
+                continue
+            node = downed.pop(0)
+            index.restore_node(node)
+            oracle.restore_node(node)
+        elif op == 0:
+            if not live:
+                continue
+            node, req = live.pop(0)
+            index.release(node, req)
+            oracle.release(node, req)
+        else:
+            got = index.alloc(op)
+            expected = oracle.alloc(op)
+            assert got == expected
+            if got is not None:
+                assert got not in downed
+                live.append((got, op))
+        assert index.free == oracle.free
+        assert index.down == oracle.down
+        assert index.total_free == oracle.total_free
+
+    for node in list(downed):
+        index.restore_node(node)
+        oracle.restore_node(node)
+    assert index.free == oracle.free
+    assert not index.down and not oracle.down
+
+
 def test_exhaustion_returns_none_identically():
     index = CapacityIndex(2, 4)
     oracle = LinearCapacityScan(2, 4)

@@ -177,7 +177,7 @@ def test_cli_fleet_runs_and_reports(capsys, tmp_path):
     assert "fleet: 8 nodes / 4 tenants / 150 starts" in stdout
     assert "leaks:      none" in stdout
     report = json.loads(out.read_text())
-    assert report["schema"] == "repro-fleet-report/1"
+    assert report["schema"] == "repro-fleet-report/2"
     assert report["summary"]["starts"] == 150
     assert report["leaks"] == []
 

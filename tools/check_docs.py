@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Docs consistency check: dead links and phantom metric names.
+
+Two classes of documentation rot, both cheap to catch mechanically:
+
+1. **Dead relative links** — every ``[text](path)`` markdown link whose
+   target is a relative path must point at a file or directory that
+   exists in the repo (anchors and external ``scheme://`` links are
+   skipped; an anchor suffix on a file link is stripped before the
+   existence check).
+2. **Phantom metric names** — EXPERIMENTS.md carries the metric-name
+   catalog.  Every backticked series name that looks like a metric
+   (``fleet.pending``, ``k8s.pod.start_seconds.p99`` …) must literally
+   appear somewhere under ``src/`` — either whole, or, for derived
+   suffixes (``.rate`` / ``.p50`` / ``.p99``) and the ``sim.*`` bridge
+   prefix, as its base series.  This keeps the catalog honest when a
+   series is renamed or removed.
+
+Exit status: 0 clean, 1 with findings (one line each on stderr).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+DOCS = sorted(REPO.glob("*.md"))
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+#: backticked tokens that are metric series: dotted lowercase path, at
+#: least one dot, no spaces/parens/braces (label examples are skipped)
+METRIC_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z0-9_]+)+$")
+#: sampler-derived suffixes that never appear literally in src
+DERIVED_SUFFIXES = (".rate", ".p50", ".p99")
+
+
+def iter_links(text: str):
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if "://" in target or target.startswith(("#", "mailto:")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+def check_links() -> list[str]:
+    problems = []
+    for doc in DOCS:
+        for target in iter_links(doc.read_text()):
+            if not target:
+                continue
+            resolved = (doc.parent / target).resolve()
+            if not resolved.exists():
+                problems.append(f"{doc.name}: dead link -> {target}")
+    return problems
+
+
+def metric_names(text: str) -> set[str]:
+    names = set()
+    for span in CODE_SPAN_RE.findall(text):
+        for token in span.split(" / "):
+            token = token.strip()
+            # `repro.…` tokens are module paths, not series names
+            if METRIC_RE.match(token) and not token.startswith("repro."):
+                names.add(token)
+    return names
+
+
+def check_metrics() -> list[str]:
+    catalog = REPO / "EXPERIMENTS.md"
+    text = catalog.read_text()
+    # only audit the catalog section: names elsewhere in the file may be
+    # module paths (repro.obs.slo) rather than series names
+    start = text.find("### Metric-name catalog")
+    if start < 0:
+        return ["EXPERIMENTS.md: metric-name catalog section not found"]
+    end = text.find("### Summary", start)
+    section = text[start:end if end > 0 else len(text)]
+
+    src = "\n".join(
+        p.read_text() for p in sorted((REPO / "src").rglob("*.py"))
+    )
+    problems = []
+    for name in sorted(metric_names(section)):
+        candidates = [name]
+        for suffix in DERIVED_SUFFIXES:
+            if name.endswith(suffix):
+                candidates.append(name[: -len(suffix)])
+        if name.startswith("sim."):
+            candidates.append(name[len("sim."):])
+        if name.endswith(".*"):
+            candidates.append(name[:-2])
+        if not any(f'"{c}"' in src or f"'{c}'" in src for c in candidates):
+            problems.append(
+                f"EXPERIMENTS.md: catalog series `{name}` not found in src/"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_metrics()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} docs problem(s)", file=sys.stderr)
+        return 1
+    print(f"docs OK: {len(DOCS)} files, links + metric catalog verified")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
